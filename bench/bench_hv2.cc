@@ -1,0 +1,68 @@
+/// \file bench_hv2.cc
+/// \brief Figure 6 — High Volume 2, full-sky filter scan:
+///   SELECT objectId, ra_PS, decl_PS, <fluxes> FROM Object
+///   WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 4
+/// Paper: 2.5-3 minutes per execution when (partially) cached; one 7-minute
+/// uncached run. From the uncached run the paper derives the aggregate
+/// table-scan bandwidth: 1.824e12 bytes / 420 s = 4.0 GB/s (27 MB/s/node);
+/// cached runs imply ~11 GB/s (76 MB/s/node). We reproduce both operating
+/// points with the cache-fraction knob and report the same bandwidths.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner("Figure 6 — High Volume 2 (full-sky filter scan)",
+              "§6.2 HV2, Fig 6: 150-180 s cached runs, 420 s uncached run",
+              "scan-bandwidth bound; ~70k result rows at paper scale");
+
+  PaperSetupOptions opts;
+  opts.basePatchObjects = 900;
+  // The paper's i-z > 4 outliers are ~4e-5 of rows; a 900-object base patch
+  // needs a larger fraction so the duplicated tail is non-empty (the
+  // selected-row count is reported at paper scale below).
+  opts.basePatch.redOutlierFraction = 3e-3;
+  PaperSetup setup = makePaperSetup(opts);
+  printKeyValue("setup", util::format("%.1f s, %zu chunks, rowScale %.0f",
+                                      setup.setupSeconds,
+                                      setup.sortedChunks.size(),
+                                      setup.rowScale));
+
+  const std::string sql =
+      "SELECT objectId, ra_PS, decl_PS, uFlux_PS, gFlux_PS, rFlux_PS, "
+      "iFlux_PS, zFlux_PS, yFlux_PS FROM Object "
+      "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 4";
+
+  simio::CostParams cold = simio::CostParams::paper150();
+  simio::CostParams warm = cold;
+  warm.cacheFraction = 0.65;  // the partially-cached steady state of Fig 6
+
+  const double objectBytes = 1.824e12;  // §6.2: MyISAM .MYD of Object
+
+  for (int run = 1; run <= 4; ++run) {
+    // The paper's Run 3 hit a cold cache; others were partially cached.
+    bool isCold = (run == 3);
+    printRunHeader(util::format("Run %d (%s cache)", run,
+                                isCold ? "cold" : "warm"));
+    auto exec = runQuery(setup, sql);
+    double v = virtualQuerySeconds(setup, exec, isCold ? cold : warm);
+    printExecution(1, exec.wallSeconds * 1e3, v);
+    double aggBw = objectBytes / v;
+    printKeyValue("paper-scale result rows",
+                  util::format("%.3g (paper ~70k)",
+                               static_cast<double>(exec.result->numRows()) *
+                                   setup.rowScale));
+    printKeyValue("aggregate scan bandwidth",
+                  util::format("%.1f GB/s = %.0f MB/s/node (paper: 4.0 GB/s "
+                               "uncached, ~11 GB/s cached)",
+                               aggBw / 1e9, aggBw / 150 / 1e6));
+  }
+
+  std::printf("\n");
+  printKeyValue("paper", "2.5-3 min warm; 7 min cold (the honest number)");
+  return 0;
+}

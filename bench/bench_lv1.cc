@@ -1,0 +1,69 @@
+/// \file bench_lv1.cc
+/// \brief Figure 2 — Low Volume 1, object retrieval:
+///   SELECT * FROM Object WHERE objectId = <objId>
+/// The paper measures ~4 s per execution, roughly constant across runs of
+/// 20 queries with uniformly randomized objectIds; the time is dominated by
+/// the fixed frontend overhead (proxy, dispatch, result collection), with
+/// the secondary index confining work to a single chunk.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner("Figure 2 — Low Volume 1 (object retrieval by objectId)",
+              "§6.2 LV1, Fig 2: ~4 s per execution, flat across executions",
+              "flat per-execution time near the ~4 s frontend overhead "
+              "floor; single chunk dispatched per query");
+
+  PaperSetupOptions opts;
+  opts.basePatchObjects = 900;
+  PaperSetup setup = makePaperSetup(opts);
+  printKeyValue("setup", util::format("%.1f s, %zu chunks, rowScale %.0f",
+                                      setup.setupSeconds,
+                                      setup.sortedChunks.size(),
+                                      setup.rowScale));
+
+  const int kRuns = 7;
+  const int kQueriesPerRun = 20;
+  simio::CostParams paper = simio::CostParams::paper150();
+
+  util::RunningStats allVirtual;
+  for (int run = 1; run <= kRuns; ++run) {
+    printRunHeader(util::format("Run %d (%d executions)", run,
+                                kQueriesPerRun));
+    auto ids = sampleObjectIds(setup, kQueriesPerRun,
+                               1000 + static_cast<std::uint64_t>(run));
+    util::RunningStats wall, virt;
+    for (int i = 0; i < kQueriesPerRun; ++i) {
+      std::string sql = "SELECT * FROM Object WHERE objectId = " +
+                        std::to_string(ids[static_cast<std::size_t>(i)]);
+      auto exec = runQuery(setup, sql);
+      if (exec.result->numRows() != 1 || exec.chunksDispatched != 1) {
+        std::fprintf(stderr, "unexpected LV1 result shape\n");
+        return 1;
+      }
+      double v = virtualQuerySeconds(setup, exec, paper);
+      printExecution(i + 1, exec.wallSeconds * 1e3, v);
+      wall.add(exec.wallSeconds * 1e3);
+      virt.add(v);
+      allVirtual.add(v);
+    }
+    printKeyValue("run summary",
+                  util::format("wall mean %.2f ms; virtual mean %.2f s "
+                               "(min %.2f, max %.2f)",
+                               wall.mean(), virt.mean(), virt.min(),
+                               virt.max()));
+  }
+
+  std::printf("\n");
+  printKeyValue("paper", "~4 s per execution, roughly constant");
+  printKeyValue("reproduced (virtual)",
+                util::format("%.2f s mean, spread %.2f..%.2f s",
+                             allVirtual.mean(), allVirtual.min(),
+                             allVirtual.max()));
+  return 0;
+}

@@ -1,0 +1,78 @@
+/// \file bench_lv3.cc
+/// \brief Figure 4 — Low Volume 3, spatially-restricted filter + aggregation:
+///   SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN .. AND decl_PS BETWEEN
+///   .. AND <color cuts>
+/// Paper: ~4 s per execution, flat; the 1 deg^2 box is randomized within
+/// +-20 deg declination; only the handful of covering chunks is dispatched
+/// (coarse spherical indexing), and each pays one chunk scan.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner(
+      "Figure 4 — Low Volume 3 (spatially-restricted color count)",
+      "§6.2 LV3, Fig 4: ~4 s per execution, flat",
+      "interactive latency: few chunks dispatched, one warm chunk scan each");
+
+  PaperSetupOptions opts;
+  opts.basePatchObjects = 900;
+  PaperSetup setup = makePaperSetup(opts);
+  printKeyValue("setup", util::format("%.1f s, %zu chunks, rowScale %.0f",
+                                      setup.setupSeconds,
+                                      setup.sortedChunks.size(),
+                                      setup.rowScale));
+
+  const int kRuns = 4;
+  const int kQueriesPerRun = 17;
+  simio::CostParams cold = simio::CostParams::paper150();
+  simio::CostParams warm = cold;
+  // The paper's LV3 numbers ride the MySQL/OS page cache (16 GB RAM per
+  // node, repeatedly touched chunks); see §6.2's caching caveats.
+  warm.cacheFraction = 0.9;
+
+  util::Rng rng(333);
+  util::RunningStats allWarm, allCold, chunksTouched;
+  for (int run = 1; run <= kRuns; ++run) {
+    printRunHeader(util::format("Run %d (%d executions)", run,
+                                kQueriesPerRun));
+    for (int i = 0; i < kQueriesPerRun; ++i) {
+      double ra = rng.uniform(0.0, 359.0);
+      double dec = rng.uniform(-20.0, 19.0);
+      std::string sql = util::format(
+          "SELECT COUNT(*) FROM Object "
+          "WHERE ra_PS BETWEEN %.3f AND %.3f AND decl_PS BETWEEN %.3f AND "
+          "%.3f AND fluxToAbMag(zFlux_PS) BETWEEN 15 AND 25 "
+          "AND fluxToAbMag(gFlux_PS)-fluxToAbMag(rFlux_PS) BETWEEN 0.1 AND 1.0 "
+          "AND fluxToAbMag(iFlux_PS)-fluxToAbMag(zFlux_PS) BETWEEN -0.2 AND 0.5",
+          ra, ra + 1.0, dec, dec + 1.0);
+      auto exec = runQuery(setup, sql);
+      chunksTouched.add(static_cast<double>(exec.chunksDispatched));
+      double vWarm = virtualQuerySeconds(setup, exec, soloParams(exec, warm));
+      double vCold = virtualQuerySeconds(setup, exec, soloParams(exec, cold));
+      printExecution(i + 1, exec.wallSeconds * 1e3, vWarm);
+      allWarm.add(vWarm);
+      allCold.add(vCold);
+    }
+  }
+
+  std::printf("\n");
+  printKeyValue("chunks dispatched per query",
+                util::format("mean %.1f (coarse spatial pruning; full sky "
+                             "would be %zu)",
+                             chunksTouched.mean(), setup.sortedChunks.size()));
+  printKeyValue("paper", "~4 s per execution, roughly constant");
+  printKeyValue("reproduced warm (virtual)",
+                util::format("%.2f s mean, %.2f..%.2f s", allWarm.mean(),
+                             allWarm.min(), allWarm.max()));
+  printKeyValue("reproduced cold (virtual)",
+                util::format("%.2f s mean — the paper's occasional ~9 s "
+                             "outliers are cold-cache executions",
+                             allCold.mean()));
+  return 0;
+}

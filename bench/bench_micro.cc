@@ -1,0 +1,161 @@
+/// \file bench_micro.cc
+/// \brief google-benchmark microbenchmarks for the hot primitives, the
+/// per-operation costs that justify the cost model's CPU constants
+/// (simio::CostParams) and the frontend's per-chunk overhead estimate.
+#include <benchmark/benchmark.h>
+
+#include "datagen/catalog_gen.h"
+#include "datagen/partitioner.h"
+#include "qserv/query_analysis.h"
+#include "sql/dump.h"
+#include "qserv/query_rewriter.h"
+#include "sphgeom/chunker.h"
+#include "sphgeom/coords.h"
+#include "sphgeom/htm.h"
+#include "sql/database.h"
+#include "sql/parser.h"
+#include "util/md5.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace qserv;
+
+void BM_Md5ChunkQuery(benchmark::State& state) {
+  std::string query(256, 'q');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::Md5::hex(query));
+  }
+}
+BENCHMARK(BM_Md5ChunkQuery);
+
+void BM_AngSep(benchmark::State& state) {
+  util::Rng rng(1);
+  double a = rng.uniform(0, 360), b = rng.uniform(-90, 90);
+  double c = rng.uniform(0, 360), d = rng.uniform(-90, 90);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sphgeom::angSepDeg(a, b, c, d));
+    a += 1e-9;
+  }
+}
+BENCHMARK(BM_AngSep);
+
+void BM_ChunkerPointLocation(benchmark::State& state) {
+  sphgeom::Chunker chunker(85, 12);
+  util::Rng rng(2);
+  for (auto _ : state) {
+    double lon = rng.uniform(0, 360), lat = rng.uniform(-90, 90);
+    auto chunk = chunker.chunkAt(lon, lat);
+    benchmark::DoNotOptimize(chunker.subChunkAt(chunk, lon, lat));
+  }
+}
+BENCHMARK(BM_ChunkerPointLocation);
+
+void BM_ChunkerCover1Deg(benchmark::State& state) {
+  sphgeom::Chunker chunker(85, 12);
+  util::Rng rng(3);
+  for (auto _ : state) {
+    double lon = rng.uniform(0, 359), lat = rng.uniform(-60, 59);
+    benchmark::DoNotOptimize(chunker.chunksIntersecting(
+        sphgeom::SphericalBox(lon, lat, lon + 1, lat + 1)));
+  }
+}
+BENCHMARK(BM_ChunkerCover1Deg);
+
+void BM_HtmPointToTrixel(benchmark::State& state) {
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sphgeom::htm::pointToTrixel(
+        rng.uniform(0, 360), rng.uniform(-90, 90), 8));
+  }
+}
+BENCHMARK(BM_HtmPointToTrixel);
+
+void BM_ParseLv3(benchmark::State& state) {
+  const char* sql =
+      "SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN 1 AND 2 "
+      "AND decl_PS BETWEEN 3 AND 4 "
+      "AND fluxToAbMag(zFlux_PS) BETWEEN 21 AND 21.5 "
+      "AND fluxToAbMag(gFlux_PS)-fluxToAbMag(rFlux_PS) BETWEEN 0.3 AND 0.4";
+  for (auto _ : state) {
+    auto stmt = sql::parseStatement(sql);
+    benchmark::DoNotOptimize(stmt);
+  }
+}
+BENCHMARK(BM_ParseLv3);
+
+void BM_AnalyzeAndRewriteChunkQuery(benchmark::State& state) {
+  core::CatalogConfig catalog = core::CatalogConfig::lsst();
+  sphgeom::Chunker chunker = catalog.makeChunker();
+  core::QueryRewriter rewriter(catalog, chunker);
+  auto analyzed = core::analyzeQuery(
+      "SELECT AVG(uFlux_SG) FROM Object WHERE "
+      "qserv_areaspec_box(0, 0, 10, 10) AND uRadius_PS > 0.04",
+      catalog);
+  std::vector<std::int32_t> chunks = {4000};
+  for (auto _ : state) {
+    auto rewrite = rewriter.rewrite(*analyzed, chunks, "merged");
+    benchmark::DoNotOptimize(rewrite);
+  }
+}
+BENCHMARK(BM_AnalyzeAndRewriteChunkQuery);
+
+sql::Database* scanDb() {
+  static sql::Database* db = [] {
+    auto* d = new sql::Database("micro");
+    datagen::BasePatchOptions opts;
+    opts.objectCount = 100000;
+    datagen::BasePatchGenerator gen(opts);
+    auto objects = gen.objects();
+    sphgeom::Chunker chunker(1, 1);
+    auto cat = datagen::partitionCatalog(chunker, objects, {});
+    (void)datagen::loadChunkIntoDatabase(*d, cat->chunks[0]);
+    return d;
+  }();
+  return db;
+}
+
+void BM_ExecutorFilterScan100k(benchmark::State& state) {
+  sql::Database* db = scanDb();
+  std::string table = db->tableNames()[1];  // Object_0
+  std::string sql = "SELECT COUNT(*) FROM Object_0 WHERE ra_PS > 0 AND "
+                    "fluxToAbMag(gFlux_PS) - fluxToAbMag(rFlux_PS) > 0.5";
+  std::uint64_t rows = 0;
+  for (auto _ : state) {
+    sql::ExecStats stats;
+    auto r = db->execute(sql, &stats);
+    benchmark::DoNotOptimize(r);
+    rows += stats.rowsScanned;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(rows));
+  (void)table;
+}
+BENCHMARK(BM_ExecutorFilterScan100k);
+
+void BM_ExecutorIndexProbe(benchmark::State& state) {
+  sql::Database* db = scanDb();
+  util::Rng rng(7);
+  for (auto _ : state) {
+    std::string sql = "SELECT * FROM Object_0 WHERE objectId = " +
+                      std::to_string(rng.below(100000));
+    auto r = db->execute(sql);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ExecutorIndexProbe);
+
+void BM_DumpAndReplay1kRows(benchmark::State& state) {
+  sql::Database* db = scanDb();
+  auto r = db->execute("SELECT * FROM Object_0 LIMIT 1000");
+  for (auto _ : state) {
+    std::string dump = sql::dumpTable(**r, "replayed");
+    sql::Database other;
+    auto loaded = sql::loadDump(other, dump);
+    benchmark::DoNotOptimize(loaded);
+  }
+}
+BENCHMARK(BM_DumpAndReplay1kRows);
+
+}  // namespace
+
+BENCHMARK_MAIN();

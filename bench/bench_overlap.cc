@@ -1,0 +1,70 @@
+/// \file bench_overlap.cc
+/// \brief Ablation — the overlap margin (§4.4 "Overlap").
+///
+/// "To produce correct results under strict partitioning, nodes need access
+/// to objects from outside partitions ... each partition can be stored with
+/// a precomputed amount of overlapping data." The margin buys correctness
+/// for joins up to that radius at the price of duplicated storage. This
+/// sweep shows: (a) pair counts are exact once margin >= join radius and
+/// silently low below it; (b) storage overhead grows with the margin.
+/// The paper used 1 arcmin.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "qserv/cluster.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner("Ablation — overlap margin vs join correctness and storage",
+              "§4.4 Overlap; §6.1.2: overlap = 1 arcmin (0.01667 deg)",
+              "undersized margins lose cross-chunk pairs; storage overhead "
+              "grows linearly with margin");
+
+  const double joinRadius = 1.0 / 60.0;  // 1 arcmin, the paper's margin
+  const std::string sql = util::format(
+      "SELECT count(*) FROM Object o1, Object o2 "
+      "WHERE qserv_areaspec_box(14, -6, 24, 4) "
+      "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < %.17g",
+      joinRadius);
+
+  std::printf("\n  %-16s %12s %14s %14s\n", "margin (arcmin)", "pairs",
+              "overlap rows", "storage +%");
+  double exactPairs = -1;
+  for (double arcmin : {2.0, 1.5, 1.0, 0.5, 0.25, 0.0}) {
+    core::CatalogConfig catalog = core::CatalogConfig::lsst(85, 12,
+                                                            arcmin / 60.0);
+    core::SkyDataOptions data;
+    data.basePatchObjects = 6000;
+    data.withSources = false;
+    data.region = sphgeom::SphericalBox(12, -10, 28, 8);
+    auto sky = core::buildSkyCatalog(catalog, data);
+    if (!sky.isOk()) return 1;
+
+    std::size_t owned = 0, overlap = 0;
+    for (const auto& chunk : sky->chunks) {
+      owned += chunk.objects->numRows();
+      overlap += chunk.objectOverlap->numRows();
+    }
+
+    core::ClusterOptions opts;
+    opts.numWorkers = 4;
+    opts.frontend.catalog = catalog;
+    auto cluster = core::MiniCluster::create(opts, *sky);
+    if (!cluster.isOk()) return 1;
+    auto exec = (*cluster)->frontend().query(sql);
+    if (!exec.isOk()) return 1;
+    double pairs = static_cast<double>(exec->result->cell(0, 0).asInt());
+    if (exactPairs < 0) exactPairs = pairs;  // largest margin = ground truth
+
+    std::printf("  %-16.2f %12.0f %14zu %13.2f%%%s\n", arcmin, pairs, overlap,
+                100.0 * overlap / owned,
+                pairs < exactPairs ? "   <-- pairs lost" : "");
+  }
+  std::printf("\n");
+  printKeyValue("paper choice",
+                "1 arcmin: exact for the SHV1 radius regime at ~small "
+                "storage overhead");
+  return 0;
+}

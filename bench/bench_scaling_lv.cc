@@ -1,0 +1,83 @@
+/// \file bench_scaling_lv.cc
+/// \brief Figures 8-10 — low-volume query mean execution time vs node count
+/// (40, 100, 150 nodes), constant data per node (§6.3.1).
+/// Paper: "execution time is unaffected by node count given that the data
+/// per node is constant" — all three LV curves are flat near 4 s (the
+/// spikes in Figs 9/10 are attributed to competing cluster activity).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner("Figures 8-10 — LV1/LV2/LV3 weak scaling (constant data/node)",
+              "§6.3.1, Figs 8-10: flat ~4 s at 40/100/150 nodes",
+              "mean execution time independent of node count");
+
+  PaperSetupOptions opts;
+  opts.basePatchObjects = 700;
+  opts.withSources = true;
+  opts.sourceRegion = sphgeom::SphericalBox(0, -7, 120, 7);
+  PaperSetup setup = makePaperSetup(opts);
+  printKeyValue("setup", util::format("%.1f s, %zu chunks, rowScale %.0f",
+                                      setup.setupSeconds,
+                                      setup.sortedChunks.size(),
+                                      setup.rowScale));
+
+  const int kNodes[] = {40, 100, 150};
+  const int kQueries = 12;
+
+  std::printf("\n  %-8s %12s %12s %12s\n", "nodes", "LV1 mean s",
+              "LV2 mean s", "LV3 mean s");
+  for (int nodes : kNodes) {
+    emulateClusterSize(setup, nodes);
+    simio::CostParams params = simio::CostParams::paper150();
+    params.nodeCount = nodes;
+
+    util::RunningStats lv1, lv2, lv3;
+    auto ids = sampleObjectIds(setup, kQueries * 2,
+                               4000 + static_cast<std::uint64_t>(nodes));
+    util::Rng rng(500 + static_cast<std::uint64_t>(nodes));
+    for (int i = 0; i < kQueries; ++i) {
+      {
+        auto exec = runQuery(setup, "SELECT * FROM Object WHERE objectId = " +
+                                        std::to_string(ids[i]));
+        auto p = soloParams(exec, params);
+        lv1.add(simio::simulateQuery(virtualTasks(setup, exec, p, 150), p)
+                    .elapsedSec());
+      }
+      {
+        auto exec = runQuery(
+            setup, "SELECT taiMidPoint, ra, decl FROM Source "
+                   "WHERE objectId = " +
+                       std::to_string(ids[kQueries + i]));
+        auto p = soloParams(exec, params);
+        lv2.add(simio::simulateQuery(virtualTasks(setup, exec, p, 150), p)
+                    .elapsedSec());
+      }
+      {
+        double ra = rng.uniform(0.0, 359.0);
+        double dec = rng.uniform(-20.0, 19.0);
+        auto exec = runQuery(
+            setup,
+            util::format("SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN "
+                         "%.3f AND %.3f AND decl_PS BETWEEN %.3f AND %.3f",
+                         ra, ra + 1.0, dec, dec + 1.0));
+        auto p = soloParams(exec, params);
+        p.cacheFraction = 0.9;  // LV3 rides the cache, as in Fig 4
+        lv3.add(simio::simulateQuery(virtualTasks(setup, exec, p, 150), p)
+                    .elapsedSec());
+      }
+    }
+    std::printf("  %-8d %12.2f %12.2f %12.2f\n", nodes, lv1.mean(),
+                lv2.mean(), lv3.mean());
+  }
+  restoreFullCluster(setup);
+  std::printf("\n");
+  printKeyValue("paper", "flat near 4 s at every node count (Figs 8-10)");
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// \file bench_subchunks.cc
+/// \brief Ablation — subchunk granularity for near-neighbor joins (§4.4).
+///
+/// "With spatial data split into smaller partitions, a SQL engine computing
+/// the join need not even consider (and reject) all possible pairs of
+/// objects ... a task that is naively O(n^2) becomes O(kn)." But finer
+/// subchunks mean more on-the-fly table builds. This sweep varies
+/// sub-stripes per stripe and reports pairs evaluated, rows built, and the
+/// modeled query time — the trade-off that led the paper to 12.
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace qserv;
+  using namespace qserv::bench;
+
+  printBanner("Ablation — subchunk granularity (sub-stripes per stripe)",
+              "§4.4 two-level partitions; paper config: 12",
+              "coarse: quadratic pair work; fine: build overhead grows; "
+              "a broad sweet spot in between");
+
+  const std::string sql =
+      "SELECT count(*) FROM Object o1, Object o2 "
+      "WHERE qserv_areaspec_box(14, -6, 24, 4) "
+      "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1";
+
+  std::printf("\n  %-12s %14s %14s %14s %12s\n", "sub-stripes",
+              "pairs evaluated", "rows built", "virtual s", "wall ms");
+  for (int subStripes : {1, 2, 4, 8, 12, 16}) {
+    PaperSetupOptions opts;
+    opts.basePatchObjects = 6000;
+    opts.objectRegion = sphgeom::SphericalBox(12, -10, 28, 8);
+    opts.numSubStripes = subStripes;
+    PaperSetup setup = makePaperSetup(opts);
+
+    auto exec = runQuery(setup, sql);
+    double pairs = 0, built = 0;
+    for (const auto& a : exec.accounting) {
+      pairs += static_cast<double>(a.observables.pairsEvaluated);
+      built += static_cast<double>(a.observables.rowsBuilt);
+    }
+    simio::CostParams params = simio::CostParams::paper150();
+    double v = virtualQuerySeconds(setup, exec, soloParams(exec, params));
+    std::printf("  %-12d %14.3g %14.3g %14.0f %12.0f\n", subStripes, pairs,
+                built, v, exec.wallSeconds * 1e3);
+  }
+  std::printf("\n");
+  printKeyValue("paper choice",
+                "12 sub-stripes: pairs reduced by ~n_sub^2 while build cost "
+                "stays a small fraction of the join");
+  return 0;
+}

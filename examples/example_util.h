@@ -1,0 +1,48 @@
+/// \file example_util.h
+/// \brief Small helpers shared by the runnable examples.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sql/table.h"
+
+namespace qserv::examples {
+
+/// Pretty-print (up to \p maxRows of) a result table.
+inline void printTable(const sql::Table& table, std::size_t maxRows = 10) {
+  std::vector<std::size_t> widths;
+  for (std::size_t c = 0; c < table.numColumns(); ++c) {
+    widths.push_back(table.schema().column(c).name.size());
+  }
+  std::size_t shown = std::min(maxRows, table.numRows());
+  std::vector<std::vector<std::string>> cells;
+  for (std::size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> row;
+    for (std::size_t c = 0; c < table.numColumns(); ++c) {
+      row.push_back(table.cell(r, c).toDisplayString());
+      widths[c] = std::max(widths[c], row.back().size());
+    }
+    cells.push_back(std::move(row));
+  }
+  std::printf("  ");
+  for (std::size_t c = 0; c < table.numColumns(); ++c) {
+    std::printf("%-*s  ", static_cast<int>(widths[c]),
+                table.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : cells) {
+    std::printf("  ");
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  }
+  if (table.numRows() > shown) {
+    std::printf("  ... (%zu rows total)\n", table.numRows());
+  }
+}
+
+}  // namespace qserv::examples

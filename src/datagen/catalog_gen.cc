@@ -1,0 +1,198 @@
+#include "datagen/catalog_gen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sphgeom/angle.h"
+
+namespace qserv::datagen {
+
+using sphgeom::SphericalBox;
+
+sphgeom::SphericalBox pt11PatchBox() {
+  return SphericalBox(358.0, -7.0, 5.0, 7.0);
+}
+
+namespace {
+
+/// AB magnitude -> flux in erg s^-1 cm^-2 Hz^-1.
+double magToFlux(double mag) { return std::pow(10.0, -(mag + 48.6) / 2.5); }
+
+}  // namespace
+
+BasePatchGenerator::BasePatchGenerator(BasePatchOptions options)
+    : options_(options), rng_(options.seed) {}
+
+std::vector<ObjectRow> BasePatchGenerator::objects() {
+  std::vector<ObjectRow> out;
+  out.reserve(static_cast<std::size_t>(options_.objectCount));
+  const double sinLo = std::sin(sphgeom::degToRad(-7.0));
+  const double sinHi = std::sin(sphgeom::degToRad(7.0));
+  for (std::int64_t i = 0; i < options_.objectCount; ++i) {
+    ObjectRow row;
+    row.objectId = i;
+    // Uniform per solid angle over the wrapping patch RA 358..365.
+    row.ra = sphgeom::normalizeLonDeg(358.0 + rng_.uniform(0.0, kPatchRaWidthDeg));
+    row.decl = sphgeom::radToDeg(
+        std::asin(rng_.uniform(sinLo, sinHi)));
+    // Magnitudes: r-band skewed faint, colors correlated.
+    double mr = 16.0 + 11.0 * std::sqrt(rng_.uniform());
+    double gr = rng_.normal(0.6, 0.3);
+    double ug = rng_.normal(1.2, 0.4);
+    double ri = rng_.normal(0.3, 0.2);
+    double iz = rng_.normal(0.15, 0.15);
+    double zy = rng_.normal(0.1, 0.1);
+    // Rare red-outlier tail so the HV2 cut (i-z > 4) selects a tiny
+    // fraction, like the paper's ~70k of 1.7e9 rows.
+    if (rng_.uniform() < options_.redOutlierFraction) {
+      iz += rng_.uniform(3.5, 5.0);
+    }
+    double mg = mr + gr;
+    double mu = mg + ug;
+    double mi = mr - ri;
+    double mz = mi - iz;
+    double my = mz - zy;
+    row.flux[0] = magToFlux(mu);
+    row.flux[1] = magToFlux(mg);
+    row.flux[2] = magToFlux(mr);
+    row.flux[3] = magToFlux(mi);
+    row.flux[4] = magToFlux(mz);
+    row.flux[5] = magToFlux(my);
+    row.uFluxSg = row.flux[0] * (1.0 + rng_.normal(0.0, 0.05));
+    row.uRadius = std::fabs(rng_.normal(0.05, 0.03));
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<SourceRow> BasePatchGenerator::sourcesFor(
+    const std::vector<ObjectRow>& objects) {
+  std::vector<SourceRow> out;
+  out.reserve(objects.size() *
+              static_cast<std::size_t>(options_.sourcesPerObjectMean));
+  std::int64_t sid = 0;
+  for (const ObjectRow& obj : objects) {
+    auto n = static_cast<std::int64_t>(
+        std::max(1.0, std::round(rng_.normal(options_.sourcesPerObjectMean,
+                                             options_.sourcesPerObjectMean / 7))));
+    for (std::int64_t k = 0; k < n; ++k) {
+      SourceRow s;
+      s.sourceId = sid++;
+      s.objectId = obj.objectId;
+      double scatter = options_.sourceScatterDeg;
+      if (rng_.uniform() < options_.straySourceFraction) {
+        // Mis-association / moving object: far from the host object. These
+        // are what SHV2's angSep > 0.0045 deg filter finds.
+        scatter = rng_.uniform(0.005, 0.02);
+        double angle = rng_.uniform(0.0, 2.0 * sphgeom::kPi);
+        s.ra = sphgeom::normalizeLonDeg(
+            obj.ra + scatter * std::cos(angle) /
+                         std::max(0.05, std::cos(sphgeom::degToRad(obj.decl))));
+        s.decl = sphgeom::clampLatDeg(obj.decl + scatter * std::sin(angle));
+      } else {
+        s.ra = sphgeom::normalizeLonDeg(obj.ra + rng_.normal(0.0, scatter));
+        s.decl = sphgeom::clampLatDeg(obj.decl + rng_.normal(0.0, scatter));
+      }
+      s.psfFlux = obj.flux[2] * std::exp(rng_.normal(0.0, 0.1));
+      s.psfFluxErr = s.psfFlux * std::fabs(rng_.normal(0.07, 0.02));
+      s.taiMidPoint = rng_.uniform(50000.0, 53650.0);
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+// ----------------------------------------------------------------- Duplicator
+
+Duplicator::Duplicator() : Duplicator(Options{}) {}
+
+Duplicator::Duplicator(Options options) : options_(options) {
+  assert(options_.decMin < options_.decMax);
+  const int totalBands =
+      static_cast<int>(std::ceil(180.0 / kPatchDecHeightDeg));
+  firstBand_ = std::clamp(
+      static_cast<int>(std::floor((options_.decMin + 90.0) / kPatchDecHeightDeg)),
+      0, totalBands - 1);
+  lastBand_ = std::clamp(
+      static_cast<int>(std::floor((options_.decMax + 90.0 - 1e-9) /
+                                  kPatchDecHeightDeg)),
+      firstBand_, totalBands - 1);
+  slotsPerBand_.resize(static_cast<std::size_t>(lastBand_ - firstBand_ + 1));
+  cumulativeCopies_.resize(slotsPerBand_.size() + 1, 0);
+  for (int b = firstBand_; b <= lastBand_; ++b) {
+    double decCenter = -90.0 + b * kPatchDecHeightDeg + kPatchDecHeightDeg / 2;
+    decCenter = std::clamp(decCenter, -89.0, 89.0);
+    double cosc = std::cos(sphgeom::degToRad(decCenter));
+    int slots = std::max(
+        1, static_cast<int>(std::floor(360.0 * cosc / kPatchRaWidthDeg)));
+    slotsPerBand_[static_cast<std::size_t>(b - firstBand_)] = slots;
+    cumulativeCopies_[static_cast<std::size_t>(b - firstBand_ + 1)] =
+        cumulativeCopies_[static_cast<std::size_t>(b - firstBand_)] + slots;
+  }
+}
+
+int Duplicator::bandCount() const { return lastBand_ - firstBand_ + 1; }
+
+int Duplicator::slotsInBand(int band) const {
+  assert(band >= firstBand_ && band <= lastBand_);
+  return slotsPerBand_[static_cast<std::size_t>(band - firstBand_)];
+}
+
+std::int64_t Duplicator::totalCopies() const {
+  return cumulativeCopies_.back();
+}
+
+std::int64_t Duplicator::copyIndex(const Copy& c) const {
+  assert(c.band >= firstBand_ && c.band <= lastBand_);
+  return cumulativeCopies_[static_cast<std::size_t>(c.band - firstBand_)] +
+         c.slot;
+}
+
+sphgeom::SphericalBox Duplicator::copyBox(const Copy& c) const {
+  int slots = slotsInBand(c.band);
+  double width = 360.0 / slots;  // stretched patch width in this band
+  double lonMin = c.slot * width;
+  double lonMax = (c.slot + 1 == slots) ? 360.0 : lonMin + width;
+  double latMin = -90.0 + c.band * kPatchDecHeightDeg;
+  double latMax = std::min(90.0, latMin + kPatchDecHeightDeg);
+  return SphericalBox(lonMin, latMin, lonMax, latMax);
+}
+
+std::vector<Duplicator::Copy> Duplicator::copiesIntersecting(
+    const SphericalBox& region) const {
+  std::vector<Copy> out;
+  for (int b = firstBand_; b <= lastBand_; ++b) {
+    for (int s = 0; s < slotsInBand(b); ++s) {
+      Copy c{b, s};
+      if (region.intersects(copyBox(c))) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+sphgeom::LonLat Duplicator::transform(const Copy& c, double raBase,
+                                      double decBase) const {
+  // Patch-relative coordinates: RA measured from 358 deg, Dec from -7.
+  // Source positions can jitter slightly below the patch's west edge; treat
+  // near-360 relative RA as a small negative offset instead of a wrap.
+  double relRa = sphgeom::normalizeLonDeg(raBase - 358.0);
+  if (relRa > 180.0) relRa -= 360.0;
+  double relDec = decBase + kPatchDecHeightDeg / 2;
+  int slots = slotsInBand(c.band);
+  // Density-preserving stretch: the band's circumference is shared evenly
+  // by `slots` copies, so each base degree of RA spans `stretch` degrees
+  // here. stretch grows toward the poles — the paper's "non-linear
+  // transformation of right-ascension as a function of declination".
+  double stretch = 360.0 / (slots * kPatchRaWidthDeg);
+  double lon = sphgeom::normalizeLonDeg((c.slot * kPatchRaWidthDeg + relRa) *
+                                        stretch);
+  double lat = -90.0 + c.band * kPatchDecHeightDeg + relDec;
+  return {lon, lat};  // lat may exceed 90 in the top band; callers drop those
+}
+
+std::int64_t Duplicator::idOffset(const Copy& c, std::int64_t baseCount) const {
+  return copyIndex(c) * baseCount;
+}
+
+}  // namespace qserv::datagen

@@ -1,0 +1,129 @@
+/// \file catalog_gen.h
+/// \brief Synthetic PT1.1-like base patch and the sky duplicator (paper §6.1.2).
+///
+/// The paper's test data was made by "spatially replicating the dataset from
+/// a recent LSST data challenge ('PT1.1')": a patch with RA in [358, 5] and
+/// Dec in [-7, 7], "replicated over the sky by transforming duplicate rows'
+/// RA and declination columns, taking care to maintain spatial distance and
+/// density by a non-linear transformation of right-ascension as a function
+/// of declination". We synthesize the base patch (LSST's PT1.1 itself is not
+/// available here) and reproduce that duplication scheme: 14-degree
+/// declination bands, each tiled by RA copies whose width is stretched by
+/// the band's 1/cos(dec) meridian-convergence factor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sphgeom/spherical_box.h"
+#include "util/rng.h"
+
+namespace qserv::datagen {
+
+struct ObjectRow {
+  std::int64_t objectId = 0;
+  double ra = 0.0;
+  double decl = 0.0;
+  double uRadius = 0.0;
+  double flux[6] = {0, 0, 0, 0, 0, 0};  // u, g, r, i, z, y
+  double uFluxSg = 0.0;
+};
+
+struct SourceRow {
+  std::int64_t sourceId = 0;
+  std::int64_t objectId = 0;
+  double ra = 0.0;
+  double decl = 0.0;
+  double psfFlux = 0.0;
+  double psfFluxErr = 0.0;
+  double taiMidPoint = 0.0;
+};
+
+/// The PT1.1 patch footprint: RA 358..5 (wrapping), Dec -7..7.
+sphgeom::SphericalBox pt11PatchBox();
+
+struct BasePatchOptions {
+  std::int64_t objectCount = 5000;
+  double sourcesPerObjectMean = 41.0;   ///< paper: k ~= 41
+  double sourceScatterDeg = 1.0 / 7200; ///< 0.5 arcsec astrometric scatter
+  /// Fraction of sources displaced far (>16 arcsec) from their object —
+  /// the population SHV2's "sources not near objects" query finds.
+  double straySourceFraction = 0.02;
+  /// Fraction of objects given an extreme red color (i-z boosted by 3.5-5
+  /// magnitudes) — the population HV2's full-sky cut selects. The paper's
+  /// catalog had ~4e-5; small base patches may need a larger fraction so at
+  /// least a few outliers exist before duplication.
+  double redOutlierFraction = 1e-4;
+  std::uint64_t seed = 20110901;        ///< default: fully deterministic
+};
+
+/// Generates the synthetic base patch.
+class BasePatchGenerator {
+ public:
+  explicit BasePatchGenerator(BasePatchOptions options);
+
+  /// Objects uniformly distributed (per solid angle) over the PT1.1 box,
+  /// with correlated magnitudes so color cuts select small fractions.
+  std::vector<ObjectRow> objects();
+
+  /// ~41 detections per object, jittered around the object position.
+  std::vector<SourceRow> sourcesFor(const std::vector<ObjectRow>& objects);
+
+ private:
+  BasePatchOptions options_;
+  util::Rng rng_;
+};
+
+/// Replicates the base patch over the sky.
+class Duplicator {
+ public:
+  struct Options {
+    double decMin = -90.0;
+    double decMax = 90.0;
+  };
+
+  Duplicator();
+  explicit Duplicator(Options options);
+
+  /// One placement of the base patch.
+  struct Copy {
+    int band = 0;  ///< declination band index
+    int slot = 0;  ///< RA position within the band
+  };
+
+  int bandCount() const;
+  int slotsInBand(int band) const;
+
+  /// Total number of copies over the configured declination range.
+  std::int64_t totalCopies() const;
+
+  /// All copies whose footprint intersects \p region.
+  std::vector<Copy> copiesIntersecting(const sphgeom::SphericalBox& region) const;
+
+  /// Footprint of a copy on the sky.
+  sphgeom::SphericalBox copyBox(const Copy& c) const;
+
+  /// Map a base-patch position into copy \p c. The RA stretch is the band's
+  /// density-preserving (non-linear in dec) factor.
+  sphgeom::LonLat transform(const Copy& c, double raBase, double decBase) const;
+
+  /// Unique id offset for rows of copy \p c (ids never collide).
+  std::int64_t idOffset(const Copy& c, std::int64_t baseCount) const;
+
+  /// Index of a copy in enumeration order.
+  std::int64_t copyIndex(const Copy& c) const;
+
+ private:
+  Options options_;
+  int firstBand_ = 0;
+  int lastBand_ = 0;                 // inclusive
+  std::vector<int> slotsPerBand_;    // indexed by band - firstBand_
+  std::vector<std::int64_t> cumulativeCopies_;
+};
+
+/// Paper band/patch geometry: the patch is 7 deg of RA x 14 deg of Dec.
+inline constexpr double kPatchRaWidthDeg = 7.0;
+inline constexpr double kPatchDecHeightDeg = 14.0;
+
+}  // namespace qserv::datagen

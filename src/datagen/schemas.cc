@@ -1,0 +1,41 @@
+#include "datagen/schemas.h"
+
+namespace qserv::datagen {
+
+using sql::ColumnDef;
+using sql::ColumnType;
+using sql::Schema;
+
+Schema objectSchema() {
+  return Schema({
+      ColumnDef{"objectId", ColumnType::kInt},
+      ColumnDef{"ra_PS", ColumnType::kDouble},
+      ColumnDef{"decl_PS", ColumnType::kDouble},
+      ColumnDef{"uRadius_PS", ColumnType::kDouble},
+      ColumnDef{"uFlux_PS", ColumnType::kDouble},
+      ColumnDef{"gFlux_PS", ColumnType::kDouble},
+      ColumnDef{"rFlux_PS", ColumnType::kDouble},
+      ColumnDef{"iFlux_PS", ColumnType::kDouble},
+      ColumnDef{"zFlux_PS", ColumnType::kDouble},
+      ColumnDef{"yFlux_PS", ColumnType::kDouble},
+      ColumnDef{"uFlux_SG", ColumnType::kDouble},
+      ColumnDef{"chunkId", ColumnType::kInt},
+      ColumnDef{"subChunkId", ColumnType::kInt},
+  });
+}
+
+Schema sourceSchema() {
+  return Schema({
+      ColumnDef{"sourceId", ColumnType::kInt},
+      ColumnDef{"objectId", ColumnType::kInt},
+      ColumnDef{"ra", ColumnType::kDouble},
+      ColumnDef{"decl", ColumnType::kDouble},
+      ColumnDef{"psfFlux", ColumnType::kDouble},
+      ColumnDef{"psfFluxErr", ColumnType::kDouble},
+      ColumnDef{"taiMidPoint", ColumnType::kDouble},
+      ColumnDef{"chunkId", ColumnType::kInt},
+      ColumnDef{"subChunkId", ColumnType::kInt},
+  });
+}
+
+}  // namespace qserv::datagen

@@ -1,0 +1,73 @@
+/// \file schemas.h
+/// \brief PT1.1-like catalog schemas and paper-scale size constants.
+///
+/// The real PT1.1 Object table has hundreds of columns (~2 kB/row); we carry
+/// the columns the paper's queries touch plus the partitioning metadata, and
+/// keep the *paper-scale* row byte sizes as constants so the cost model can
+/// charge full-width MyISAM scans (Table 1: Object 2 kB/row, Source 650 B/row,
+/// ForcedSource 30 B/row).
+#pragma once
+
+#include <cstdint>
+
+#include "sql/schema.h"
+
+namespace qserv::datagen {
+
+/// Paper Table 1 row sizes (raw storage bytes).
+inline constexpr double kObjectRowBytes = 2048.0;
+inline constexpr double kSourceRowBytes = 650.0;
+inline constexpr double kForcedSourceRowBytes = 30.0;
+
+/// Paper Table 1 row counts for the final data release.
+inline constexpr double kObjectRowsFinal = 26e9;
+inline constexpr double kSourceRowsFinal = 1.8e12;
+inline constexpr double kForcedSourceRowsFinal = 21e12;
+
+/// Paper §6.1.2 test dataset sizes.
+inline constexpr double kTestObjectRows = 1.7e9;
+inline constexpr double kTestSourceRows = 55e9;
+inline constexpr double kTestObjectBytes = 1.824e12;  // §6.2 HV2 MyISAM .MYD
+inline constexpr double kTestSourceBytes = 30e12;
+
+/// Average Source rows per Object (paper §6.2 SHV2: k ~= 41).
+inline constexpr double kSourcesPerObject = 41.0;
+
+/// Object table schema (subset of PT1.1).
+sql::Schema objectSchema();
+
+/// Source table schema (subset of PT1.1).
+sql::Schema sourceSchema();
+
+/// Column order of objectSchema(), for row construction.
+enum ObjectCol : std::size_t {
+  kObjObjectId = 0,
+  kObjRaPs,
+  kObjDeclPs,
+  kObjURadiusPs,
+  kObjUFluxPs,
+  kObjGFluxPs,
+  kObjRFluxPs,
+  kObjIFluxPs,
+  kObjZFluxPs,
+  kObjYFluxPs,
+  kObjUFluxSg,
+  kObjChunkId,
+  kObjSubChunkId,
+  kObjNumCols,
+};
+
+enum SourceCol : std::size_t {
+  kSrcSourceId = 0,
+  kSrcObjectId,
+  kSrcRa,
+  kSrcDecl,
+  kSrcPsfFlux,
+  kSrcPsfFluxErr,
+  kSrcTaiMidPoint,
+  kSrcChunkId,
+  kSrcSubChunkId,
+  kSrcNumCols,
+};
+
+}  // namespace qserv::datagen

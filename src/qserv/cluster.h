@@ -1,0 +1,119 @@
+/// \file cluster.h
+/// \brief In-process Qserv cluster assembly (workers + redirector + frontend)
+/// and synthetic sky-catalog construction — shared by integration tests,
+/// examples, and the paper-reproduction benches.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "datagen/catalog_gen.h"
+#include "datagen/partitioner.h"
+#include "qserv/czar.h"
+#include "qserv/worker.h"
+#include "xrd/data_server.h"
+#include "xrd/redirector.h"
+
+namespace qserv::core {
+
+/// Synthetic-sky construction parameters.
+struct SkyDataOptions {
+  std::int64_t basePatchObjects = 2000;
+  bool withSources = true;
+  /// Only duplicator copies intersecting this region are materialized.
+  sphgeom::SphericalBox region = sphgeom::SphericalBox::fullSky();
+  /// Sources are generated only for copies intersecting this region
+  /// (empty = same as `region`). Mirrors the paper's Source clipping to
+  /// +-54 deg declination for disk-space reasons.
+  std::optional<sphgeom::SphericalBox> sourceRegion;
+  datagen::Duplicator::Options duplicator;
+  datagen::BasePatchOptions basePatch;
+};
+
+/// Generate a PT1.1-style duplicated sky and partition it (paper §6.1.2).
+util::Result<datagen::PartitionedCatalog> buildSkyCatalog(
+    const CatalogConfig& catalog, const SkyDataOptions& options);
+
+struct ClusterOptions {
+  int numWorkers = 4;
+  int replication = 1;  ///< copies of each chunk across distinct workers
+  WorkerConfig worker;
+  FrontendConfig frontend;
+};
+
+/// §7.6 "Distributed management": "One way to distribute the management
+/// load is to launch multiple master instances. This is simple and requires
+/// no code changes other than some logic in the MySQL proxy to load-balance
+/// between different Qserv masters." FrontendPool is that proxy logic: k
+/// independent frontends (each with its own metadata database, secondary
+/// index, and dispatcher) sharing one worker fabric, with round-robin
+/// query routing.
+class FrontendPool {
+ public:
+  FrontendPool(const FrontendConfig& config, xrd::RedirectorPtr redirector,
+               std::vector<std::int32_t> availableChunks, int numFrontends);
+
+  /// Load the secondary index into every frontend.
+  util::Status loadIndex(std::span<const datagen::SecondaryIndexEntry> entries);
+
+  /// Route one query to the next frontend (round-robin).
+  util::Result<QservFrontend::Execution> query(const std::string& sql);
+
+  std::size_t size() const { return frontends_.size(); }
+  QservFrontend& frontend(std::size_t i) { return *frontends_[i]; }
+
+  /// Queries routed to each frontend so far.
+  std::vector<std::uint64_t> routedCounts() const;
+
+ private:
+  std::vector<std::unique_ptr<QservFrontend>> frontends_;
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> routed_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// A whole Qserv deployment in one process: N workers (each an Xrootd data
+/// server running the Qserv ofs plugin over its own database), a redirector,
+/// and a frontend. Chunks are placed round-robin over workers in chunkId
+/// order — consecutive chunks land on different nodes, spreading
+/// density-induced skew (paper §4.4).
+class MiniCluster {
+ public:
+  static util::Result<std::unique_ptr<MiniCluster>> create(
+      ClusterOptions options, const datagen::PartitionedCatalog& catalog);
+
+  QservFrontend& frontend() { return *frontend_; }
+  xrd::RedirectorPtr redirector() { return redirector_; }
+
+  std::size_t numWorkers() const { return workers_.size(); }
+  Worker& worker(std::size_t i) { return *workers_[i]; }
+  xrd::DataServer& server(std::size_t i) { return *servers_[i]; }
+
+  /// All chunk ids holding data, ascending.
+  const std::vector<std::int32_t>& chunkIds() const { return chunkIds_; }
+
+  /// Chunks owned (primary copy) by worker \p i.
+  const std::vector<std::int32_t>& chunksOfWorker(std::size_t i) const {
+    return primaryChunks_[i];
+  }
+
+  ~MiniCluster();
+  MiniCluster(const MiniCluster&) = delete;
+  MiniCluster& operator=(const MiniCluster&) = delete;
+
+ private:
+  MiniCluster() = default;
+
+  ClusterOptions options_;
+  std::vector<std::shared_ptr<sql::Database>> databases_;
+  std::vector<std::shared_ptr<Worker>> workers_;
+  std::vector<xrd::DataServerPtr> servers_;
+  xrd::RedirectorPtr redirector_;
+  std::unique_ptr<QservFrontend> frontend_;
+  std::vector<std::int32_t> chunkIds_;
+  std::vector<std::vector<std::int32_t>> primaryChunks_;
+};
+
+}  // namespace qserv::core

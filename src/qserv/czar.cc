@@ -1,0 +1,141 @@
+#include "qserv/czar.h"
+
+#include <algorithm>
+
+#include "qserv/merger.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/strings.h"
+
+namespace qserv::core {
+
+using util::Result;
+using util::Status;
+
+QservFrontend::QservFrontend(FrontendConfig config,
+                             xrd::RedirectorPtr redirector,
+                             std::vector<std::int32_t> availableChunks)
+    : config_(std::move(config)),
+      redirector_(std::move(redirector)),
+      availableChunks_(std::move(availableChunks)),
+      metadata_("qservMeta"),
+      index_(metadata_),
+      chunker_(config_.catalog.makeChunker()),
+      dispatcher_(redirector_, config_.dispatchParallelism) {
+  std::sort(availableChunks_.begin(), availableChunks_.end());
+}
+
+void QservFrontend::setAvailableChunks(std::vector<std::int32_t> chunks) {
+  std::sort(chunks.begin(), chunks.end());
+  availableChunks_ = std::move(chunks);
+}
+
+std::vector<std::int32_t> QservFrontend::resolveChunks(
+    const AnalyzedQuery& analyzed) {
+  // Index opportunity first: a pinned objectId set touches only the chunks
+  // the secondary index names (§5.5).
+  if (!analyzed.restrictedObjectIds.empty()) {
+    auto chunks = index_.chunksFor(analyzed.restrictedObjectIds);
+    if (chunks.isOk()) {
+      std::vector<std::int32_t> out;
+      for (std::int32_t c : *chunks) {
+        if (std::binary_search(availableChunks_.begin(),
+                               availableChunks_.end(), c)) {
+          out.push_back(c);
+        }
+      }
+      return out;
+    }
+  }
+  // Spatial restriction: chunker cover of the region (§5.3).
+  if (analyzed.areaRestriction) {
+    std::vector<std::int32_t> out;
+    for (std::int32_t c :
+         chunker_.chunksIntersecting(*analyzed.areaRestriction)) {
+      if (std::binary_search(availableChunks_.begin(), availableChunks_.end(),
+                             c)) {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+  // Otherwise: the full (available) sky.
+  return availableChunks_;
+}
+
+int QservFrontend::workerIndexOf(const std::string& workerId) {
+  std::lock_guard lock(workerIndexMutex_);
+  auto it = workerIndexes_.find(workerId);
+  if (it != workerIndexes_.end()) return it->second;
+  int idx = static_cast<int>(workerIndexes_.size());
+  workerIndexes_.emplace(workerId, idx);
+  return idx;
+}
+
+Result<std::vector<std::int32_t>> QservFrontend::chunksFor(
+    const std::string& sql) {
+  QSERV_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                         analyzeQuery(sql, config_.catalog));
+  if (!analyzed.touchesPartitioned()) return std::vector<std::int32_t>{};
+  return resolveChunks(analyzed);
+}
+
+Result<QservFrontend::Execution> QservFrontend::query(const std::string& sql) {
+  util::Stopwatch wall;
+  Execution exec;
+
+  QSERV_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                         analyzeQuery(sql, config_.catalog));
+
+  // Queries that touch no partitioned table run on the frontend directly.
+  if (!analyzed.touchesPartitioned()) {
+    sql::ExecStats stats;
+    QSERV_ASSIGN_OR_RETURN(
+        exec.result, sql::executeSelect(metadata_, analyzed.stmt, stats));
+    exec.soloTiming = simio::simulateQuery({}, config_.cost);
+    exec.wallSeconds = wall.elapsedSeconds();
+    return exec;
+  }
+
+  std::vector<std::int32_t> chunks = resolveChunks(analyzed);
+  std::string mergeTable =
+      util::format("qm_%llu", static_cast<unsigned long long>(
+                                  nextQueryId_.fetch_add(1)));
+  QueryRewriter rewriter(config_.catalog, chunker_);
+  QSERV_ASSIGN_OR_RETURN(RewriteResult rewrite,
+                         rewriter.rewrite(analyzed, chunks, mergeTable));
+
+  QLOG(kInfo, "czar") << "dispatching " << rewrite.chunkQueries.size()
+                      << " chunk queries for: " << sql;
+  QSERV_ASSIGN_OR_RETURN(std::vector<ChunkResult> results,
+                         dispatcher_.run(rewrite.chunkQueries));
+  exec.chunksDispatched = results.size();
+
+  ResultMerger merger(mergeTable);
+  for (const auto& r : results) {
+    QSERV_RETURN_IF_ERROR(merger.mergeDump(r.dump));
+  }
+  QSERV_ASSIGN_OR_RETURN(exec.result,
+                         merger.finalize(rewrite.merge.finalSelectSql));
+  exec.rowsMerged = merger.rowsMerged();
+
+  // Virtual-time accounting.
+  exec.simTasks.reserve(results.size());
+  exec.accounting.reserve(results.size());
+  for (const auto& r : results) {
+    simio::SimChunkTask task;
+    task.worker = workerIndexOf(r.workerId);
+    task.serviceSec = simio::workerServiceSeconds(r.observables, config_.cost);
+    task.collectSec = simio::masterCollectSeconds(r.observables, config_.cost);
+    exec.simTasks.push_back(task);
+    exec.accounting.push_back(
+        ChunkAccounting{r.chunkId, r.workerId, r.observables});
+  }
+  exec.soloTiming = simio::simulateQuery(exec.simTasks, config_.cost);
+  exec.wallSeconds = wall.elapsedSeconds();
+  return exec;
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,102 @@
+/// \file czar.h
+/// \brief The Qserv frontend ("czar" + proxy facade).
+///
+/// Accepts MySQL-dialect SQL (the role the MySQL Proxy plays in the paper's
+/// Fig. 1), analyzes and fragments it into chunk queries, prunes the chunk
+/// set (spatial restriction -> chunker cover; objectId predicate ->
+/// secondary index; otherwise full sky), dispatches over the xrd fabric,
+/// merges results, and runs the final aggregation. Also reports virtual-time
+/// chunk tasks so callers can feed the cluster queue simulation — alone (a
+/// solo timing is included) or jointly with concurrent queries (Fig 14).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qserv/catalog_config.h"
+#include "qserv/dispatcher.h"
+#include "qserv/query_analysis.h"
+#include "qserv/query_rewriter.h"
+#include "qserv/secondary_index.h"
+#include "simio/queue_sim.h"
+#include "sql/database.h"
+#include "xrd/redirector.h"
+
+namespace qserv::core {
+
+struct FrontendConfig {
+  CatalogConfig catalog;
+  simio::CostParams cost;
+  int dispatchParallelism = 16;
+};
+
+class QservFrontend {
+ public:
+  /// \param availableChunks chunks that actually hold data (the test
+  ///        dataset does not cover all of the sky; §6.3 also shrinks this
+  ///        set to emulate smaller clusters).
+  QservFrontend(FrontendConfig config, xrd::RedirectorPtr redirector,
+                std::vector<std::int32_t> availableChunks);
+
+  /// Per-chunk work accounting (for re-mapping onto simulated clusters of
+  /// a different size — the paper's 150-node runs).
+  struct ChunkAccounting {
+    std::int32_t chunkId = 0;
+    std::string workerId;
+    simio::WorkObservables observables;
+  };
+
+  /// Execution record for one user query.
+  struct Execution {
+    sql::TablePtr result;
+    std::size_t chunksDispatched = 0;
+    std::uint64_t rowsMerged = 0;
+    std::vector<ChunkAccounting> accounting;
+    /// Virtual-time tasks (worker index, service seconds, collect seconds)
+    /// for the cluster queue simulation.
+    std::vector<simio::SimChunkTask> simTasks;
+    /// This query simulated alone on an idle cluster.
+    simio::SimQueryResult soloTiming;
+    double wallSeconds = 0.0;  ///< real elapsed time of this execution
+  };
+
+  /// Execute \p sql end to end.
+  util::Result<Execution> query(const std::string& sql);
+
+  /// The chunk set \p sql would be dispatched to, without executing
+  /// (analysis/pruning introspection for tests and benches).
+  util::Result<std::vector<std::int32_t>> chunksFor(const std::string& sql);
+
+  SecondaryIndex& secondaryIndex() { return index_; }
+  sql::Database& metadata() { return metadata_; }
+  const CatalogConfig& catalog() const { return config_.catalog; }
+  const simio::CostParams& costParams() const { return config_.cost; }
+
+  /// Restrict dispatch to \p chunks (the paper's §6.3 cluster-size
+  /// emulation: "the frontend was configured to only dispatch queries for
+  /// partitions belonging to the desired set of cluster nodes").
+  void setAvailableChunks(std::vector<std::int32_t> chunks);
+  const std::vector<std::int32_t>& availableChunks() const {
+    return availableChunks_;
+  }
+
+ private:
+  std::vector<std::int32_t> resolveChunks(const AnalyzedQuery& analyzed);
+  int workerIndexOf(const std::string& workerId);
+
+  FrontendConfig config_;
+  xrd::RedirectorPtr redirector_;
+  std::vector<std::int32_t> availableChunks_;
+  sql::Database metadata_;
+  SecondaryIndex index_;
+  sphgeom::Chunker chunker_;
+  Dispatcher dispatcher_;
+  std::atomic<std::uint64_t> nextQueryId_{0};
+
+  std::mutex workerIndexMutex_;
+  std::map<std::string, int> workerIndexes_;
+};
+
+}  // namespace qserv::core

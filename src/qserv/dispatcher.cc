@@ -1,0 +1,73 @@
+#include "qserv/dispatcher.h"
+
+#include "qserv/observables_codec.h"
+#include "util/logging.h"
+#include "util/md5.h"
+#include "util/strings.h"
+
+namespace qserv::core {
+
+using util::Result;
+using util::Status;
+
+Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, int parallelism,
+                       int maxAttempts)
+    : redirector_(std::move(redirector)),
+      parallelism_(std::max(1, parallelism)),
+      maxAttempts_(std::max(1, maxAttempts)) {}
+
+Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec) {
+  xrd::XrdClient client(redirector_);
+  std::string hash = util::Md5::hex(spec.text);
+  Status last = Status::internal("no attempt made");
+  for (int attempt = 0; attempt < maxAttempts_; ++attempt) {
+    auto workerId = client.writeQuery(spec.chunkId, spec.text);
+    if (!workerId.isOk()) {
+      last = workerId.status();
+      if (last.code() == util::ErrorCode::kUnavailable) continue;
+      return last;  // non-transient: bad path, chunk unknown, ...
+    }
+    auto dump = client.readResult(*workerId, hash);
+    if (!dump.isOk()) {
+      last = dump.status();
+      QLOG(kWarn, "dispatch")
+          << "chunk " << spec.chunkId << " on " << *workerId
+          << " failed (attempt " << attempt + 1 << "): " << last.toString();
+      if (last.code() == util::ErrorCode::kUnavailable) continue;
+      return last;
+    }
+    ChunkResult out;
+    out.chunkId = spec.chunkId;
+    out.workerId = std::move(*workerId);
+    out.hash = std::move(hash);
+    if (auto obs = decodeObservables(*dump)) out.observables = *obs;
+    out.dump = std::move(*dump);
+    return out;
+  }
+  return last;
+}
+
+Result<std::vector<ChunkResult>> Dispatcher::run(
+    const std::vector<ChunkQuerySpec>& specs) {
+  util::ThreadPool pool(static_cast<std::size_t>(parallelism_));
+  std::vector<std::future<Result<ChunkResult>>> futures;
+  futures.reserve(specs.size());
+  for (const auto& spec : specs) {
+    futures.push_back(pool.submit([this, &spec] { return runOne(spec); }));
+  }
+  std::vector<ChunkResult> out;
+  out.reserve(specs.size());
+  Status firstError = Status::ok();
+  for (auto& f : futures) {
+    auto r = f.get();
+    if (!r.isOk()) {
+      if (firstError.isOk()) firstError = r.status();
+      continue;
+    }
+    out.push_back(std::move(r).value());
+  }
+  if (!firstError.isOk()) return firstError;
+  return out;
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,50 @@
+/// \file dispatcher.h
+/// \brief Master-side chunk-query dispatch and result collection (paper §5.4).
+///
+/// For each chunk query, the dispatcher performs the two Xrootd file
+/// transactions: write the query text to /query2/<CC> (the redirector picks
+/// a live replica), then read the dump back from /result/<md5> on the worker
+/// that accepted it. Transient failures (a worker dying mid-query) retry on
+/// another replica. Dispatch fans out over a thread pool; per-chunk results
+/// carry the worker id and the paper-scale work observables used by the
+/// virtual-time simulation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "qserv/query_rewriter.h"
+#include "simio/cost_model.h"
+#include "util/thread_pool.h"
+#include "xrd/client.h"
+
+namespace qserv::core {
+
+struct ChunkResult {
+  std::int32_t chunkId = 0;
+  std::string workerId;
+  std::string hash;
+  std::string dump;  ///< mysqldump-style byte stream (§5.4)
+  simio::WorkObservables observables;
+};
+
+class Dispatcher {
+ public:
+  /// \param parallelism concurrent in-flight chunk queries on the master.
+  Dispatcher(xrd::RedirectorPtr redirector, int parallelism = 16,
+             int maxAttempts = 3);
+
+  /// Dispatch all of \p specs and collect every result. Fails if any chunk
+  /// query cannot be completed after retries.
+  util::Result<std::vector<ChunkResult>> run(
+      const std::vector<ChunkQuerySpec>& specs);
+
+ private:
+  util::Result<ChunkResult> runOne(const ChunkQuerySpec& spec);
+
+  xrd::RedirectorPtr redirector_;
+  int parallelism_;
+  int maxAttempts_;
+};
+
+}  // namespace qserv::core

@@ -1,0 +1,53 @@
+#include "qserv/merger.h"
+
+#include "sql/dump.h"
+#include "sql/rowcodec.h"
+#include "util/strings.h"
+
+namespace qserv::core {
+
+ResultMerger::ResultMerger(std::string mergeTable)
+    : db_("merge"), mergeTable_(std::move(mergeTable)) {}
+
+ResultMerger::~ResultMerger() {
+  (void)db_.execute("DROP TABLE IF EXISTS " + mergeTable_);
+}
+
+util::Status ResultMerger::mergeDump(const std::string& dump) {
+  // Workers may ship either the paper's SQL-dump stream or the §7.1 binary
+  // codec; the magic prefix disambiguates.
+  sql::TablePtr loaded;
+  if (sql::isBinaryTablePayload(dump)) {
+    QSERV_ASSIGN_OR_RETURN(loaded, sql::loadBinaryTable(db_, dump));
+  } else {
+    QSERV_ASSIGN_OR_RETURN(loaded, sql::loadDump(db_, dump));
+  }
+  std::string tmp = loaded->name();
+  util::Status status = util::Status::ok();
+  if (!created_) {
+    auto r = db_.execute(
+        util::format("CREATE TABLE %s AS SELECT * FROM %s",
+                     mergeTable_.c_str(), tmp.c_str()));
+    status = r.status();
+    created_ = status.isOk();
+  } else {
+    auto r = db_.execute(util::format("INSERT INTO %s SELECT * FROM %s",
+                                      mergeTable_.c_str(), tmp.c_str()));
+    status = r.status();
+  }
+  if (status.isOk()) rowsMerged_ += loaded->numRows();
+  (void)db_.execute("DROP TABLE IF EXISTS " + tmp);
+  return status;
+}
+
+util::Result<sql::TablePtr> ResultMerger::finalize(
+    const std::string& finalSelectSql) {
+  if (!created_) {
+    // No chunk produced anything (e.g. zero chunks dispatched): an empty
+    // result with no schema.
+    return std::make_shared<sql::Table>("result", sql::Schema{});
+  }
+  return db_.execute(finalSelectSql);
+}
+
+}  // namespace qserv::core

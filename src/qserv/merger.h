@@ -1,0 +1,46 @@
+/// \file merger.h
+/// \brief Frontend result merging (paper §5.4, "Query Results Transfer").
+///
+/// "The worker executes mysqldump on the result table and the resulting
+/// byte stream is read byte-for-byte by the master, which executes the SQL
+/// statements to load results into its local database. After each result
+/// table is loaded, it is merged into a table which serves as the final
+/// result table for non-aggregating queries. When aggregation is needed, an
+/// aggregation query is executed on this table to produce the final result
+/// table."
+#pragma once
+
+#include <string>
+
+#include "sql/database.h"
+
+namespace qserv::core {
+
+class ResultMerger {
+ public:
+  /// Merges into table \p mergeTable of a private per-query database (so
+  /// concurrent user queries never collide on temp table names).
+  explicit ResultMerger(std::string mergeTable);
+  ~ResultMerger();
+
+  ResultMerger(const ResultMerger&) = delete;
+  ResultMerger& operator=(const ResultMerger&) = delete;
+
+  /// Replay one chunk dump and fold its rows into the merge table.
+  util::Status mergeDump(const std::string& dump);
+
+  /// Run the final SELECT (plain union passthrough or the aggregation
+  /// query) against the merge table.
+  util::Result<sql::TablePtr> finalize(const std::string& finalSelectSql);
+
+  std::uint64_t rowsMerged() const { return rowsMerged_; }
+  const std::string& mergeTable() const { return mergeTable_; }
+
+ private:
+  sql::Database db_;
+  std::string mergeTable_;
+  bool created_ = false;
+  std::uint64_t rowsMerged_ = 0;
+};
+
+}  // namespace qserv::core

@@ -1,0 +1,41 @@
+#include "qserv/observables_codec.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace qserv::core {
+
+namespace {
+constexpr std::string_view kMarker = "-- QSERV-OBS ";
+}
+
+std::string encodeObservables(const simio::WorkObservables& w) {
+  return util::format(
+      "-- QSERV-OBS bytes=%.0f rows=%" PRIu64 " pairs=%" PRIu64
+      " match=%" PRIu64 " built=%" PRIu64 " idx=%" PRIu64
+      " rbytes=%.0f rrows=%" PRIu64 "\n",
+      w.bytesScanned, w.rowsExamined, w.pairsEvaluated, w.joinMatches,
+      w.rowsBuilt, w.indexLookups, w.resultBytes, w.resultRows);
+}
+
+std::optional<simio::WorkObservables> decodeObservables(
+    std::string_view dump) {
+  std::size_t pos = dump.rfind(kMarker);
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::string line(dump.substr(pos + kMarker.size()));
+  simio::WorkObservables w;
+  if (std::sscanf(line.c_str(),
+                  "bytes=%lf rows=%" SCNu64 " pairs=%" SCNu64
+                  " match=%" SCNu64 " built=%" SCNu64 " idx=%" SCNu64
+                  " rbytes=%lf rrows=%" SCNu64,
+                  &w.bytesScanned, &w.rowsExamined, &w.pairsEvaluated,
+                  &w.joinMatches, &w.rowsBuilt, &w.indexLookups,
+                  &w.resultBytes, &w.resultRows) != 8) {
+    return std::nullopt;
+  }
+  return w;
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,358 @@
+#include "qserv/query_analysis.h"
+
+#include <algorithm>
+
+#include "sql/parser.h"
+#include "util/strings.h"
+
+namespace qserv::core {
+
+namespace {
+
+using sql::BinaryExpr;
+using sql::BinOp;
+using sql::ColumnRef;
+using sql::Expr;
+using sql::ExprKind;
+using sql::ExprPtr;
+using sql::FuncCall;
+using sql::InExpr;
+using sql::LiteralExpr;
+using sql::SelectStmt;
+using sql::UnaryExpr;
+using util::Result;
+using util::Status;
+
+void flattenAnd(ExprPtr expr, std::vector<ExprPtr>& out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    auto* b = static_cast<BinaryExpr*>(expr.get());
+    if (b->op == BinOp::kAnd) {
+      flattenAnd(std::move(b->lhs), out);
+      flattenAnd(std::move(b->rhs), out);
+      return;
+    }
+  }
+  out.push_back(std::move(expr));
+}
+
+ExprPtr rebuildAnd(std::vector<ExprPtr> conjuncts) {
+  ExprPtr out;
+  for (auto& c : conjuncts) {
+    if (!out) {
+      out = std::move(c);
+    } else {
+      out = std::make_unique<BinaryExpr>(BinOp::kAnd, std::move(out),
+                                         std::move(c));
+    }
+  }
+  return out;
+}
+
+/// Evaluate a numeric literal expression (allowing unary minus).
+std::optional<double> literalNumber(const Expr& e) {
+  if (e.kind() == ExprKind::kLiteral) {
+    const auto& lit = static_cast<const LiteralExpr&>(e);
+    if (lit.value.isNumeric()) return lit.value.toDouble();
+    return std::nullopt;
+  }
+  if (e.kind() == ExprKind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(e);
+    if (u.op == sql::UnOp::kNeg) {
+      auto inner = literalNumber(*u.operand);
+      if (inner) return -*inner;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> literalInt(const Expr& e) {
+  if (e.kind() == ExprKind::kLiteral) {
+    const auto& lit = static_cast<const LiteralExpr&>(e);
+    if (lit.value.isInt()) return lit.value.asInt();
+    return std::nullopt;
+  }
+  if (e.kind() == ExprKind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(e);
+    if (u.op == sql::UnOp::kNeg) {
+      auto inner = literalInt(*u.operand);
+      if (inner) return -*inner;
+    }
+  }
+  return std::nullopt;
+}
+
+/// True anywhere a qserv_areaspec_box call occurs in \p e.
+bool containsAreaspec(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(e);
+      if (util::iequals(f.name, "qserv_areaspec_box")) return true;
+      for (const auto& a : f.args) {
+        if (a->kind() != ExprKind::kStar && containsAreaspec(*a)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return containsAreaspec(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return containsAreaspec(*b.lhs) || containsAreaspec(*b.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(e);
+      return containsAreaspec(*b.expr) || containsAreaspec(*b.lo) ||
+             containsAreaspec(*b.hi);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(e);
+      if (containsAreaspec(*i.expr)) return true;
+      for (const auto& x : i.list) {
+        if (containsAreaspec(*x)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return containsAreaspec(*static_cast<const sql::IsNullExpr&>(e).expr);
+    default:
+      return false;
+  }
+}
+
+/// Does this column reference name the id column of table \p t (respecting
+/// the alias)?
+bool refsIdColumn(const ColumnRef& col, const AnalyzedQuery::FromTable& t) {
+  if (t.partitioned == nullptr || t.partitioned->idColumn.empty()) return false;
+  if (!util::iequals(col.column, t.partitioned->idColumn)) return false;
+  if (col.qualifier.empty()) return true;
+  return util::iequals(col.qualifier, t.ref.bindingName());
+}
+
+}  // namespace
+
+bool exprHasAggregate(const sql::Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      if (f.isAggregate()) return true;
+      for (const auto& a : f.args) {
+        if (a->kind() != ExprKind::kStar && exprHasAggregate(*a)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return exprHasAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return exprHasAggregate(*b.lhs) || exprHasAggregate(*b.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const sql::BetweenExpr&>(expr);
+      return exprHasAggregate(*b.expr) || exprHasAggregate(*b.lo) ||
+             exprHasAggregate(*b.hi);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      if (exprHasAggregate(*i.expr)) return true;
+      for (const auto& x : i.list) {
+        if (exprHasAggregate(*x)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return exprHasAggregate(*static_cast<const sql::IsNullExpr&>(expr).expr);
+    default:
+      return false;
+  }
+}
+
+Result<AnalyzedQuery> analyzeQuery(const SelectStmt& stmt,
+                                   const CatalogConfig& config) {
+  AnalyzedQuery out;
+  out.stmt = stmt.clone();
+
+  // ---- table references --------------------------------------------------
+  int partitionedCount = 0;
+  for (const auto& ref : out.stmt.from) {
+    AnalyzedQuery::FromTable ft;
+    ft.ref = ref;
+    ft.partitioned = config.findTable(ref.table);
+    if (ft.partitioned != nullptr) ++partitionedCount;
+    out.from.push_back(ft);
+  }
+
+  // Near-neighbor: exactly two FROM entries naming the same partitioned
+  // table.
+  if (out.from.size() == 2 && out.from[0].partitioned != nullptr &&
+      out.from[0].partitioned == out.from[1].partitioned) {
+    if (!out.from[0].partitioned->hasOverlap) {
+      return Status::unimplemented(util::format(
+          "self-join on %s requires overlap data, which it does not carry",
+          out.from[0].partitioned->name.c_str()));
+    }
+    out.isNearNeighbor = true;
+  } else if (partitionedCount > 2) {
+    return Status::unimplemented(
+        "joins of more than two partitioned tables are not supported");
+  }
+
+  // ---- aggregates ----------------------------------------------------------
+  for (const auto& item : out.stmt.items) {
+    if (item.expr->kind() != ExprKind::kStar && exprHasAggregate(*item.expr)) {
+      out.hasAggregates = true;
+    }
+  }
+  // GROUP BY and HAVING also require merge-side re-aggregation: group keys
+  // (and HAVING predicates) span chunks, so chunk-local groups are partial.
+  if (!out.stmt.groupBy.empty() || out.stmt.having != nullptr) {
+    out.hasAggregates = true;
+  }
+  if (out.stmt.where && exprHasAggregate(*out.stmt.where)) {
+    return Status::invalidArgument("aggregates are not allowed in WHERE");
+  }
+
+  // ---- WHERE analysis ------------------------------------------------------
+  if (out.stmt.where) {
+    std::vector<ExprPtr> conjuncts;
+    flattenAnd(std::move(out.stmt.where), conjuncts);
+
+    std::vector<ExprPtr> kept;
+    for (auto& c : conjuncts) {
+      // qserv_areaspec_box as a whole top-level conjunct.
+      if (c->kind() == ExprKind::kFuncCall) {
+        const auto& f = static_cast<const FuncCall&>(*c);
+        if (util::iequals(f.name, "qserv_areaspec_box")) {
+          if (out.areaRestriction) {
+            return Status::unimplemented(
+                "multiple qserv_areaspec_box restrictions");
+          }
+          if (f.args.size() != 4) {
+            return Status::invalidArgument(
+                "qserv_areaspec_box takes (lonMin, latMin, lonMax, latMax)");
+          }
+          double v[4];
+          for (int i = 0; i < 4; ++i) {
+            auto num = literalNumber(*f.args[static_cast<std::size_t>(i)]);
+            if (!num) {
+              return Status::invalidArgument(
+                  "qserv_areaspec_box arguments must be numeric literals");
+            }
+            v[i] = *num;
+          }
+          out.areaRestriction = sphgeom::SphericalBox(v[0], v[1], v[2], v[3]);
+          continue;  // frontend-only: removed from the worker WHERE
+        }
+      }
+      // areaspec anywhere else (inside OR / NOT) is not a pure restriction.
+      if (containsAreaspec(*c)) {
+        return Status::unimplemented(
+            "qserv_areaspec_box must be a top-level AND conjunct");
+      }
+      // objectId index opportunity: idColumn = N or idColumn IN (N, ...).
+      if (c->kind() == ExprKind::kBinary) {
+        const auto& b = static_cast<const BinaryExpr&>(*c);
+        if (b.op == BinOp::kEq) {
+          const ColumnRef* col = nullptr;
+          const Expr* lit = nullptr;
+          if (b.lhs->kind() == ExprKind::kColumnRef) {
+            col = static_cast<const ColumnRef*>(b.lhs.get());
+            lit = b.rhs.get();
+          } else if (b.rhs->kind() == ExprKind::kColumnRef) {
+            col = static_cast<const ColumnRef*>(b.rhs.get());
+            lit = b.lhs.get();
+          }
+          if (col != nullptr) {
+            for (const auto& t : out.from) {
+              if (refsIdColumn(*col, t)) {
+                if (auto id = literalInt(*lit)) {
+                  out.restrictedObjectIds.push_back(*id);
+                }
+                break;
+              }
+            }
+          }
+        }
+      } else if (c->kind() == ExprKind::kIn) {
+        const auto& in = static_cast<const InExpr&>(*c);
+        if (!in.negated && in.expr->kind() == ExprKind::kColumnRef) {
+          const auto& col = static_cast<const ColumnRef&>(*in.expr);
+          for (const auto& t : out.from) {
+            if (refsIdColumn(col, t)) {
+              std::vector<std::int64_t> ids;
+              bool allInts = true;
+              for (const auto& item : in.list) {
+                auto id = literalInt(*item);
+                if (!id) {
+                  allInts = false;
+                  break;
+                }
+                ids.push_back(*id);
+              }
+              if (allInts) {
+                out.restrictedObjectIds.insert(out.restrictedObjectIds.end(),
+                                               ids.begin(), ids.end());
+              }
+              break;
+            }
+          }
+        }
+      }
+      kept.push_back(std::move(c));
+    }
+
+    // Spatial pruning from plain predicates: `<raCol> BETWEEN a AND b` /
+    // `<declCol> BETWEEN a AND b` on a partitioned table's partitioning
+    // columns restrict the chunk cover just like qserv_areaspec_box (the
+    // paper's LV3 runs interactively precisely because its BETWEEN box
+    // "prevents spatial queries from becoming full-sky queries", §5.3).
+    // The conjuncts stay in the WHERE — chunk pruning is coarse.
+    if (!out.areaRestriction) {
+      std::optional<std::pair<double, double>> raRange, declRange;
+      for (const auto& c : kept) {
+        if (c->kind() != ExprKind::kBetween) continue;
+        const auto& b = static_cast<const sql::BetweenExpr&>(*c);
+        if (b.negated || b.expr->kind() != ExprKind::kColumnRef) continue;
+        const auto& col = static_cast<const ColumnRef&>(*b.expr);
+        auto lo = literalNumber(*b.lo);
+        auto hi = literalNumber(*b.hi);
+        if (!lo || !hi) continue;
+        for (const auto& t : out.from) {
+          if (t.partitioned == nullptr) continue;
+          bool qualifierOk =
+              col.qualifier.empty() ||
+              util::iequals(col.qualifier, t.ref.bindingName());
+          if (!qualifierOk) continue;
+          if (util::iequals(col.column, t.partitioned->raColumn)) {
+            raRange = {*lo, *hi};
+          } else if (util::iequals(col.column, t.partitioned->declColumn)) {
+            declRange = {*lo, *hi};
+          }
+        }
+      }
+      if (raRange || declRange) {
+        double lonMin = raRange ? raRange->first : 0.0;
+        double lonMax = raRange ? raRange->second : 360.0;
+        double latMin = declRange ? declRange->first : -90.0;
+        double latMax = declRange ? declRange->second : 90.0;
+        out.areaRestriction =
+            sphgeom::SphericalBox(lonMin, latMin, lonMax, latMax);
+        out.areaRestrictionIsImplicit = true;
+      }
+    }
+    out.stmt.where = rebuildAnd(std::move(kept));
+  }
+
+  std::sort(out.restrictedObjectIds.begin(), out.restrictedObjectIds.end());
+  out.restrictedObjectIds.erase(
+      std::unique(out.restrictedObjectIds.begin(),
+                  out.restrictedObjectIds.end()),
+      out.restrictedObjectIds.end());
+  return out;
+}
+
+Result<AnalyzedQuery> analyzeQuery(std::string_view sql,
+                                   const CatalogConfig& config) {
+  QSERV_ASSIGN_OR_RETURN(SelectStmt stmt, sql::parseSelect(sql));
+  return analyzeQuery(stmt, config);
+}
+
+}  // namespace qserv::core

@@ -1,0 +1,65 @@
+/// \file query_rewriter.h
+/// \brief User query -> per-chunk queries + merge plan (paper §5.3, §5.4).
+///
+/// Rewrites performed, following the paper's worked example:
+///  - Table references: `Object` -> `Object_CC` per chunk, with the original
+///    binding name kept as an alias so column qualifiers still resolve.
+///  - `qserv_areaspec_box(...)` (already extracted by analysis) -> a
+///    `qserv_ptInSphericalBox(<ra>, <decl>, ...) = 1` conjunct on the
+///    director table, executed by the worker-side UDF.
+///  - Aggregates: AVG(x) splits into SUM(x)+COUNT(x) chunk columns with
+///    stable generated names (QS<k>_SUM / QS<k>_COUNT), reassembled by the
+///    merge query as SUM(`QS<k>_SUM`) / SUM(`QS<k>_COUNT`); COUNT -> SUM of
+///    partial counts; SUM/MIN/MAX -> same aggregate over partials. GROUP BY
+///    is applied per chunk and re-applied over the merge table.
+///  - Near-neighbor self-joins: one statement per subchunk, joining the
+///    subchunk table Object_CC_SS against the on-the-fly overlap table
+///    ObjectFullOverlap_CC_SS, with the required subchunk list declared in
+///    the `-- SUBCHUNKS:` header (§5.4 chunk query representation).
+///  - ORDER BY / LIMIT move to the merge query (chunks also apply top-k
+///    when a LIMIT is present).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "qserv/query_analysis.h"
+
+namespace qserv::core {
+
+/// One dispatchable chunk query.
+struct ChunkQuerySpec {
+  std::int32_t chunkId = 0;
+  std::vector<std::int32_t> subChunkIds;  ///< non-empty for near-neighbor
+  std::string text;                       ///< payload written to /query2/CC
+};
+
+struct MergePlan {
+  bool hasAggregation = false;
+  /// Final SELECT over the merge table (already named inside the SQL).
+  std::string finalSelectSql;
+};
+
+struct RewriteResult {
+  std::vector<ChunkQuerySpec> chunkQueries;
+  MergePlan merge;
+};
+
+class QueryRewriter {
+ public:
+  QueryRewriter(const CatalogConfig& config, const sphgeom::Chunker& chunker)
+      : config_(config), chunker_(chunker) {}
+
+  /// Rewrite \p analyzed for execution over \p chunks, merging into
+  /// \p mergeTableName on the frontend.
+  util::Result<RewriteResult> rewrite(const AnalyzedQuery& analyzed,
+                                      std::span<const std::int32_t> chunks,
+                                      const std::string& mergeTableName) const;
+
+ private:
+  const CatalogConfig& config_;
+  const sphgeom::Chunker& chunker_;
+};
+
+}  // namespace qserv::core

@@ -1,0 +1,51 @@
+/// \file secondary_index.h
+/// \brief The frontend's objectId -> (chunkId, subChunkId) index (paper §5.5).
+///
+/// "This is implemented by including a three-column table in the frontend's
+/// metadata database that maps objectId to chunkId and subChunkId. When a
+/// query predicated on objectId ... is submitted, the frontend executes
+/// queries on this table to compute the containing set of chunks." We do
+/// exactly that: the index lives as an ordinary indexed SQL table in the
+/// frontend's metadata Database and lookups are SQL queries against it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "datagen/partitioner.h"
+#include "sql/database.h"
+
+namespace qserv::core {
+
+class SecondaryIndex {
+ public:
+  /// Creates the ObjectIndex table inside \p metadata.
+  explicit SecondaryIndex(sql::Database& metadata);
+
+  /// Bulk-load index entries (from partitioning).
+  util::Status load(std::span<const datagen::SecondaryIndexEntry> entries);
+
+  struct Location {
+    std::int64_t objectId = 0;
+    std::int32_t chunkId = 0;
+    std::int32_t subChunkId = 0;
+  };
+
+  /// Locations of \p objectIds; missing ids produce no entry.
+  util::Result<std::vector<Location>> lookup(
+      std::span<const std::int64_t> objectIds) const;
+
+  /// Distinct chunk ids containing any of \p objectIds.
+  util::Result<std::vector<std::int32_t>> chunksFor(
+      std::span<const std::int64_t> objectIds) const;
+
+  std::size_t size() const;
+
+  static constexpr const char* kTableName = "ObjectIndex";
+
+ private:
+  sql::Database& metadata_;
+};
+
+}  // namespace qserv::core

@@ -1,0 +1,360 @@
+#include "qserv/worker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/partitioner.h"
+#include "qserv/observables_codec.h"
+#include "sql/dump.h"
+#include "sql/rowcodec.h"
+#include "util/logging.h"
+#include "util/md5.h"
+#include "util/strings.h"
+#include "xrd/paths.h"
+
+namespace qserv::core {
+
+using util::Result;
+using util::Status;
+
+Worker::Worker(std::string id, std::shared_ptr<sql::Database> database,
+               const CatalogConfig& catalog,
+               std::vector<std::int32_t> exportedChunks, WorkerConfig config)
+    : id_(std::move(id)),
+      db_(std::move(database)),
+      catalog_(catalog),
+      chunker_(catalog.makeChunker()),
+      exportedChunks_(std::move(exportedChunks)),
+      config_(config) {
+  paused_ = config_.startPaused;
+  std::sort(exportedChunks_.begin(), exportedChunks_.end());
+  int slots = std::max(1, config_.slots);
+  executors_.reserve(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) {
+    executors_.emplace_back([this] { executorLoop(); });
+  }
+}
+
+Worker::~Worker() { shutdown(); }
+
+void Worker::resume() {
+  {
+    std::lock_guard lock(queueMutex_);
+    paused_ = false;
+  }
+  queueCv_.notify_all();
+}
+
+void Worker::shutdown() {
+  {
+    std::lock_guard lock(queueMutex_);
+    if (shuttingDown_) return;
+    shuttingDown_ = true;
+    paused_ = false;
+  }
+  queueCv_.notify_all();
+  for (auto& t : executors_) {
+    if (t.joinable()) t.join();
+  }
+  results_.abortAll();
+}
+
+Status Worker::writeFile(const std::string& path, std::string payload) {
+  auto chunkId = xrd::parseQueryPath(path);
+  if (!chunkId) {
+    return Status::invalidArgument("worker only accepts /query2 writes: " +
+                                   path);
+  }
+  if (!std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
+                          *chunkId)) {
+    return Status::notFound(util::format("worker %s does not export chunk %d",
+                                         id_.c_str(), *chunkId));
+  }
+  Task task;
+  task.chunkId = *chunkId;
+  task.hash = util::Md5::hex(payload);
+  task.payload = std::move(payload);
+  {
+    std::lock_guard lock(queueMutex_);
+    if (shuttingDown_) {
+      return Status::unavailable("worker " + id_ + " is shutting down");
+    }
+    queue_.push_back(std::move(task));
+  }
+  queueCv_.notify_one();
+  return Status::ok();
+}
+
+Result<std::string> Worker::readFile(const std::string& path) {
+  auto hash = xrd::parseResultPath(path);
+  if (!hash) {
+    return Status::invalidArgument("worker only serves /result reads: " +
+                                   path);
+  }
+  // waitFor consumes the payload: results are one-shot, like Qserv's
+  // cleanup of delivered result files.
+  return results_.waitFor(path, config_.resultTimeout);
+}
+
+std::optional<simio::WorkObservables> Worker::observablesFor(
+    const std::string& md5Hex) const {
+  std::lock_guard lock(obsMutex_);
+  auto it = observables_.find(md5Hex);
+  if (it == observables_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t Worker::queuedTasks() const {
+  std::lock_guard lock(queueMutex_);
+  return queue_.size();
+}
+
+void Worker::executorLoop() {
+  while (true) {
+    std::vector<Task> tasks = claimTasks();
+    if (tasks.empty()) return;  // shutdown and drained
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      // In a shared-scan group only the first task pays the chunk read; the
+      // others ride along on the same in-memory pass (§4.3).
+      executeTask(tasks[i], /*chargeScanIo=*/i == 0);
+    }
+  }
+}
+
+std::vector<Worker::Task> Worker::claimTasks() {
+  std::unique_lock lock(queueMutex_);
+  queueCv_.wait(lock, [&] {
+    return shuttingDown_ || (!paused_ && !queue_.empty());
+  });
+  if (queue_.empty()) return {};
+  std::vector<Task> out;
+  out.push_back(std::move(queue_.front()));
+  queue_.pop_front();
+  if (config_.scheduler == SchedulerMode::kSharedScan) {
+    // Claim every queued task on the same chunk: they will share the scan.
+    std::int32_t chunk = out.front().chunkId;
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (it->chunkId == chunk) {
+        out.push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> Worker::parseSubchunksHeader(
+    const std::string& payload) {
+  std::vector<std::int32_t> out;
+  constexpr std::string_view kHeader = "-- SUBCHUNKS:";
+  if (!util::startsWith(payload, kHeader)) return out;
+  std::size_t eol = payload.find('\n');
+  std::string line = payload.substr(kHeader.size(),
+                                    eol == std::string::npos
+                                        ? std::string::npos
+                                        : eol - kHeader.size());
+  for (const auto& part : util::split(line, ',')) {
+    auto token = util::trim(part);
+    if (token.empty()) continue;
+    out.push_back(static_cast<std::int32_t>(std::stol(std::string(token))));
+  }
+  return out;
+}
+
+bool Worker::isAggregateQuery(const std::string& payload) {
+  return payload.find("-- QSERV-AGG\n") != std::string::npos;
+}
+
+double Worker::rowBytesFor(const std::string& tableName) const {
+  for (const auto& t : catalog_.tables) {
+    if (tableName == t.name || util::startsWith(tableName, t.name + "_") ||
+        util::startsWith(tableName, t.name + "Overlap_") ||
+        util::startsWith(tableName, t.name + "FullOverlap_")) {
+      return t.paperRowBytes;
+    }
+  }
+  return 256.0;  // unknown tables: a modest default width
+}
+
+Result<sql::ExecStats> Worker::acquireSubchunks(
+    std::int32_t chunkId, const std::vector<std::int32_t>& subChunks) {
+  sql::ExecStats buildStats;
+  if (subChunks.empty()) return buildStats;
+  for (const auto& table : catalog_.tables) {
+    if (!table.hasOverlap) continue;
+    std::string chunkTable = datagen::chunkTableName(table.name, chunkId);
+    if (!db_->hasTable(chunkTable)) continue;
+    std::string overlapTable = datagen::overlapTableName(table.name, chunkId);
+
+    for (std::int32_t sc : subChunks) {
+      std::string key = datagen::subChunkTableName(table.name, chunkId, sc);
+      // Refcounted build: exactly one task builds; others wait, then share.
+      {
+        std::unique_lock lock(subchunkMutex_);
+        SubchunkState& state = subchunks_[key];
+        subchunkCv_.wait(lock, [&] { return !state.building; });
+        if (state.built) {
+          ++state.refs;
+          continue;
+        }
+        state.building = true;
+      }
+
+      // Build outside the lock.
+      std::string fullOverlap = datagen::subChunkTableName(
+          table.name + "FullOverlap", chunkId, sc);
+      sphgeom::SphericalBox dilated =
+          chunker_.subChunkBox(chunkId, sc).dilated(chunker_.overlapDeg());
+      std::string boxArgs = util::format(
+          "%.17g, %.17g, %.17g, %.17g", dilated.lonMin(), dilated.latMin(),
+          dilated.isFullLon() ? 360.0 : dilated.lonMax(), dilated.latMax());
+      // Neighboring subchunks that can contribute overlap rows; served by
+      // the subChunkId index rather than a chunk scan.
+      std::vector<std::string> neighborIds;
+      for (std::int32_t n : chunker_.subChunksIntersecting(chunkId, dilated)) {
+        if (n != sc) neighborIds.push_back(std::to_string(n));
+      }
+      std::string script =
+          util::format("CREATE TABLE %s AS SELECT * FROM %s WHERE "
+                       "subChunkId = %d;\n",
+                       key.c_str(), chunkTable.c_str(), sc);
+      script += util::format("CREATE TABLE %s AS SELECT * FROM %s;\n",
+                             fullOverlap.c_str(), key.c_str());
+      if (!neighborIds.empty()) {
+        script += util::format(
+            "INSERT INTO %s SELECT * FROM %s WHERE subChunkId IN (%s) AND "
+            "qserv_ptInSphericalBox(%s, %s, %s) = 1;\n",
+            fullOverlap.c_str(), chunkTable.c_str(),
+            util::join(neighborIds, ", ").c_str(), table.raColumn.c_str(),
+            table.declColumn.c_str(), boxArgs.c_str());
+      }
+      if (db_->hasTable(overlapTable)) {
+        script += util::format(
+            "INSERT INTO %s SELECT * FROM %s WHERE "
+            "qserv_ptInSphericalBox(%s, %s, %s) = 1;\n",
+            fullOverlap.c_str(), overlapTable.c_str(), table.raColumn.c_str(),
+            table.declColumn.c_str(), boxArgs.c_str());
+      }
+      auto built = db_->executeScript(script, &buildStats);
+
+      {
+        std::lock_guard lock(subchunkMutex_);
+        SubchunkState& state = subchunks_[key];
+        state.building = false;
+        if (built.isOk()) {
+          state.built = true;
+          ++state.refs;
+        } else {
+          subchunks_.erase(key);
+        }
+      }
+      subchunkCv_.notify_all();
+      if (!built.isOk()) return built.status();
+    }
+  }
+  return buildStats;
+}
+
+void Worker::releaseSubchunks(std::int32_t chunkId,
+                              const std::vector<std::int32_t>& subChunks) {
+  if (subChunks.empty()) return;
+  for (const auto& table : catalog_.tables) {
+    if (!table.hasOverlap) continue;
+    if (!db_->hasTable(datagen::chunkTableName(table.name, chunkId))) continue;
+    for (std::int32_t sc : subChunks) {
+      std::string key = datagen::subChunkTableName(table.name, chunkId, sc);
+      bool drop = false;
+      {
+        std::lock_guard lock(subchunkMutex_);
+        auto it = subchunks_.find(key);
+        if (it == subchunks_.end()) continue;
+        if (--it->second.refs == 0 && !config_.cacheSubchunks) {
+          drop = true;
+          subchunks_.erase(it);
+        }
+      }
+      if (drop) {
+        (void)db_->execute("DROP TABLE IF EXISTS " + key);
+        (void)db_->execute(
+            "DROP TABLE IF EXISTS " +
+            datagen::subChunkTableName(table.name + "FullOverlap", chunkId, sc));
+      }
+    }
+  }
+}
+
+void Worker::executeTask(const Task& task, bool chargeScanIo) {
+  std::string resultPath = xrd::makeResultPath(task.hash);
+  std::vector<std::int32_t> subChunks = parseSubchunksHeader(task.payload);
+
+  auto buildStats = acquireSubchunks(task.chunkId, subChunks);
+  if (!buildStats.isOk()) {
+    results_.publishError(resultPath, buildStats.status());
+    return;
+  }
+
+  sql::ExecStats stats;
+  auto result = db_->executeScript(task.payload, &stats);
+  releaseSubchunks(task.chunkId, subChunks);
+  if (!result.isOk()) {
+    QLOG(kWarn, "worker") << id_ << " chunk " << task.chunkId
+                          << " failed: " << result.status().toString();
+    results_.publishError(resultPath, result.status());
+    return;
+  }
+
+  std::string dump =
+      config_.transfer == TransferFormat::kBinary
+          ? sql::encodeTableBinary(**result, "r_" + task.hash)
+          : sql::dumpTable(**result, "r_" + task.hash);
+
+  // Work observables at paper scale (see WorkerConfig::rowScale).
+  simio::WorkObservables obs;
+  const double scale = config_.rowScale;
+  stats.add(buildStats.value());
+  if (chargeScanIo) {
+    for (const auto& [tableName, rows] : stats.rowsScannedByTable) {
+      obs.bytesScanned +=
+          static_cast<double>(rows) * rowBytesFor(tableName) * scale;
+    }
+  }
+  obs.rowsExamined = static_cast<std::uint64_t>(
+      static_cast<double>(stats.rowsScanned) * scale);
+  // Nested-loop pair counts grow with the square of row density;
+  // equi-join match counts grow linearly (each source matches one object).
+  obs.pairsEvaluated = static_cast<std::uint64_t>(
+      static_cast<double>(stats.pairsEvaluated) * scale * scale);
+  obs.joinMatches = static_cast<std::uint64_t>(
+      static_cast<double>(stats.joinMatches) * scale);
+  obs.rowsBuilt = static_cast<std::uint64_t>(
+      static_cast<double>(stats.rowsInserted) * scale);
+  obs.indexLookups = stats.indexLookups;
+  // Row-returning queries produce density-proportional results (scaled to
+  // paper size); aggregate partials are scale-independent. Only the INSERT
+  // payload scales — the dump envelope (header, DROP, CREATE) is fixed.
+  const double resultScale = isAggregateQuery(task.payload) ? 1.0 : scale;
+  obs.resultRows = static_cast<std::uint64_t>(
+      static_cast<double>((*result)->numRows()) * resultScale);
+  std::size_t envelope;
+  if (config_.transfer == TransferFormat::kBinary) {
+    envelope = std::min<std::size_t>(dump.size(), 64);
+  } else {
+    envelope = dump.find("INSERT");
+    if (envelope == std::string::npos) envelope = dump.size();
+  }
+  obs.resultBytes =
+      static_cast<double>(envelope) +
+      static_cast<double>(dump.size() - envelope) * resultScale;
+
+  dump += encodeObservables(obs);
+  {
+    std::lock_guard lock(obsMutex_);
+    observables_[task.hash] = obs;
+  }
+  tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+  results_.publish(resultPath, std::move(dump));
+}
+
+}  // namespace qserv::core

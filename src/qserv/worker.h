@@ -1,0 +1,160 @@
+/// \file worker.h
+/// \brief A Qserv worker node (paper §5.1.2, §5.4).
+///
+/// A worker is an Xrootd data server with Qserv's ofs plugin: chunk queries
+/// arrive as writes to /query2/<CC>, execute on the worker's local SQL
+/// database against its chunk tables, and results are published as dumps at
+/// /result/<md5 of the chunk query>. Workers keep FIFO task queues drained
+/// by a fixed number of executor slots (the paper's clusters ran 4), "do not
+/// implement any concept of query cost" (§6.4) — unless the shared-scan
+/// scheduler (§4.3, implemented here though only planned in the paper) is
+/// selected, which groups queued tasks touching the same chunk so concurrent
+/// scans share one read of the data.
+///
+/// Subchunk tables (Object_CC_SS) and their overlap companions
+/// (ObjectFullOverlap_CC_SS) are built on the fly when a chunk query's
+/// `-- SUBCHUNKS:` header demands them, refcounted across concurrent tasks,
+/// and dropped when the last user finishes (or kept, with the cache option —
+/// the paper notes caching is possible but not implemented; ours defaults
+/// off to match).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "qserv/catalog_config.h"
+#include "simio/cost_model.h"
+#include "sql/database.h"
+#include "xrd/file_store.h"
+#include "xrd/ofs.h"
+
+namespace qserv::core {
+
+enum class SchedulerMode {
+  kFifo,        ///< paper behaviour: first-in-first-out, no cost concept
+  kSharedScan,  ///< §4.3: co-schedule same-chunk tasks, share the scan I/O
+};
+
+enum class TransferFormat {
+  kSqlDump,  ///< paper behaviour: mysqldump-style SQL statements (§5.4)
+  kBinary,   ///< the §7.1 "more efficient method": compact row codec
+};
+
+struct WorkerConfig {
+  int slots = 4;  ///< concurrent chunk queries (paper §6.2)
+  SchedulerMode scheduler = SchedulerMode::kFifo;
+  TransferFormat transfer = TransferFormat::kSqlDump;
+  bool cacheSubchunks = false;
+  /// Real rows -> paper rows multiplier for the cost model (our tables are
+  /// scaled down; observables are reported at paper scale).
+  double rowScale = 1.0;
+  std::chrono::milliseconds resultTimeout{30000};
+  /// Start with executor slots paused (tests use this to stage the queue
+  /// deterministically before any task is claimed).
+  bool startPaused = false;
+};
+
+class Worker : public xrd::OfsPlugin {
+ public:
+  /// \param database local database preloaded with this worker's chunk
+  ///        tables; \p exportedChunks lists the chunks it serves.
+  Worker(std::string id, std::shared_ptr<sql::Database> database,
+         const CatalogConfig& catalog, std::vector<std::int32_t> exportedChunks,
+         WorkerConfig config = {});
+  ~Worker() override;
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  const std::string& id() const { return id_; }
+  sql::Database& database() { return *db_; }
+
+  // --- OfsPlugin -----------------------------------------------------------
+  util::Status writeFile(const std::string& path, std::string payload) override;
+  util::Result<std::string> readFile(const std::string& path) override;
+  std::vector<std::int32_t> exportedChunks() const override {
+    return exportedChunks_;
+  }
+
+  /// Work observables recorded for a finished chunk query (by result hash),
+  /// at paper scale. Used by benches feeding the queue simulation.
+  std::optional<simio::WorkObservables> observablesFor(
+      const std::string& md5Hex) const;
+
+  std::size_t queuedTasks() const;
+  std::uint64_t tasksExecuted() const { return tasksExecuted_; }
+
+  /// Resume paused executor slots (see WorkerConfig::startPaused).
+  void resume();
+
+  /// Stop accepting work, finish queued tasks, join executor threads.
+  void shutdown();
+
+ private:
+  struct Task {
+    std::int32_t chunkId = 0;
+    std::string payload;
+    std::string hash;
+  };
+
+  void executorLoop();
+  /// Claim the next task (FIFO) or task group (shared scan) to run.
+  std::vector<Task> claimTasks();
+  void executeTask(const Task& task, bool chargeScanIo);
+
+  /// Parse the `-- SUBCHUNKS:` header; empty when absent.
+  static std::vector<std::int32_t> parseSubchunksHeader(
+      const std::string& payload);
+
+  /// True when the chunk query carries the `-- QSERV-AGG` marker: its
+  /// result is a scale-independent partial aggregate.
+  static bool isAggregateQuery(const std::string& payload);
+
+  /// Build (or reuse) the subchunk + overlap tables needed by \p task;
+  /// returns build-side execution stats.
+  util::Result<sql::ExecStats> acquireSubchunks(
+      std::int32_t chunkId, const std::vector<std::int32_t>& subChunks);
+  void releaseSubchunks(std::int32_t chunkId,
+                        const std::vector<std::int32_t>& subChunks);
+
+  /// Paper-scale bytes per row for \p tableName (chunk/overlap/subchunk
+  /// names resolve to their base table's configured width).
+  double rowBytesFor(const std::string& tableName) const;
+
+  std::string id_;
+  std::shared_ptr<sql::Database> db_;
+  const CatalogConfig& catalog_;
+  sphgeom::Chunker chunker_;
+  std::vector<std::int32_t> exportedChunks_;
+  WorkerConfig config_;
+
+  xrd::FileStore results_;
+
+  mutable std::mutex queueMutex_;
+  std::condition_variable queueCv_;
+  std::deque<Task> queue_;
+  bool shuttingDown_ = false;
+  bool paused_ = false;
+  std::vector<std::thread> executors_;
+  std::atomic<std::uint64_t> tasksExecuted_{0};
+
+  mutable std::mutex obsMutex_;
+  std::map<std::string, simio::WorkObservables> observables_;
+
+  // Subchunk refcounting: key = "Object_CC_SS".
+  std::mutex subchunkMutex_;
+  std::condition_variable subchunkCv_;
+  struct SubchunkState {
+    int refs = 0;
+    bool built = false;
+    bool building = false;
+  };
+  std::map<std::string, SubchunkState> subchunks_;
+};
+
+}  // namespace qserv::core

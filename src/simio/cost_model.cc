@@ -1,0 +1,43 @@
+#include "simio/cost_model.h"
+
+#include <algorithm>
+
+namespace qserv::simio {
+
+double workerServiceSeconds(const WorkObservables& w, const CostParams& p) {
+  double seconds = 0.0;
+
+  // Disk: bytes not served from cache stream at the contended per-stream
+  // rate (the disk is shared by up to slotsPerNode concurrent scans).
+  double coldBytes = w.bytesScanned * (1.0 - std::clamp(p.cacheFraction, 0.0, 1.0));
+  if (coldBytes > 0) {
+    int streams = p.scanStreams > 0 ? p.scanStreams : std::max(1, p.slotsPerNode);
+    double perStream =
+        (streams > 1 ? p.contendedBandwidthBytesPerSec / streams
+                     : p.seqBandwidthBytesPerSec);
+    seconds += coldBytes / perStream;
+    seconds += p.seekSeconds;  // initial positioning
+  }
+
+  // Index probes pay seeks even when the bulk scan is skipped.
+  seconds += static_cast<double>(w.indexLookups) * p.indexLookupSeekSec;
+
+  // CPU.
+  seconds += static_cast<double>(w.rowsExamined) * p.cpuPerRowSec;
+  seconds += static_cast<double>(w.pairsEvaluated) * p.cpuPerPairSec;
+  seconds += static_cast<double>(w.joinMatches) * p.cpuPerMatchSec;
+  seconds += static_cast<double>(w.rowsBuilt) * p.cpuPerRowBuiltSec;
+
+  return seconds;
+}
+
+double masterCollectSeconds(const WorkObservables& w, const CostParams& p) {
+  double seconds = 0.0;
+  if (w.resultBytes > 0 && p.resultTransferBytesPerSec > 0) {
+    seconds += w.resultBytes / p.resultTransferBytesPerSec;
+  }
+  seconds += static_cast<double>(w.resultRows) * p.resultPerRowOverheadSec;
+  return seconds;
+}
+
+}  // namespace qserv::simio

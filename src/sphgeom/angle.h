@@ -1,0 +1,38 @@
+/// \file angle.h
+/// \brief Angle conversions and normalization on the sphere.
+///
+/// Positions follow the astronomical convention of the paper: longitude is
+/// right ascension (RA, phi) in [0, 360) degrees and latitude is declination
+/// (Dec, theta) in [-90, +90] degrees.
+#pragma once
+
+#include <cmath>
+
+namespace qserv::sphgeom {
+
+inline constexpr double kPi = 3.141592653589793238462643383279502884;
+inline constexpr double kDegPerRad = 180.0 / kPi;
+inline constexpr double kRadPerDeg = kPi / 180.0;
+/// One arc-minute in degrees (the paper's overlap is 1 arcmin = 0.01667 deg).
+inline constexpr double kArcminDeg = 1.0 / 60.0;
+
+inline double degToRad(double deg) { return deg * kRadPerDeg; }
+inline double radToDeg(double rad) { return rad * kDegPerRad; }
+
+/// Normalize a longitude to [0, 360).
+inline double normalizeLonDeg(double lon) {
+  lon = std::fmod(lon, 360.0);
+  if (lon < 0.0) lon += 360.0;
+  // fmod can return 360.0 - epsilon rounding back up; pin exact 360 to 0.
+  if (lon >= 360.0) lon = 0.0;
+  return lon;
+}
+
+/// Clamp a latitude to [-90, 90].
+inline double clampLatDeg(double lat) {
+  if (lat < -90.0) return -90.0;
+  if (lat > 90.0) return 90.0;
+  return lat;
+}
+
+}  // namespace qserv::sphgeom

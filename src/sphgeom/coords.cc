@@ -1,0 +1,32 @@
+#include "sphgeom/coords.h"
+
+#include "sphgeom/angle.h"
+
+namespace qserv::sphgeom {
+
+Vector3d toXyz(double lonDeg, double latDeg) {
+  double lon = degToRad(lonDeg);
+  double lat = degToRad(latDeg);
+  double cl = std::cos(lat);
+  return {cl * std::cos(lon), cl * std::sin(lon), std::sin(lat)};
+}
+
+LonLat toLonLat(const Vector3d& v) {
+  double lon = radToDeg(std::atan2(v.y, v.x));
+  double lat = radToDeg(std::atan2(v.z, std::sqrt(v.x * v.x + v.y * v.y)));
+  return {normalizeLonDeg(lon), clampLatDeg(lat)};
+}
+
+double angSepDeg(double lon1, double lat1, double lon2, double lat2) {
+  double p1 = degToRad(lat1), p2 = degToRad(lat2);
+  double dp = p2 - p1;
+  double dl = degToRad(lon2 - lon1);
+  double sdp = std::sin(dp * 0.5);
+  double sdl = std::sin(dl * 0.5);
+  double a = sdp * sdp + std::cos(p1) * std::cos(p2) * sdl * sdl;
+  if (a < 0.0) a = 0.0;
+  if (a > 1.0) a = 1.0;
+  return radToDeg(2.0 * std::asin(std::sqrt(a)));
+}
+
+}  // namespace qserv::sphgeom

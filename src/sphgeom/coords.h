@@ -1,0 +1,27 @@
+/// \file coords.h
+/// \brief Spherical <-> Cartesian conversion and angular separation.
+#pragma once
+
+#include "sphgeom/vector3d.h"
+
+namespace qserv::sphgeom {
+
+/// A point on the unit sphere: lon = RA, lat = Dec, both in degrees.
+struct LonLat {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+/// Unit vector for (lon, lat) degrees.
+Vector3d toXyz(double lonDeg, double latDeg);
+inline Vector3d toXyz(const LonLat& p) { return toXyz(p.lon, p.lat); }
+
+/// Inverse of toXyz; lon normalized to [0, 360).
+LonLat toLonLat(const Vector3d& v);
+
+/// Great-circle separation between two points, in degrees.
+/// Uses the haversine form for numerical stability at small separations —
+/// this is the reference implementation of the paper's qserv_angSep UDF.
+double angSepDeg(double lon1, double lat1, double lon2, double lat2);
+
+}  // namespace qserv::sphgeom

@@ -1,0 +1,211 @@
+#include "sphgeom/htm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "sphgeom/angle.h"
+#include "sphgeom/coords.h"
+
+namespace qserv::sphgeom::htm {
+
+namespace {
+
+// The six axis vertices of the HTM root octahedron.
+const Vector3d kV0{0, 0, 1};   // north pole
+const Vector3d kV1{1, 0, 0};
+const Vector3d kV2{0, 1, 0};
+const Vector3d kV3{-1, 0, 0};
+const Vector3d kV4{0, -1, 0};
+const Vector3d kV5{0, 0, -1};  // south pole
+
+// Root trixels in id order 8..15 (S0..S3 then N0..N3), vertices CCW as seen
+// from outside the sphere.
+const std::array<std::array<Vector3d, 3>, 8> kRoots = {{
+    {kV1, kV5, kV2},  // S0 = 8
+    {kV2, kV5, kV3},  // S1 = 9
+    {kV3, kV5, kV4},  // S2 = 10
+    {kV4, kV5, kV1},  // S3 = 11
+    {kV1, kV0, kV4},  // N0 = 12
+    {kV4, kV0, kV3},  // N1 = 13
+    {kV3, kV0, kV2},  // N2 = 14
+    {kV2, kV0, kV1},  // N3 = 15
+}};
+
+constexpr double kEps = 1e-12;
+
+// p inside the spherical triangle (a,b,c) iff it is on the inner side of all
+// three great-circle edges (CCW order => inner side is non-negative).
+bool inside(const Vector3d& a, const Vector3d& b, const Vector3d& c,
+            const Vector3d& p) {
+  return a.cross(b).dot(p) >= -kEps && b.cross(c).dot(p) >= -kEps &&
+         c.cross(a).dot(p) >= -kEps;
+}
+
+// Midpoint of the great-circle arc (a, b), normalized to the sphere.
+Vector3d mid(const Vector3d& a, const Vector3d& b) {
+  return (a + b).normalized();
+}
+
+// Children of triangle (v0,v1,v2) in the standard HTM order.
+void childVertices(const std::array<Vector3d, 3>& t, int k,
+                   std::array<Vector3d, 3>& out) {
+  Vector3d w0 = mid(t[1], t[2]);
+  Vector3d w1 = mid(t[0], t[2]);
+  Vector3d w2 = mid(t[0], t[1]);
+  switch (k) {
+    case 0: out = {t[0], w2, w1}; break;
+    case 1: out = {t[1], w0, w2}; break;
+    case 2: out = {t[2], w1, w0}; break;
+    default: out = {w0, w1, w2}; break;
+  }
+}
+
+// Angular separation in radians between unit vectors.
+double angSepRad(const Vector3d& a, const Vector3d& b) {
+  double d = (a - b).norm() * 0.5;
+  if (d > 1.0) d = 1.0;
+  return 2.0 * std::asin(d);
+}
+
+void coverRecurse(TrixelId id, const std::array<Vector3d, 3>& verts,
+                  const SphericalBox& box, int targetLevel,
+                  std::vector<TrixelId>& out) {
+  // Bounding circle of the trixel.
+  Vector3d center = (verts[0] + verts[1] + verts[2]).normalized();
+  double radius = 0.0;
+  for (const auto& v : verts) radius = std::max(radius, angSepRad(center, v));
+  LonLat c = toLonLat(center);
+  // Conservative reject: the box dilated by the circle radius must contain
+  // the circle center for any intersection to be possible.
+  if (!box.dilated(radToDeg(radius) + 1e-9).contains(c.lon, c.lat)) return;
+  if (levelOf(id) == targetLevel) {
+    out.push_back(id);
+    return;
+  }
+  for (int k = 0; k < 4; ++k) {
+    std::array<Vector3d, 3> child;
+    childVertices(verts, k, child);
+    coverRecurse(id * 4 + static_cast<TrixelId>(k), child, box, targetLevel,
+                 out);
+  }
+}
+
+}  // namespace
+
+int levelOf(TrixelId id) {
+  assert(id >= 8);
+  int bits = 64 - __builtin_clzll(id);
+  return (bits - 4) / 2;
+}
+
+bool isValid(TrixelId id) {
+  if (id < 8) return false;
+  int bits = 64 - __builtin_clzll(id);
+  if ((bits - 4) % 2 != 0) return false;
+  return (bits - 4) / 2 <= kMaxLevel;
+}
+
+std::array<Vector3d, 3> trixelVertices(TrixelId id) {
+  assert(isValid(id));
+  int level = levelOf(id);
+  // Extract the child path from the id, root first.
+  TrixelId root = id >> (2 * level);
+  std::array<Vector3d, 3> verts = kRoots[static_cast<std::size_t>(root - 8)];
+  for (int l = level - 1; l >= 0; --l) {
+    int k = static_cast<int>((id >> (2 * l)) & 3);
+    std::array<Vector3d, 3> next;
+    childVertices(verts, k, next);
+    verts = next;
+  }
+  return verts;
+}
+
+TrixelId pointToTrixel(const Vector3d& v, int level) {
+  assert(level >= 0 && level <= kMaxLevel);
+  Vector3d p = v.normalized();
+  TrixelId id = 0;
+  std::array<Vector3d, 3> verts{};
+  for (std::size_t r = 0; r < kRoots.size(); ++r) {
+    if (inside(kRoots[r][0], kRoots[r][1], kRoots[r][2], p)) {
+      id = 8 + r;
+      verts = kRoots[r];
+      break;
+    }
+  }
+  assert(id != 0 && "point not contained in any HTM root");
+  for (int l = 0; l < level; ++l) {
+    bool found = false;
+    for (int k = 0; k < 4; ++k) {
+      std::array<Vector3d, 3> child;
+      childVertices(verts, k, child);
+      if (inside(child[0], child[1], child[2], p)) {
+        id = id * 4 + static_cast<TrixelId>(k);
+        verts = child;
+        found = true;
+        break;
+      }
+    }
+    // Boundary points may fail all strict tests due to rounding; fall into
+    // the center child which always borders all edges.
+    if (!found) {
+      std::array<Vector3d, 3> child;
+      childVertices(verts, 3, child);
+      id = id * 4 + 3;
+      verts = child;
+    }
+  }
+  return id;
+}
+
+TrixelId pointToTrixel(double lonDeg, double latDeg, int level) {
+  return pointToTrixel(toXyz(lonDeg, latDeg), level);
+}
+
+bool trixelContains(TrixelId id, const Vector3d& v) {
+  auto verts = trixelVertices(id);
+  return inside(verts[0], verts[1], verts[2], v.normalized());
+}
+
+double trixelArea(TrixelId id) {
+  auto verts = trixelVertices(id);
+  // L'Huilier: tan(E/4) = sqrt(tan(s/2) tan((s-a)/2) tan((s-b)/2) tan((s-c)/2))
+  double a = angSepRad(verts[1], verts[2]);
+  double b = angSepRad(verts[0], verts[2]);
+  double c = angSepRad(verts[0], verts[1]);
+  double s = 0.5 * (a + b + c);
+  double t = std::tan(s * 0.5) * std::tan((s - a) * 0.5) *
+             std::tan((s - b) * 0.5) * std::tan((s - c) * 0.5);
+  if (t < 0.0) t = 0.0;
+  double excess = 4.0 * std::atan(std::sqrt(t));
+  return excess * kDegPerRad * kDegPerRad;
+}
+
+std::vector<TrixelId> coverBox(const SphericalBox& box, int level) {
+  std::vector<TrixelId> out;
+  if (box.isEmpty()) return out;
+  for (std::size_t r = 0; r < kRoots.size(); ++r) {
+    coverRecurse(8 + r, kRoots[r], box, level, out);
+  }
+  return out;
+}
+
+std::vector<TrixelRange> coverBoxRanges(const SphericalBox& box, int level) {
+  std::vector<TrixelId> ids = coverBox(box, level);
+  std::sort(ids.begin(), ids.end());
+  std::vector<TrixelRange> out;
+  for (TrixelId id : ids) {
+    if (!out.empty() && out.back().last + 1 == id) {
+      out.back().last = id;
+    } else {
+      out.push_back(TrixelRange{id, id});
+    }
+  }
+  return out;
+}
+
+}  // namespace qserv::sphgeom::htm
+
+namespace qserv::sphgeom {
+// (nothing)
+}

@@ -1,0 +1,76 @@
+/// \file htm.h
+/// \brief Hierarchical Triangular Mesh (Szalay et al.), the alternate
+/// partitioning scheme discussed in paper §7.5.
+///
+/// The sphere is split into 8 root spherical triangles ("trixels"); each
+/// trixel subdivides into 4 children at every level. Trixel ids follow the
+/// standard HTM convention: roots are 8..15 (S0..S3, N0..N3) and a child id
+/// is parent*4 + k, so a level-L id occupies 4 + 2L bits.
+///
+/// Qserv-style uses: mapping a point to its partition id at a subdivision
+/// level, and covering a spherical box with trixels for query pruning. The
+/// `bench_htm` ablation compares HTM against the stripe/chunk scheme on
+/// partition-area variance and pruning precision.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sphgeom/spherical_box.h"
+#include "sphgeom/vector3d.h"
+
+namespace qserv::sphgeom::htm {
+
+using TrixelId = std::uint64_t;
+
+/// Deepest supported subdivision level.
+inline constexpr int kMaxLevel = 24;
+
+/// Subdivision level encoded in \p id (0 for a root trixel).
+int levelOf(TrixelId id);
+
+/// True when \p id is a structurally valid trixel id.
+bool isValid(TrixelId id);
+
+/// Unit-vector vertices of trixel \p id, in counterclockwise order.
+std::array<Vector3d, 3> trixelVertices(TrixelId id);
+
+/// Trixel at \p level containing unit vector \p v.
+TrixelId pointToTrixel(const Vector3d& v, int level);
+
+/// Trixel at \p level containing (lon, lat) in degrees.
+TrixelId pointToTrixel(double lonDeg, double latDeg, int level);
+
+/// True when \p v lies inside trixel \p id (boundary inclusive).
+bool trixelContains(TrixelId id, const Vector3d& v);
+
+/// Solid angle of trixel \p id in square degrees (L'Huilier's theorem).
+double trixelArea(TrixelId id);
+
+/// Conservative cover: trixels at \p level whose extent may intersect
+/// \p box. Guaranteed superset of the exact cover (no false negatives), so
+/// it is safe for partition pruning; may include near-miss trixels.
+std::vector<TrixelId> coverBox(const SphericalBox& box, int level);
+
+/// Inclusive id range [first, last].
+struct TrixelRange {
+  TrixelId first = 0;
+  TrixelId last = 0;
+};
+
+/// coverBox() compressed into sorted, merged id ranges. This is the §7.5
+/// payoff: "mapping spherical regions to partition ID sets" whose members
+/// are contiguous, so data "stored in partition ID order" is read with few
+/// seeks — small spatial queries become a handful of range scans.
+std::vector<TrixelRange> coverBoxRanges(const SphericalBox& box, int level);
+
+/// Parent of a non-root trixel.
+inline TrixelId parentOf(TrixelId id) { return id >> 2; }
+
+/// Children of a trixel.
+inline std::array<TrixelId, 4> childrenOf(TrixelId id) {
+  return {id * 4 + 0, id * 4 + 1, id * 4 + 2, id * 4 + 3};
+}
+
+}  // namespace qserv::sphgeom::htm

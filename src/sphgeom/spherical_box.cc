@@ -1,0 +1,115 @@
+#include "sphgeom/spherical_box.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sphgeom/angle.h"
+#include "util/strings.h"
+
+namespace qserv::sphgeom {
+
+SphericalBox::SphericalBox(double lonMin, double latMin, double lonMax,
+                           double latMax) {
+  latMin_ = clampLatDeg(latMin);
+  latMax_ = clampLatDeg(latMax);
+  if (latMin_ > latMax_) {
+    empty_ = true;
+    return;
+  }
+  empty_ = false;
+  if (lonMax - lonMin >= 360.0) {
+    fullLon_ = true;
+    lonMin_ = 0.0;
+    lonMax_ = 360.0;
+  } else {
+    fullLon_ = false;
+    lonMin_ = normalizeLonDeg(lonMin);
+    lonMax_ = normalizeLonDeg(lonMax);
+    // A zero-width input that normalizes to identical endpoints is a line,
+    // not a full circle; keep as-is (lonContains handles equality).
+  }
+}
+
+double SphericalBox::lonExtent() const {
+  if (empty_) return 0.0;
+  if (fullLon_) return 360.0;
+  double e = lonMax_ - lonMin_;
+  if (e < 0.0) e += 360.0;
+  return e;
+}
+
+bool SphericalBox::lonContains(double lon) const {
+  if (fullLon_) return true;
+  lon = normalizeLonDeg(lon);
+  if (lonMin_ <= lonMax_) return lon >= lonMin_ && lon <= lonMax_;
+  return lon >= lonMin_ || lon <= lonMax_;  // wraps
+}
+
+bool SphericalBox::contains(double lonDeg, double latDeg) const {
+  if (empty_) return false;
+  if (latDeg < latMin_ || latDeg > latMax_) return false;
+  return lonContains(lonDeg);
+}
+
+bool SphericalBox::intersects(const SphericalBox& other) const {
+  if (empty_ || other.empty_) return false;
+  if (latMax_ < other.latMin_ || other.latMax_ < latMin_) return false;
+  if (fullLon_ || other.fullLon_) return true;
+  // Interval intersection on the circle: A and B intersect iff A contains
+  // B's start, or B contains A's start.
+  return lonContains(other.lonMin_) || other.lonContains(lonMin_);
+}
+
+SphericalBox SphericalBox::dilated(double radiusDeg) const {
+  if (empty_ || radiusDeg <= 0.0) return *this;
+  double latMin = latMin_ - radiusDeg;
+  double latMax = latMax_ + radiusDeg;
+  // Latitude of the box edge closest to a pole governs meridian convergence.
+  double maxAbsLat =
+      std::max(std::fabs(clampLatDeg(latMin)), std::fabs(clampLatDeg(latMax)));
+  SphericalBox out;
+  out.empty_ = false;
+  out.latMin_ = clampLatDeg(latMin);
+  out.latMax_ = clampLatDeg(latMax);
+  if (fullLon_ || maxAbsLat + radiusDeg >= 90.0 - 1e-9) {
+    out.fullLon_ = true;
+    out.lonMin_ = 0.0;
+    out.lonMax_ = 360.0;
+    return out;
+  }
+  double cosLat = std::cos(degToRad(maxAbsLat));
+  double lonMargin = (cosLat > 1e-12) ? radiusDeg / cosLat : 360.0;
+  if (lonExtent() + 2.0 * lonMargin >= 360.0) {
+    out.fullLon_ = true;
+    out.lonMin_ = 0.0;
+    out.lonMax_ = 360.0;
+  } else {
+    out.fullLon_ = false;
+    out.lonMin_ = normalizeLonDeg(lonMin_ - lonMargin);
+    out.lonMax_ = normalizeLonDeg(lonMax_ + lonMargin);
+  }
+  return out;
+}
+
+double SphericalBox::area() const {
+  if (empty_) return 0.0;
+  double dlon = degToRad(lonExtent());
+  double band = std::sin(degToRad(latMax_)) - std::sin(degToRad(latMin_));
+  return dlon * band * kDegPerRad * kDegPerRad;
+}
+
+std::string SphericalBox::toString() const {
+  if (empty_) return "box(empty)";
+  return util::format("box(lon[%.4f,%.4f]%s lat[%.4f,%.4f])", lonMin_, lonMax_,
+                      fullLon_ ? " full" : (wraps() ? " wrap" : ""), latMin_,
+                      latMax_);
+}
+
+bool SphericalBox::operator==(const SphericalBox& o) const {
+  if (empty_ != o.empty_) return false;
+  if (empty_) return true;
+  return fullLon_ == o.fullLon_ && lonMin_ == o.lonMin_ &&
+         lonMax_ == o.lonMax_ && latMin_ == o.latMin_ && latMax_ == o.latMax_;
+}
+
+}  // namespace qserv::sphgeom

@@ -1,0 +1,74 @@
+/// \file spherical_box.h
+/// \brief Longitude/latitude boxes on the sphere, with RA wraparound.
+///
+/// This is the geometric primitive behind the paper's
+/// `qserv_areaspec_box(lonMin, latMin, lonMax, latMax)` restriction and
+/// behind chunk/subchunk boundaries. A box may wrap in longitude
+/// (lonMin > lonMax spans the 0/360 meridian — the PT1.1 patch itself wraps,
+/// RA 358..5), and a box whose longitude extent is >= 360 covers all RA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sphgeom/coords.h"
+
+namespace qserv::sphgeom {
+
+class SphericalBox {
+ public:
+  /// Constructs an empty box.
+  SphericalBox() = default;
+
+  /// Box over [lonMin, lonMax] x [latMin, latMax] degrees. Longitudes are
+  /// normalized; lonMin > lonMax (after normalization) means the box wraps
+  /// across 0/360. Latitudes are clamped to [-90, 90]. If the input lon
+  /// extent is >= 360 the box covers the full circle.
+  SphericalBox(double lonMin, double latMin, double lonMax, double latMax);
+
+  static SphericalBox fullSky() { return SphericalBox(0.0, -90.0, 360.0, 90.0); }
+
+  bool isEmpty() const { return empty_; }
+  bool isFullLon() const { return fullLon_; }
+
+  double lonMin() const { return lonMin_; }
+  double lonMax() const { return lonMax_; }
+  double latMin() const { return latMin_; }
+  double latMax() const { return latMax_; }
+
+  /// Longitude extent in degrees (360 for full-circle boxes).
+  double lonExtent() const;
+  double latExtent() const { return empty_ ? 0.0 : latMax_ - latMin_; }
+
+  bool wraps() const { return !fullLon_ && lonMin_ > lonMax_; }
+
+  /// True when (lon, lat) lies inside (boundary inclusive).
+  bool contains(double lonDeg, double latDeg) const;
+  bool contains(const LonLat& p) const { return contains(p.lon, p.lat); }
+
+  /// True when the two boxes share at least a boundary point.
+  bool intersects(const SphericalBox& other) const;
+
+  /// Returns this box grown by \p radiusDeg on every side, accounting for
+  /// the convergence of meridians: the longitude margin is scaled by
+  /// 1/cos(maxAbsLat) and the box becomes full-longitude near a pole. This
+  /// implements the paper's overlap expansion for near-neighbor joins.
+  SphericalBox dilated(double radiusDeg) const;
+
+  /// Solid angle in square degrees.
+  double area() const;
+
+  std::string toString() const;
+
+  bool operator==(const SphericalBox& o) const;
+
+ private:
+  bool lonContains(double lon) const;
+
+  double lonMin_ = 0.0, lonMax_ = 0.0;
+  double latMin_ = 0.0, latMax_ = 0.0;
+  bool fullLon_ = false;
+  bool empty_ = true;
+};
+
+}  // namespace qserv::sphgeom

@@ -1,0 +1,32 @@
+/// \file vector3d.h
+/// \brief Minimal 3-vector for spherical computations (HTM side tests,
+/// angular separation).
+#pragma once
+
+#include <cmath>
+
+namespace qserv::sphgeom {
+
+struct Vector3d {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  Vector3d operator+(const Vector3d& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vector3d operator-(const Vector3d& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vector3d operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  double dot(const Vector3d& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  Vector3d cross(const Vector3d& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double norm() const { return std::sqrt(dot(*this)); }
+
+  /// Unit vector in the same direction. Precondition: norm() > 0.
+  Vector3d normalized() const {
+    double n = norm();
+    return {x / n, y / n, z / n};
+  }
+};
+
+}  // namespace qserv::sphgeom

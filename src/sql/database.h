@@ -1,0 +1,110 @@
+/// \file database.h
+/// \brief An embedded SQL database: named tables, indexes, and execution.
+///
+/// Each Qserv worker hosts one Database holding its chunk tables
+/// (Object_CC, Source_CC, overlap tables); the master hosts one for result
+/// merging. The table map is thread-safe so a worker can execute several
+/// chunk queries concurrently (distinct queries create distinct
+/// task-scoped subchunk tables); table *contents* are append-only and only
+/// written by their creating statement.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sql/functions.h"
+#include "sql/index.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// Work observables from one statement/script execution; the simio cost
+/// model converts these into virtual time.
+struct ExecStats {
+  std::uint64_t rowsScanned = 0;    ///< base-table rows read (scan or index)
+  std::uint64_t pairsEvaluated = 0; ///< nested-loop join pairs examined
+  std::uint64_t joinMatches = 0;    ///< equi-join (hash) matches emitted
+  std::uint64_t rowsOutput = 0;     ///< result rows produced
+  std::uint64_t rowsInserted = 0;   ///< rows written by INSERT/CTAS
+  std::uint64_t indexLookups = 0;   ///< executions served by an index probe
+  std::uint64_t statements = 0;     ///< statements executed
+  /// Base-table rows read, broken down by table name — the cost model
+  /// charges different paper-scale row widths per table.
+  std::map<std::string, std::uint64_t> rowsScannedByTable;
+
+  void add(const ExecStats& o);
+};
+
+class Database {
+ public:
+  explicit Database(std::string name = "db");
+
+  const std::string& name() const { return name_; }
+
+  /// Register an externally built table (data loading path). Fails with
+  /// kAlreadyExists when the name is taken.
+  util::Status registerTable(TablePtr table);
+
+  /// Remove a table and its indexes.
+  util::Status dropTable(const std::string& table, bool ifExists = false);
+
+  /// Find a table; nullptr when absent. Lookup is exact (case-sensitive),
+  /// like MySQL table names on Unix.
+  TablePtr findTable(const std::string& table) const;
+
+  bool hasTable(const std::string& table) const {
+    return findTable(table) != nullptr;
+  }
+
+  std::vector<std::string> tableNames() const;
+
+  /// Build an ordered index over \p column of \p table.
+  util::Status createIndex(const std::string& table,
+                           const std::string& column);
+
+  /// Find an index; nullptr when absent.
+  std::shared_ptr<const OrderedIndex> findIndex(
+      const std::string& table, const std::string& column) const;
+
+  /// Re-extend indexes of \p table for rows appended since they were built.
+  void refreshIndexes(const std::string& table);
+
+  /// Mutable registry: callers may add custom UDFs before executing.
+  FunctionRegistry& functions() { return registry_; }
+  const FunctionRegistry& functions() const { return registry_; }
+
+  /// Execute one SQL statement. SELECTs return their result table; DDL/DML
+  /// return an empty zero-column table. \p stats (optional) accumulates
+  /// work observables.
+  util::Result<TablePtr> execute(std::string_view sql,
+                                 ExecStats* stats = nullptr);
+
+  /// Execute a semicolon-separated script. The rows of every SELECT are
+  /// appended into a single result table (the chunk-query protocol runs one
+  /// SELECT per subchunk and unions the outputs, paper §5.4).
+  util::Result<TablePtr> executeScript(std::string_view sql,
+                                       ExecStats* stats = nullptr);
+
+ private:
+  friend class Executor;
+
+  std::string name_;
+  FunctionRegistry registry_;
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, TablePtr> tables_;
+  /// table -> column (lowercased) -> index. Indexes are immutable snapshots,
+  /// replaced wholesale by refreshIndexes.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string,
+                                        std::shared_ptr<const OrderedIndex>>>
+      indexes_;
+};
+
+}  // namespace qserv::sql

@@ -1,0 +1,67 @@
+#include "sql/dump.h"
+
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+std::string dumpTable(const Table& table, const std::string& targetName,
+                      std::size_t batchRows) {
+  if (batchRows == 0) batchRows = 1;
+  std::string out = "-- qserv-dump v1\n";
+  out += "DROP TABLE IF EXISTS `" + targetName + "`;\n";
+  out += "CREATE TABLE `" + targetName + "` ";
+  // VARCHAR needs a length to read back.
+  std::string cols = "(";
+  for (std::size_t i = 0; i < table.numColumns(); ++i) {
+    if (i > 0) cols += ", ";
+    const ColumnDef& c = table.schema().column(i);
+    cols += "`" + c.name + "` ";
+    switch (c.type) {
+      case ColumnType::kInt: cols += "BIGINT"; break;
+      case ColumnType::kDouble: cols += "DOUBLE"; break;
+      case ColumnType::kString: cols += "VARCHAR(255)"; break;
+    }
+  }
+  cols += ")";
+  out += cols + ";\n";
+
+  for (std::size_t start = 0; start < table.numRows(); start += batchRows) {
+    std::size_t end = std::min(start + batchRows, table.numRows());
+    out += "INSERT INTO `" + targetName + "` VALUES ";
+    for (std::size_t r = start; r < end; ++r) {
+      if (r > start) out += ",";
+      out += "(";
+      for (std::size_t c = 0; c < table.numColumns(); ++c) {
+        if (c > 0) out += ",";
+        out += table.cell(r, c).toSqlLiteral();
+      }
+      out += ")";
+    }
+    out += ";\n";
+  }
+  return out;
+}
+
+util::Result<TablePtr> loadDump(Database& db, std::string_view dump) {
+  ExecStats stats;
+  QSERV_ASSIGN_OR_RETURN(TablePtr result, db.executeScript(dump, &stats));
+  (void)result;  // dumps contain no SELECTs
+  // The dump creates exactly one table, named in its CREATE TABLE header.
+  std::size_t pos = dump.find("CREATE TABLE `");
+  if (pos == std::string_view::npos) {
+    return util::Status::invalidArgument("dump has no CREATE TABLE");
+  }
+  pos += 14;
+  std::size_t end = dump.find('`', pos);
+  if (end == std::string_view::npos) {
+    return util::Status::invalidArgument("malformed CREATE TABLE in dump");
+  }
+  std::string name(dump.substr(pos, end - pos));
+  TablePtr table = db.findTable(name);
+  if (!table) {
+    return util::Status::internal("dump replay did not create " + name);
+  }
+  return table;
+}
+
+}  // namespace qserv::sql

@@ -1,0 +1,32 @@
+/// \file dump.h
+/// \brief SQL-statement table serialization — the `mysqldump` analogue.
+///
+/// The paper (§5.4): "Results from a chunk query are transferred as SQL
+/// statements. The worker executes mysqldump on the result table and the
+/// resulting byte stream is read byte-for-byte by the master, which executes
+/// the SQL statements to load results into its local database." This module
+/// produces and replays exactly such a byte stream:
+///
+///   -- qserv-dump v1
+///   DROP TABLE IF EXISTS `target`;
+///   CREATE TABLE `target` (...);
+///   INSERT INTO `target` VALUES (...),(...);   -- batched
+#pragma once
+
+#include <string>
+
+#include "sql/database.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// Serialize \p table as a replayable SQL script creating \p targetName.
+/// \p batchRows caps rows per INSERT statement (mysqldump batches too).
+std::string dumpTable(const Table& table, const std::string& targetName,
+                      std::size_t batchRows = 500);
+
+/// Replay a dump script into \p db. Returns the loaded table.
+util::Result<TablePtr> loadDump(Database& db, std::string_view dump);
+
+}  // namespace qserv::sql

@@ -1,0 +1,1239 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "sql/expr_eval.h"
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+// ------------------------------------------------------------- aggregates
+
+enum class AggKind { kCountStar, kCount, kSum, kAvg, kMin, kMax };
+
+struct AggSpec {
+  AggKind kind;
+  ExprPtr arg;  // null for COUNT(*)
+};
+
+/// Replace aggregate FuncCall nodes in \p expr with SlotRefExpr nodes,
+/// appending their specs to \p aggs. Fails on nested aggregates.
+Result<ExprPtr> extractAggregates(ExprPtr expr, std::vector<AggSpec>& aggs,
+                                  bool insideAggregate = false) {
+  switch (expr->kind()) {
+    case ExprKind::kFuncCall: {
+      auto* f = static_cast<FuncCall*>(expr.get());
+      if (f->isAggregate()) {
+        if (insideAggregate) {
+          return Status::invalidArgument("nested aggregate functions");
+        }
+        if (f->args.size() != 1) {
+          return Status::invalidArgument(
+              util::format("%s() takes exactly one argument", f->name.c_str()));
+        }
+        AggSpec spec;
+        bool star = f->args[0]->kind() == ExprKind::kStar;
+        if (util::iequals(f->name, "COUNT")) {
+          spec.kind = star ? AggKind::kCountStar : AggKind::kCount;
+        } else if (star) {
+          return Status::invalidArgument(
+              util::format("%s(*) is not valid", f->name.c_str()));
+        } else if (util::iequals(f->name, "SUM")) {
+          spec.kind = AggKind::kSum;
+        } else if (util::iequals(f->name, "AVG")) {
+          spec.kind = AggKind::kAvg;
+        } else if (util::iequals(f->name, "MIN")) {
+          spec.kind = AggKind::kMin;
+        } else {
+          spec.kind = AggKind::kMax;
+        }
+        if (!star) {
+          QSERV_ASSIGN_OR_RETURN(
+              spec.arg,
+              extractAggregates(std::move(f->args[0]), aggs, true));
+          // A column must appear somewhere inside an aggregate arg; a pure
+          // nested aggregate was already rejected above.
+        }
+        aggs.push_back(std::move(spec));
+        return ExprPtr(std::make_unique<SlotRefExpr>(aggs.size() - 1));
+      }
+      for (auto& a : f->args) {
+        QSERV_ASSIGN_OR_RETURN(a,
+                               extractAggregates(std::move(a), aggs,
+                                                 insideAggregate));
+      }
+      return expr;
+    }
+    case ExprKind::kUnary: {
+      auto* u = static_cast<UnaryExpr*>(expr.get());
+      QSERV_ASSIGN_OR_RETURN(
+          u->operand, extractAggregates(std::move(u->operand), aggs,
+                                        insideAggregate));
+      return expr;
+    }
+    case ExprKind::kBinary: {
+      auto* b = static_cast<BinaryExpr*>(expr.get());
+      QSERV_ASSIGN_OR_RETURN(
+          b->lhs, extractAggregates(std::move(b->lhs), aggs, insideAggregate));
+      QSERV_ASSIGN_OR_RETURN(
+          b->rhs, extractAggregates(std::move(b->rhs), aggs, insideAggregate));
+      return expr;
+    }
+    case ExprKind::kBetween: {
+      auto* b = static_cast<BetweenExpr*>(expr.get());
+      QSERV_ASSIGN_OR_RETURN(
+          b->expr, extractAggregates(std::move(b->expr), aggs, insideAggregate));
+      QSERV_ASSIGN_OR_RETURN(
+          b->lo, extractAggregates(std::move(b->lo), aggs, insideAggregate));
+      QSERV_ASSIGN_OR_RETURN(
+          b->hi, extractAggregates(std::move(b->hi), aggs, insideAggregate));
+      return expr;
+    }
+    case ExprKind::kIn: {
+      auto* i = static_cast<InExpr*>(expr.get());
+      QSERV_ASSIGN_OR_RETURN(
+          i->expr, extractAggregates(std::move(i->expr), aggs, insideAggregate));
+      for (auto& item : i->list) {
+        QSERV_ASSIGN_OR_RETURN(
+            item, extractAggregates(std::move(item), aggs, insideAggregate));
+      }
+      return expr;
+    }
+    case ExprKind::kIsNull: {
+      auto* n = static_cast<IsNullExpr*>(expr.get());
+      QSERV_ASSIGN_OR_RETURN(
+          n->expr, extractAggregates(std::move(n->expr), aggs, insideAggregate));
+      return expr;
+    }
+    default:
+      return expr;
+  }
+}
+
+bool containsAggregate(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      if (f.isAggregate()) return true;
+      for (const auto& a : f.args) {
+        if (containsAggregate(*a)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kUnary:
+      return containsAggregate(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return containsAggregate(*b.lhs) || containsAggregate(*b.rhs);
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return containsAggregate(*b.expr) || containsAggregate(*b.lo) ||
+             containsAggregate(*b.hi);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      if (containsAggregate(*i.expr)) return true;
+      for (const auto& e : i.list) {
+        if (containsAggregate(*e)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return containsAggregate(*static_cast<const IsNullExpr&>(expr).expr);
+    default:
+      return false;
+  }
+}
+
+/// Running accumulator for one aggregate over one group.
+struct AggAccumulator {
+  std::int64_t count = 0;
+  std::int64_t intSum = 0;
+  double doubleSum = 0.0;
+  bool sawDouble = false;
+  Value extreme;  // MIN/MAX
+
+  void accumulate(AggKind kind, const Value& v) {
+    switch (kind) {
+      case AggKind::kCountStar:
+        ++count;
+        return;
+      case AggKind::kCount:
+        if (!v.isNull()) ++count;
+        return;
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (v.isNull() || !v.isNumeric()) return;
+        ++count;
+        if (v.isInt() && !sawDouble) {
+          intSum += v.asInt();
+        } else {
+          if (!sawDouble) {
+            doubleSum = static_cast<double>(intSum);
+            sawDouble = true;
+          }
+          doubleSum += v.toDouble();
+        }
+        return;
+      case AggKind::kMin:
+        if (v.isNull()) return;
+        if (extreme.isNull() || v.compare(extreme) < 0) extreme = v;
+        return;
+      case AggKind::kMax:
+        if (v.isNull()) return;
+        if (extreme.isNull() || v.compare(extreme) > 0) extreme = v;
+        return;
+    }
+  }
+
+  Value finalize(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+        return Value(count);
+      case AggKind::kSum:
+        if (count == 0) return Value::null();
+        return sawDouble ? Value(doubleSum) : Value(intSum);
+      case AggKind::kAvg: {
+        if (count == 0) return Value::null();
+        double s = sawDouble ? doubleSum : static_cast<double>(intSum);
+        return Value(s / static_cast<double>(count));
+      }
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return extreme;
+    }
+    return Value::null();
+  }
+};
+
+// ------------------------------------------------------------- where split
+
+/// Collect the scope-table indices referenced by \p expr.
+Status collectTableRefs(const Expr& expr, std::span<const ScopeTable> scope,
+                        std::vector<bool>& used) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      QSERV_ASSIGN_OR_RETURN(
+          ColumnSlot slot,
+          resolveColumn(static_cast<const ColumnRef&>(expr), scope));
+      used[slot.tableIdx] = true;
+      return Status::ok();
+    }
+    case ExprKind::kUnary:
+      return collectTableRefs(*static_cast<const UnaryExpr&>(expr).operand,
+                              scope, used);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.lhs, scope, used));
+      return collectTableRefs(*b.rhs, scope, used);
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      for (const auto& a : f.args) {
+        if (a->kind() == ExprKind::kStar) continue;
+        QSERV_RETURN_IF_ERROR(collectTableRefs(*a, scope, used));
+      }
+      return Status::ok();
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.expr, scope, used));
+      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.lo, scope, used));
+      return collectTableRefs(*b.hi, scope, used);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectTableRefs(*i.expr, scope, used));
+      for (const auto& e : i.list) {
+        QSERV_RETURN_IF_ERROR(collectTableRefs(*e, scope, used));
+      }
+      return Status::ok();
+    }
+    case ExprKind::kIsNull:
+      return collectTableRefs(*static_cast<const IsNullExpr&>(expr).expr,
+                              scope, used);
+    default:
+      return Status::ok();
+  }
+}
+
+/// Flatten an AND tree into conjuncts (borrowed pointers into the tree).
+void flattenConjuncts(const Expr* expr, std::vector<const Expr*>& out) {
+  if (expr->kind() == ExprKind::kBinary) {
+    const auto* b = static_cast<const BinaryExpr*>(expr);
+    if (b->op == BinOp::kAnd) {
+      flattenConjuncts(b->lhs.get(), out);
+      flattenConjuncts(b->rhs.get(), out);
+      return;
+    }
+  }
+  out.push_back(expr);
+}
+
+struct Conjunct {
+  const Expr* expr = nullptr;
+  std::vector<int> tables;  // referenced scope-table indices, ascending
+  int maxTable = -1;        // highest referenced index (-1: constant)
+};
+
+struct EquiJoin {
+  const Expr* lhs = nullptr;  // references tables < rhsTable only
+  const Expr* rhs = nullptr;  // references rhsTable only
+  int rhsTable = -1;
+};
+
+// --------------------------------------------------------------- group key
+
+struct GroupKey {
+  std::vector<Value> values;
+
+  bool operator==(const GroupKey& o) const {
+    if (values.size() != o.values.size()) return false;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      bool an = values[i].isNull(), bn = o.values[i].isNull();
+      if (an != bn) return false;
+      if (!an && values[i].compare(o.values[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const {
+    std::size_t h = 1469598103934665603ULL;
+    for (const auto& v : k.values) {
+      h ^= v.hash();
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct ValueKeyHash {
+  std::size_t operator()(const GroupKey& k) const { return GroupKeyHash{}(k); }
+};
+
+/// Replace every ColumnRef in a clone of \p expr with NULL — used to
+/// evaluate select items over an empty group (global aggregates on empty
+/// input behave like MySQL: COUNT=0, other columns NULL).
+ExprPtr cloneWithColumnsAsNull(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      return std::make_unique<LiteralExpr>(Value::null());
+    case ExprKind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(expr);
+      return std::make_unique<UnaryExpr>(u.op, cloneWithColumnsAsNull(*u.operand));
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return std::make_unique<BinaryExpr>(b.op, cloneWithColumnsAsNull(*b.lhs),
+                                          cloneWithColumnsAsNull(*b.rhs));
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      std::vector<ExprPtr> args;
+      args.reserve(f.args.size());
+      for (const auto& a : f.args) args.push_back(cloneWithColumnsAsNull(*a));
+      return std::make_unique<FuncCall>(f.name, std::move(args));
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return std::make_unique<BetweenExpr>(
+          cloneWithColumnsAsNull(*b.expr), cloneWithColumnsAsNull(*b.lo),
+          cloneWithColumnsAsNull(*b.hi), b.negated);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      std::vector<ExprPtr> list;
+      list.reserve(i.list.size());
+      for (const auto& e : i.list) list.push_back(cloneWithColumnsAsNull(*e));
+      return std::make_unique<InExpr>(cloneWithColumnsAsNull(*i.expr),
+                                      std::move(list), i.negated);
+    }
+    case ExprKind::kIsNull: {
+      const auto& n = static_cast<const IsNullExpr&>(expr);
+      return std::make_unique<IsNullExpr>(cloneWithColumnsAsNull(*n.expr),
+                                          n.negated);
+    }
+    default:
+      return expr.clone();
+  }
+}
+
+/// True when \p expr references no columns (safe for evalConstExpr).
+bool isConstExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+      return false;
+    case ExprKind::kUnary:
+      return isConstExpr(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return isConstExpr(*b.lhs) && isConstExpr(*b.rhs);
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      for (const auto& a : f.args) {
+        if (!isConstExpr(*a)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return isConstExpr(*b.expr) && isConstExpr(*b.lo) && isConstExpr(*b.hi);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      if (!isConstExpr(*i.expr)) return false;
+      for (const auto& e : i.list) {
+        if (!isConstExpr(*e)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return isConstExpr(*static_cast<const IsNullExpr&>(expr).expr);
+    default:
+      return true;
+  }
+}
+
+// --------------------------------------------------------------- executor
+
+class SelectExec {
+ public:
+  SelectExec(Database& db, const SelectStmt& sel, ExecStats& stats)
+      : db_(db), sel_(sel), stats_(stats),
+        registry_(db.functions()) {}
+
+  /// Static output type of \p expr, or nullopt when undeterminable.
+  /// Keeps empty result sets carrying correct column types — essential for
+  /// dump/replay (an empty chunk result must not demote BIGINT columns).
+  std::optional<ColumnType> inferType(const Expr& expr) const {
+    switch (expr.kind()) {
+      case ExprKind::kLiteral: {
+        const auto& v = static_cast<const LiteralExpr&>(expr).value;
+        switch (v.type()) {
+          case ValueType::kInt: return ColumnType::kInt;
+          case ValueType::kDouble: return ColumnType::kDouble;
+          case ValueType::kString: return ColumnType::kString;
+          case ValueType::kNull: return std::nullopt;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::kColumnRef: {
+        auto slot = resolveColumn(static_cast<const ColumnRef&>(expr), scope_);
+        if (!slot.isOk()) return std::nullopt;
+        return scope_[slot->tableIdx].table->schema().column(slot->columnIdx)
+            .type;
+      }
+      case ExprKind::kSlotRef: {
+        std::size_t k = static_cast<const SlotRefExpr&>(expr).slot;
+        if (k >= aggs_.size()) return std::nullopt;
+        switch (aggs_[k].kind) {
+          case AggKind::kCountStar:
+          case AggKind::kCount:
+            return ColumnType::kInt;
+          case AggKind::kAvg:
+            return ColumnType::kDouble;
+          case AggKind::kSum:
+          case AggKind::kMin:
+          case AggKind::kMax:
+            return aggs_[k].arg ? inferType(*aggs_[k].arg) : std::nullopt;
+        }
+        return std::nullopt;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(expr);
+        if (u.op == UnOp::kNot) return ColumnType::kInt;
+        return inferType(*u.operand);
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(expr);
+        switch (b.op) {
+          case BinOp::kEq: case BinOp::kNe: case BinOp::kLt: case BinOp::kLe:
+          case BinOp::kGt: case BinOp::kGe: case BinOp::kAnd: case BinOp::kOr:
+            return ColumnType::kInt;
+          case BinOp::kDiv:
+            return ColumnType::kDouble;
+          case BinOp::kAdd: case BinOp::kSub: case BinOp::kMul:
+          case BinOp::kMod: {
+            auto l = inferType(*b.lhs);
+            auto r = inferType(*b.rhs);
+            if (l == ColumnType::kInt && r == ColumnType::kInt) {
+              return ColumnType::kInt;
+            }
+            if (l && r) return ColumnType::kDouble;
+            return std::nullopt;
+          }
+        }
+        return std::nullopt;
+      }
+      case ExprKind::kBetween:
+      case ExprKind::kIn:
+      case ExprKind::kIsNull:
+        return ColumnType::kInt;
+      case ExprKind::kFuncCall:
+        // Scalar functions are numeric; all builtins return doubles (the
+        // boolean-ish qserv_ptInSphericalBox yields 0/1 ints, which a
+        // DOUBLE column accepts).
+        return ColumnType::kDouble;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<TablePtr> run() {
+    QSERV_RETURN_IF_ERROR(resolveFrom());
+    QSERV_RETURN_IF_ERROR(expandItems());
+    QSERV_RETURN_IF_ERROR(planWhere());
+    // MyISAM-style shortcut: unrestricted COUNT(*) on one table answers
+    // from row-count metadata without a scan (paper relies on this for the
+    // cheap full-sky HV1 count; see DESIGN.md).
+    if (isAggregateQuery_ && scope_.size() == 1 && !sel_.where &&
+        sel_.groupBy.empty() && aggs_.size() == 1 &&
+        aggs_[0].kind == AggKind::kCountStar && items_.size() == 1 &&
+        items_[0].expr->kind() == ExprKind::kSlotRef) {
+      resultRows_.push_back(
+          {Value(static_cast<std::int64_t>(tablesRaw_[0]->numRows()))});
+      QSERV_RETURN_IF_ERROR(orderAndLimit());
+      return buildResultTable();
+    }
+    QSERV_RETURN_IF_ERROR(enumerateTuples());
+    QSERV_RETURN_IF_ERROR(isAggregateQuery_ ? consumeAggregate()
+                                            : consumeProjection());
+    QSERV_RETURN_IF_ERROR(orderAndLimit());
+    return buildResultTable();
+  }
+
+ private:
+  Status resolveFrom() {
+    for (const TableRef& ref : sel_.from) {
+      std::string key =
+          ref.database.empty() ? ref.table : ref.database + "." + ref.table;
+      TablePtr t = db_.findTable(key);
+      if (!t && !ref.database.empty()) t = db_.findTable(ref.table);
+      if (!t) {
+        return Status::notFound(
+            util::format("unknown table %s", key.c_str()));
+      }
+      tableKeys_.push_back(key);
+      pins_.push_back(t);
+      scope_.push_back(ScopeTable{ref.bindingName(), t.get()});
+      tablesRaw_.push_back(t.get());
+    }
+    return Status::ok();
+  }
+
+  Status expandItems() {
+    for (const SelectItem& item : sel_.items) {
+      if (item.expr->kind() == ExprKind::kStar) {
+        const auto& star = static_cast<const StarExpr&>(*item.expr);
+        if (!item.alias.empty()) {
+          return Status::invalidArgument("'*' cannot be aliased");
+        }
+        bool matched = false;
+        for (const auto& st : scope_) {
+          if (!star.qualifier.empty() &&
+              !util::iequals(star.qualifier, st.bindingName)) {
+            continue;
+          }
+          matched = true;
+          for (const auto& col : st.table->schema().columns()) {
+            SelectItem expanded;
+            expanded.expr = std::make_unique<ColumnRef>(
+                scope_.size() > 1 ? st.bindingName : "", col.name);
+            expanded.alias = col.name;
+            items_.push_back(std::move(expanded));
+          }
+        }
+        if (!matched) {
+          return Status::notFound(util::format(
+              "'%s.*' does not match any table", star.qualifier.c_str()));
+        }
+        continue;
+      }
+      items_.push_back(item.clone());
+    }
+    if (items_.empty()) {
+      return Status::invalidArgument("empty select list");
+    }
+
+    // Output column names.
+    for (const auto& item : items_) {
+      outputNames_.push_back(item.alias.empty() ? item.expr->toSql()
+                                                : item.alias);
+    }
+
+    // Aggregate extraction.
+    bool anyAgg = false;
+    for (const auto& item : items_) {
+      if (containsAggregate(*item.expr)) anyAgg = true;
+    }
+    isAggregateQuery_ = anyAgg || !sel_.groupBy.empty();
+    if (sel_.having && !isAggregateQuery_) {
+      return Status::invalidArgument("HAVING requires GROUP BY");
+    }
+    if (isAggregateQuery_) {
+      for (auto& item : items_) {
+        QSERV_ASSIGN_OR_RETURN(item.expr,
+                               extractAggregates(std::move(item.expr), aggs_));
+      }
+      // HAVING may reference aggregates; its calls share the same slot list
+      // so they accumulate alongside the select items'.
+      if (sel_.having) {
+        QSERV_ASSIGN_OR_RETURN(
+            havingExpr_, extractAggregates(sel_.having->clone(), aggs_));
+      }
+      // Compile aggregate args and group-by keys.
+      for (const auto& spec : aggs_) {
+        if (spec.arg) {
+          QSERV_ASSIGN_OR_RETURN(auto compiled,
+                                 bindExpr(*spec.arg, scope_, registry_));
+          aggArgCompiled_.push_back(std::move(compiled));
+        } else {
+          aggArgCompiled_.push_back(nullptr);
+        }
+      }
+      for (const auto& g : sel_.groupBy) {
+        if (containsAggregate(*g)) {
+          return Status::invalidArgument("aggregate in GROUP BY");
+        }
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*g, scope_, registry_));
+        groupKeyCompiled_.push_back(std::move(compiled));
+      }
+    }
+    // Compile item expressions (slot refs resolve through EvalCtx.extra).
+    for (const auto& item : items_) {
+      QSERV_ASSIGN_OR_RETURN(auto compiled,
+                             bindExpr(*item.expr, scope_, registry_));
+      itemCompiled_.push_back(std::move(compiled));
+      declaredTypes_.push_back(inferType(*item.expr));
+    }
+    if (havingExpr_) {
+      QSERV_ASSIGN_OR_RETURN(havingCompiled_,
+                             bindExpr(*havingExpr_, scope_, registry_));
+    }
+    return Status::ok();
+  }
+
+  Status planWhere() {
+    if (sel_.where && containsAggregate(*sel_.where)) {
+      return Status::invalidArgument("aggregates are not allowed in WHERE");
+    }
+    if (!sel_.where) return Status::ok();
+    std::vector<const Expr*> flat;
+    flattenConjuncts(sel_.where.get(), flat);
+    for (const Expr* e : flat) {
+      Conjunct c;
+      c.expr = e;
+      std::vector<bool> used(scope_.size(), false);
+      QSERV_RETURN_IF_ERROR(collectTableRefs(*e, scope_, used));
+      for (std::size_t t = 0; t < used.size(); ++t) {
+        if (used[t]) {
+          c.tables.push_back(static_cast<int>(t));
+          c.maxTable = static_cast<int>(t);
+        }
+      }
+      conjuncts_.push_back(std::move(c));
+    }
+    return Status::ok();
+  }
+
+  /// Candidate row list for table \p t: applies its single-table conjuncts,
+  /// using an ordered index for equality / IN / BETWEEN when available.
+  Result<std::vector<std::size_t>> candidateRows(std::size_t t) {
+    const Table& table = *tablesRaw_[t];
+    // Gather this table's single-table conjuncts.
+    std::vector<const Expr*> mine;
+    for (const auto& c : conjuncts_) {
+      if (c.tables.size() == 1 && c.tables[0] == static_cast<int>(t)) {
+        mine.push_back(c.expr);
+      }
+    }
+
+    // Try an index probe: col = const | col IN (consts) | col BETWEEN.
+    std::vector<std::size_t> rows;
+    bool indexed = false;
+    std::size_t indexConjunct = 0;
+    for (std::size_t ci = 0; ci < mine.size() && !indexed; ++ci) {
+      const Expr* e = mine[ci];
+      const ColumnRef* col = nullptr;
+      std::vector<Value> eqKeys;
+      Value lo, hi;
+      bool isRange = false;
+      if (e->kind() == ExprKind::kBinary) {
+        const auto* b = static_cast<const BinaryExpr*>(e);
+        if (b->op == BinOp::kEq) {
+          const Expr *cr = nullptr, *lit = nullptr;
+          if (b->lhs->kind() == ExprKind::kColumnRef && isConstExpr(*b->rhs)) {
+            cr = b->lhs.get();
+            lit = b->rhs.get();
+          } else if (b->rhs->kind() == ExprKind::kColumnRef &&
+                     isConstExpr(*b->lhs)) {
+            cr = b->rhs.get();
+            lit = b->lhs.get();
+          }
+          if (cr != nullptr) {
+            QSERV_ASSIGN_OR_RETURN(Value v, evalConstExpr(*lit, registry_));
+            col = static_cast<const ColumnRef*>(cr);
+            eqKeys.push_back(std::move(v));
+          }
+        }
+      } else if (e->kind() == ExprKind::kIn) {
+        const auto* in = static_cast<const InExpr*>(e);
+        if (!in->negated && in->expr->kind() == ExprKind::kColumnRef) {
+          bool allConst = true;
+          for (const auto& item : in->list) {
+            if (!isConstExpr(*item)) allConst = false;
+          }
+          if (allConst) {
+            col = static_cast<const ColumnRef*>(in->expr.get());
+            for (const auto& item : in->list) {
+              QSERV_ASSIGN_OR_RETURN(Value v, evalConstExpr(*item, registry_));
+              eqKeys.push_back(std::move(v));
+            }
+          }
+        }
+      } else if (e->kind() == ExprKind::kBetween) {
+        const auto* bt = static_cast<const BetweenExpr*>(e);
+        if (!bt->negated && bt->expr->kind() == ExprKind::kColumnRef &&
+            isConstExpr(*bt->lo) && isConstExpr(*bt->hi)) {
+          col = static_cast<const ColumnRef*>(bt->expr.get());
+          QSERV_ASSIGN_OR_RETURN(lo, evalConstExpr(*bt->lo, registry_));
+          QSERV_ASSIGN_OR_RETURN(hi, evalConstExpr(*bt->hi, registry_));
+          isRange = true;
+        }
+      }
+      if (col == nullptr) continue;
+      // The column must belong to this table.
+      auto slot = resolveColumn(*col, scope_);
+      if (!slot.isOk() || slot.value().tableIdx != t) continue;
+      auto index = db_.findIndex(tableKeys_[t], col->column);
+      if (!index) continue;
+      if (isRange) {
+        rows = index->lookupRange(lo, hi);
+      } else {
+        for (const auto& k : eqKeys) {
+          auto hits = index->lookup(k);
+          rows.insert(rows.end(), hits.begin(), hits.end());
+        }
+        std::sort(rows.begin(), rows.end());
+        rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      }
+      indexed = true;
+      indexConjunct = ci;
+      ++stats_.indexLookups;
+    }
+
+    // Compile the residual filter for this table.
+    std::vector<CompiledExprPtr> filters;
+    for (std::size_t ci = 0; ci < mine.size(); ++ci) {
+      if (indexed && ci == indexConjunct) continue;
+      QSERV_ASSIGN_OR_RETURN(auto compiled,
+                             bindExpr(*mine[ci], scope_, registry_));
+      filters.push_back(std::move(compiled));
+    }
+
+    std::vector<std::size_t> out;
+    std::vector<std::size_t> rowCursor(scope_.size(), 0);
+    EvalCtx ctx{tablesRaw_, rowCursor, {}};
+    auto keep = [&](std::size_t r) {
+      rowCursor[t] = r;
+      for (const auto& f : filters) {
+        if (!f->eval(ctx).isTrue()) return false;
+      }
+      return true;
+    };
+    if (indexed) {
+      // Index-probed rows are point reads, not part of a sequential scan;
+      // they are charged through indexLookups in the cost model and are
+      // deliberately absent from rowsScannedByTable (which feeds
+      // density-scaled scan-bandwidth accounting).
+      stats_.rowsScanned += rows.size();
+      for (std::size_t r : rows) {
+        if (keep(r)) out.push_back(r);
+      }
+    } else {
+      stats_.rowsScanned += table.numRows();
+      stats_.rowsScannedByTable[tableKeys_[t]] += table.numRows();
+      out.reserve(table.numRows());
+      for (std::size_t r = 0; r < table.numRows(); ++r) {
+        if (keep(r)) out.push_back(r);
+      }
+    }
+    return out;
+  }
+
+  Status enumerateTuples() {
+    const std::size_t k = scope_.size();
+    // Constant conjuncts (no column references) are bound — surfacing
+    // unknown-function errors, e.g. an unrewritten qserv_areaspec_box — and
+    // evaluated once; a non-true constant predicate empties the result.
+    for (const auto& c : conjuncts_) {
+      if (!c.tables.empty()) continue;
+      QSERV_ASSIGN_OR_RETURN(auto compiled,
+                             bindExpr(*c.expr, scope_, registry_));
+      EvalCtx ctx{{}, {}, {}};
+      if (!compiled->eval(ctx).isTrue()) return Status::ok();
+    }
+    if (k == 0) {
+      // SELECT without FROM: one empty tuple, unless WHERE rejects it.
+      if (sel_.where) {
+        QSERV_ASSIGN_OR_RETURN(auto w,
+                               bindExpr(*sel_.where, scope_, registry_));
+        EvalCtx ctx{{}, {}, {}};
+        if (!w->eval(ctx).isTrue()) return Status::ok();
+      }
+      tuples_.push_back({});
+      return Status::ok();
+    }
+
+    // Stage 0.
+    QSERV_ASSIGN_OR_RETURN(auto rows0, candidateRows(0));
+    tuples_.reserve(rows0.size());
+    for (std::size_t r : rows0) tuples_.push_back({r});
+
+    // Residual conjuncts spanning >1 table, indexed by their max table.
+    for (std::size_t t = 1; t < k && !tuples_.empty(); ++t) {
+      QSERV_ASSIGN_OR_RETURN(auto rows, candidateRows(t));
+
+      // Find equi-join conjuncts usable at this stage: expr(lhs over
+      // tables < t) = expr(rhs over exactly {t}).
+      std::vector<std::pair<const Expr*, const Expr*>> joinKeys;
+      for (const auto& c : conjuncts_) {
+        if (c.expr->kind() != ExprKind::kBinary) continue;
+        const auto* b = static_cast<const BinaryExpr*>(c.expr);
+        if (b->op != BinOp::kEq) continue;
+        if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) continue;
+        auto sideTables = [&](const Expr& e) -> Result<std::vector<int>> {
+          std::vector<bool> used(scope_.size(), false);
+          QSERV_RETURN_IF_ERROR(collectTableRefs(e, scope_, used));
+          std::vector<int> out;
+          for (std::size_t i = 0; i < used.size(); ++i) {
+            if (used[i]) out.push_back(static_cast<int>(i));
+          }
+          return out;
+        };
+        QSERV_ASSIGN_OR_RETURN(auto lhsTables, sideTables(*b->lhs));
+        QSERV_ASSIGN_OR_RETURN(auto rhsTables, sideTables(*b->rhs));
+        auto onlyT = [&](const std::vector<int>& v) {
+          return v.size() == 1 && v[0] == static_cast<int>(t);
+        };
+        auto allBelowT = [&](const std::vector<int>& v) {
+          return !v.empty() && v.back() < static_cast<int>(t);
+        };
+        if (onlyT(rhsTables) && allBelowT(lhsTables)) {
+          joinKeys.emplace_back(b->lhs.get(), b->rhs.get());
+        } else if (onlyT(lhsTables) && allBelowT(rhsTables)) {
+          joinKeys.emplace_back(b->rhs.get(), b->lhs.get());
+        }
+      }
+
+      std::vector<std::vector<std::size_t>> next;
+      std::vector<std::size_t> rowCursor(k, 0);
+      EvalCtx ctx{tablesRaw_, rowCursor, {}};
+
+      if (!joinKeys.empty()) {
+        // Hash join: build on table t's candidates.
+        std::vector<CompiledExprPtr> buildKeys, probeKeys;
+        for (auto& [probe, build] : joinKeys) {
+          QSERV_ASSIGN_OR_RETURN(auto bk, bindExpr(*build, scope_, registry_));
+          QSERV_ASSIGN_OR_RETURN(auto pk, bindExpr(*probe, scope_, registry_));
+          buildKeys.push_back(std::move(bk));
+          probeKeys.push_back(std::move(pk));
+        }
+        std::unordered_map<GroupKey, std::vector<std::size_t>, ValueKeyHash>
+            hash;
+        for (std::size_t r : rows) {
+          rowCursor[t] = r;
+          GroupKey key;
+          bool hasNull = false;
+          for (const auto& bk : buildKeys) {
+            Value v = bk->eval(ctx);
+            if (v.isNull()) hasNull = true;
+            key.values.push_back(std::move(v));
+          }
+          if (hasNull) continue;  // NULL never joins
+          hash[std::move(key)].push_back(r);
+        }
+        for (const auto& tup : tuples_) {
+          for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+          GroupKey key;
+          bool hasNull = false;
+          for (const auto& pk : probeKeys) {
+            Value v = pk->eval(ctx);
+            if (v.isNull()) hasNull = true;
+            key.values.push_back(std::move(v));
+          }
+          if (hasNull) continue;
+          auto it = hash.find(key);
+          if (it == hash.end()) continue;
+          for (std::size_t r : it->second) {
+            ++stats_.joinMatches;
+            auto extended = tup;
+            extended.push_back(r);
+            next.push_back(std::move(extended));
+          }
+        }
+      } else {
+        // Nested loop.
+        stats_.pairsEvaluated += tuples_.size() * rows.size();
+        next.reserve(tuples_.size());
+        for (const auto& tup : tuples_) {
+          for (std::size_t r : rows) {
+            auto extended = tup;
+            extended.push_back(r);
+            next.push_back(std::move(extended));
+          }
+        }
+      }
+
+      // Apply residual conjuncts fully bound at this stage (excluding
+      // per-table conjuncts, already applied, and equi keys, already used).
+      std::vector<CompiledExprPtr> residual;
+      for (const auto& c : conjuncts_) {
+        if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) continue;
+        bool usedAsJoinKey = false;
+        for (auto& [probe, build] : joinKeys) {
+          if (c.expr->kind() == ExprKind::kBinary) {
+            const auto* b = static_cast<const BinaryExpr*>(c.expr);
+            if ((b->lhs.get() == probe && b->rhs.get() == build) ||
+                (b->rhs.get() == probe && b->lhs.get() == build)) {
+              usedAsJoinKey = true;
+            }
+          }
+        }
+        if (usedAsJoinKey) continue;
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*c.expr, scope_, registry_));
+        residual.push_back(std::move(compiled));
+      }
+      if (!residual.empty()) {
+        std::vector<std::vector<std::size_t>> kept;
+        kept.reserve(next.size());
+        for (auto& tup : next) {
+          for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+          bool ok = true;
+          for (const auto& f : residual) {
+            if (!f->eval(ctx).isTrue()) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) kept.push_back(std::move(tup));
+        }
+        next = std::move(kept);
+      }
+      tuples_ = std::move(next);
+    }
+    return Status::ok();
+  }
+
+  Status consumeProjection() {
+    std::vector<std::size_t> rowCursor(scope_.size(), 0);
+    EvalCtx ctx{tablesRaw_, rowCursor, {}};
+    bool canShortCircuit = sel_.limit && sel_.orderBy.empty();
+    for (const auto& tup : tuples_) {
+      if (canShortCircuit &&
+          static_cast<std::int64_t>(resultRows_.size()) >= *sel_.limit) {
+        break;
+      }
+      for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+      std::vector<Value> row;
+      row.reserve(itemCompiled_.size());
+      for (const auto& item : itemCompiled_) row.push_back(item->eval(ctx));
+      resultRows_.push_back(std::move(row));
+    }
+    return Status::ok();
+  }
+
+  Status consumeAggregate() {
+    struct Group {
+      std::vector<AggAccumulator> accs;
+      std::vector<std::size_t> representative;
+    };
+    std::unordered_map<GroupKey, Group, GroupKeyHash> groups;
+    std::vector<GroupKey> order;  // first-seen group order
+
+    std::vector<std::size_t> rowCursor(scope_.size(), 0);
+    EvalCtx ctx{tablesRaw_, rowCursor, {}};
+    for (const auto& tup : tuples_) {
+      for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+      GroupKey key;
+      for (const auto& g : groupKeyCompiled_) {
+        key.values.push_back(g->eval(ctx));
+      }
+      auto it = groups.find(key);
+      if (it == groups.end()) {
+        Group g;
+        g.accs.resize(aggs_.size());
+        g.representative = tup;
+        it = groups.emplace(key, std::move(g)).first;
+        order.push_back(key);
+      }
+      Group& g = it->second;
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        Value v;
+        if (aggArgCompiled_[a]) v = aggArgCompiled_[a]->eval(ctx);
+        g.accs[a].accumulate(aggs_[a].kind, v);
+      }
+    }
+
+    if (groups.empty() && sel_.groupBy.empty()) {
+      // Global aggregate over empty input: one row; COUNT()=0, others NULL.
+      std::vector<Value> aggValues;
+      AggAccumulator empty;
+      for (const auto& spec : aggs_) {
+        aggValues.push_back(empty.finalize(spec.kind));
+      }
+      std::vector<Value> row;
+      for (const auto& item : items_) {
+        ExprPtr nulled = cloneWithColumnsAsNull(*item.expr);
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*nulled, {}, registry_));
+        EvalCtx ectx{{}, {}, aggValues};
+        row.push_back(compiled->eval(ectx));
+      }
+      resultRows_.push_back(std::move(row));
+      return Status::ok();
+    }
+
+    for (const GroupKey& key : order) {
+      const Group& g = groups.at(key);
+      std::vector<Value> aggValues;
+      aggValues.reserve(aggs_.size());
+      for (std::size_t a = 0; a < aggs_.size(); ++a) {
+        aggValues.push_back(g.accs[a].finalize(aggs_[a].kind));
+      }
+      for (std::size_t i = 0; i < g.representative.size(); ++i) {
+        rowCursor[i] = g.representative[i];
+      }
+      EvalCtx gctx{tablesRaw_, rowCursor, aggValues};
+      if (havingCompiled_ && !havingCompiled_->eval(gctx).isTrue()) continue;
+      std::vector<Value> row;
+      row.reserve(itemCompiled_.size());
+      for (const auto& item : itemCompiled_) row.push_back(item->eval(gctx));
+      resultRows_.push_back(std::move(row));
+    }
+    return Status::ok();
+  }
+
+  Status orderAndLimit() {
+    if (sel_.distinct) {
+      // Deduplicate rows (sqlEquals semantics via the group-key hash),
+      // keeping first occurrences.
+      std::unordered_map<GroupKey, bool, GroupKeyHash> seen;
+      std::vector<std::vector<Value>> unique;
+      unique.reserve(resultRows_.size());
+      for (auto& row : resultRows_) {
+        GroupKey key;
+        key.values = row;
+        if (seen.emplace(std::move(key), true).second) {
+          unique.push_back(std::move(row));
+        }
+      }
+      resultRows_ = std::move(unique);
+    }
+    if (!sel_.orderBy.empty()) {
+      // Resolve each ORDER BY expression to an output column: by alias, by
+      // output name, or by serialized expression text.
+      std::vector<std::pair<std::size_t, bool>> keys;  // (column, desc)
+      for (const auto& ob : sel_.orderBy) {
+        std::string want = ob.expr->toSql();
+        std::optional<std::size_t> found;
+        for (std::size_t i = 0; i < outputNames_.size(); ++i) {
+          if (util::iequals(outputNames_[i], want) ||
+              util::iequals(items_[i].alias, want)) {
+            found = i;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::unimplemented(util::format(
+              "ORDER BY expression %s must appear in the select list",
+              want.c_str()));
+        }
+        keys.emplace_back(*found, ob.descending);
+      }
+      std::stable_sort(resultRows_.begin(), resultRows_.end(),
+                       [&](const auto& a, const auto& b) {
+                         for (auto [col, desc] : keys) {
+                           int c = a[col].compare(b[col]);
+                           if (c != 0) return desc ? c > 0 : c < 0;
+                         }
+                         return false;
+                       });
+    }
+    if (sel_.limit &&
+        static_cast<std::int64_t>(resultRows_.size()) > *sel_.limit) {
+      resultRows_.resize(static_cast<std::size_t>(*sel_.limit));
+    }
+    return Status::ok();
+  }
+
+  Result<TablePtr> buildResultTable() {
+    // Column types come from static inference where possible (so empty
+    // results keep correct declared types across dump/replay); actual
+    // values can only widen INT to DOUBLE. A column mixing strings with
+    // numerics is an error; a fully undeterminable all-NULL column defaults
+    // to DOUBLE.
+    Schema schema;
+    const std::size_t ncols = outputNames_.size();
+    for (std::size_t c = 0; c < ncols; ++c) {
+      bool hasInt = false, hasDouble = false, hasString = false;
+      for (const auto& row : resultRows_) {
+        switch (row[c].type()) {
+          case ValueType::kInt: hasInt = true; break;
+          case ValueType::kDouble: hasDouble = true; break;
+          case ValueType::kString: hasString = true; break;
+          case ValueType::kNull: break;
+        }
+      }
+      if (hasString && (hasInt || hasDouble)) {
+        return Status::internal(util::format(
+            "column %s mixes string and numeric values",
+            outputNames_[c].c_str()));
+      }
+      std::optional<ColumnType> declared =
+          c < declaredTypes_.size() ? declaredTypes_[c] : std::nullopt;
+      ColumnType t;
+      if (declared) {
+        t = *declared;
+        if (t == ColumnType::kInt && hasDouble) t = ColumnType::kDouble;
+        if (t != ColumnType::kString && hasString) t = ColumnType::kString;
+      } else {
+        t = hasString ? ColumnType::kString
+            : hasDouble ? ColumnType::kDouble
+            : hasInt    ? ColumnType::kInt
+                        : ColumnType::kDouble;
+      }
+      schema.addColumn(ColumnDef{outputNames_[c], t});
+    }
+    auto table = std::make_shared<Table>("result", std::move(schema));
+    for (const auto& row : resultRows_) {
+      QSERV_RETURN_IF_ERROR(table->appendRow(row));
+    }
+    stats_.rowsOutput += resultRows_.size();
+    return table;
+  }
+
+  Database& db_;
+  const SelectStmt& sel_;
+  ExecStats& stats_;
+  const FunctionRegistry& registry_;
+
+  std::vector<std::string> tableKeys_;
+  std::vector<TablePtr> pins_;
+  std::vector<ScopeTable> scope_;
+  std::vector<const Table*> tablesRaw_;
+
+  std::vector<SelectItem> items_;
+  std::vector<std::string> outputNames_;
+  std::vector<CompiledExprPtr> itemCompiled_;
+  std::vector<std::optional<ColumnType>> declaredTypes_;
+
+  bool isAggregateQuery_ = false;
+  std::vector<AggSpec> aggs_;
+  std::vector<CompiledExprPtr> aggArgCompiled_;
+  std::vector<CompiledExprPtr> groupKeyCompiled_;
+  ExprPtr havingExpr_;  // aggregate calls replaced with slot refs
+  CompiledExprPtr havingCompiled_;
+
+  std::vector<Conjunct> conjuncts_;
+  std::vector<std::vector<std::size_t>> tuples_;
+  std::vector<std::vector<Value>> resultRows_;
+};
+
+Result<TablePtr> emptyResult() {
+  return std::make_shared<Table>("result", Schema{});
+}
+
+}  // namespace
+
+Result<TablePtr> executeSelect(Database& db, const SelectStmt& sel,
+                               ExecStats& stats) {
+  ++stats.statements;
+  SelectExec exec(db, sel, stats);
+  return exec.run();
+}
+
+Result<TablePtr> executeStatement(Database& db, const Statement& stmt,
+                                  ExecStats& stats) {
+  if (const auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    return executeSelect(db, *sel, stats);
+  }
+  ++stats.statements;
+  if (const auto* create = std::get_if<CreateTableStmt>(&stmt)) {
+    if (db.hasTable(create->table)) {
+      if (create->ifNotExists) return emptyResult();
+      return Status::alreadyExists(
+          util::format("table %s already exists", create->table.c_str()));
+    }
+    if (create->asSelect) {
+      ExecStats inner;
+      QSERV_ASSIGN_OR_RETURN(TablePtr result,
+                             executeSelect(db, *create->asSelect, inner));
+      stats.add(inner);
+      stats.rowsInserted += result->numRows();
+      auto table = std::make_shared<Table>(create->table, result->schema());
+      for (std::size_t r = 0; r < result->numRows(); ++r) {
+        QSERV_RETURN_IF_ERROR(table->appendRow(result->row(r)));
+      }
+      QSERV_RETURN_IF_ERROR(db.registerTable(std::move(table)));
+      return emptyResult();
+    }
+    if (create->schema.numColumns() == 0) {
+      return Status::invalidArgument("CREATE TABLE with no columns");
+    }
+    QSERV_RETURN_IF_ERROR(db.registerTable(
+        std::make_shared<Table>(create->table, create->schema)));
+    return emptyResult();
+  }
+  if (const auto* insert = std::get_if<InsertStmt>(&stmt)) {
+    TablePtr table = db.findTable(insert->table);
+    if (!table) {
+      return Status::notFound(
+          util::format("unknown table %s", insert->table.c_str()));
+    }
+    if (insert->select) {
+      ExecStats inner;
+      QSERV_ASSIGN_OR_RETURN(TablePtr result,
+                             executeSelect(db, *insert->select, inner));
+      stats.add(inner);
+      if (result->numColumns() != table->numColumns()) {
+        return Status::invalidArgument(util::format(
+            "INSERT ... SELECT: %zu columns into %zu-column table",
+            result->numColumns(), table->numColumns()));
+      }
+      for (std::size_t r = 0; r < result->numRows(); ++r) {
+        QSERV_RETURN_IF_ERROR(table->appendRow(result->row(r)));
+      }
+      stats.rowsInserted += result->numRows();
+    } else {
+      for (const auto& row : insert->rows) {
+        QSERV_RETURN_IF_ERROR(table->appendRow(row));
+      }
+      stats.rowsInserted += insert->rows.size();
+    }
+    db.refreshIndexes(insert->table);
+    return emptyResult();
+  }
+  if (const auto* drop = std::get_if<DropTableStmt>(&stmt)) {
+    QSERV_RETURN_IF_ERROR(db.dropTable(drop->table, drop->ifExists));
+    return emptyResult();
+  }
+  return Status::internal("unhandled statement type");
+}
+
+}  // namespace qserv::sql

@@ -1,0 +1,70 @@
+/// \file expr_eval.h
+/// \brief Expression binding (name resolution) and row-at-a-time evaluation.
+///
+/// Binding happens once per statement: column references resolve to
+/// (table index, column index) slots against a scope of FROM tables, and
+/// function names resolve against a FunctionRegistry. The compiled tree is
+/// then evaluated per row with MySQL-like semantics: NULL propagates through
+/// arithmetic and comparisons, AND/OR use three-valued logic, and `/` always
+/// yields a double (division by zero yields NULL).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/functions.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// A FROM-clause table visible to name resolution.
+struct ScopeTable {
+  std::string bindingName;  ///< alias if present, else table name
+  const Table* table = nullptr;
+};
+
+/// Evaluation context: the current row in each scope table. `rows[i]` indexes
+/// into `tables[i]`. `extra` carries out-of-row values referenced by
+/// SlotRefExpr nodes (per-group aggregate results).
+struct EvalCtx {
+  std::span<const Table* const> tables;
+  std::span<const std::size_t> rows;
+  std::span<const Value> extra;
+};
+
+/// A bound, evaluable expression.
+class CompiledExpr {
+ public:
+  virtual ~CompiledExpr() = default;
+  virtual Value eval(const EvalCtx& ctx) const = 0;
+};
+
+using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
+
+/// Binds \p expr against \p scope. Fails on unknown/ambiguous columns,
+/// unknown functions, arity mismatches, `*` outside COUNT(*), and aggregate
+/// calls (the executor extracts aggregates before binding).
+util::Result<CompiledExprPtr> bindExpr(const Expr& expr,
+                                       std::span<const ScopeTable> scope,
+                                       const FunctionRegistry& registry);
+
+/// Convenience: bind and evaluate a constant expression (empty scope).
+util::Result<Value> evalConstExpr(const Expr& expr,
+                                  const FunctionRegistry& registry);
+
+/// Resolved column slot, exposed for executor planning (index lookups,
+/// hash-join key extraction).
+struct ColumnSlot {
+  std::size_t tableIdx = 0;
+  std::size_t columnIdx = 0;
+};
+
+/// Resolve a column reference against a scope without compiling.
+util::Result<ColumnSlot> resolveColumn(const ColumnRef& ref,
+                                       std::span<const ScopeTable> scope);
+
+}  // namespace qserv::sql

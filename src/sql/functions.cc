@@ -1,0 +1,125 @@
+#include "sql/functions.h"
+
+#include <cmath>
+
+#include "sphgeom/coords.h"
+#include "sphgeom/spherical_box.h"
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+namespace {
+
+/// Extract a finite double from \p v; nullopt for NULL/string/NaN.
+std::optional<double> numArg(const Value& v) {
+  if (!v.isNumeric()) return std::nullopt;
+  double d = v.toDouble();
+  if (std::isnan(d)) return std::nullopt;
+  return d;
+}
+
+Value wrap(double d) {
+  if (std::isnan(d) || std::isinf(d)) return Value::null();
+  return Value(d);
+}
+
+/// Adapt a unary double function.
+ScalarFn unary(double (*f)(double)) {
+  return [f](std::span<const Value> args) -> Value {
+    auto x = numArg(args[0]);
+    if (!x) return Value::null();
+    return wrap(f(*x));
+  };
+}
+
+}  // namespace
+
+void FunctionRegistry::add(const std::string& name, int arity, ScalarFn fn) {
+  fns_[util::toLower(name)] = FunctionDef{std::move(fn), arity};
+}
+
+const FunctionDef* FunctionRegistry::find(const std::string& name) const {
+  auto it = fns_.find(util::toLower(name));
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+const FunctionRegistry& FunctionRegistry::builtins() {
+  static const FunctionRegistry* kRegistry = [] {
+    auto* r = new FunctionRegistry();
+
+    r->add("abs", 1, unary(std::fabs));
+    r->add("sqrt", 1, unary(std::sqrt));
+    r->add("log", 1, unary(std::log));
+    r->add("log10", 1, unary(std::log10));
+    r->add("exp", 1, unary(std::exp));
+    r->add("floor", 1, unary(std::floor));
+    r->add("ceil", 1, unary(std::ceil));
+    r->add("sin", 1, unary(std::sin));
+    r->add("cos", 1, unary(std::cos));
+    r->add("radians", 1, unary([](double d) { return d * M_PI / 180.0; }));
+    r->add("degrees", 1, unary([](double d) { return d * 180.0 / M_PI; }));
+    r->add("pow", 2, [](std::span<const Value> args) -> Value {
+      auto a = numArg(args[0]);
+      auto b = numArg(args[1]);
+      if (!a || !b) return Value::null();
+      return wrap(std::pow(*a, *b));
+    });
+    r->add("greatest", -1, [](std::span<const Value> args) -> Value {
+      Value best = Value::null();
+      for (const auto& v : args) {
+        if (v.isNull()) return Value::null();
+        if (best.isNull() || v.compare(best) > 0) best = v;
+      }
+      return best;
+    });
+    r->add("least", -1, [](std::span<const Value> args) -> Value {
+      Value best = Value::null();
+      for (const auto& v : args) {
+        if (v.isNull()) return Value::null();
+        if (best.isNull() || v.compare(best) < 0) best = v;
+      }
+      return best;
+    });
+
+    // ---- LSST / Qserv UDFs --------------------------------------------
+    // AB magnitude from flux in erg s^-1 cm^-2 Hz^-1 (standard AB zero
+    // point). Non-positive flux has no magnitude -> NULL.
+    r->add("fluxToAbMag", 1, [](std::span<const Value> args) -> Value {
+      auto f = numArg(args[0]);
+      if (!f || *f <= 0.0) return Value::null();
+      return wrap(-2.5 * std::log10(*f) - 48.6);
+    });
+    r->add("fluxToAbMagSigma", 2, [](std::span<const Value> args) -> Value {
+      // sigma_m = 2.5 / ln(10) * sigma_f / f
+      auto f = numArg(args[0]);
+      auto s = numArg(args[1]);
+      if (!f || !s || *f <= 0.0) return Value::null();
+      return wrap(2.5 / std::log(10.0) * (*s / *f));
+    });
+
+    r->add("qserv_angSep", 4, [](std::span<const Value> args) -> Value {
+      auto ra1 = numArg(args[0]), dec1 = numArg(args[1]);
+      auto ra2 = numArg(args[2]), dec2 = numArg(args[3]);
+      if (!ra1 || !dec1 || !ra2 || !dec2) return Value::null();
+      return wrap(sphgeom::angSepDeg(*ra1, *dec1, *ra2, *dec2));
+    });
+    // scisql alias used by later versions of the loader.
+    r->add("scisql_angSep", 4, *&r->find("qserv_angSep")->fn);
+
+    r->add("qserv_ptInSphericalBox", 6,
+           [](std::span<const Value> args) -> Value {
+             auto ra = numArg(args[0]), dec = numArg(args[1]);
+             auto lonMin = numArg(args[2]), latMin = numArg(args[3]);
+             auto lonMax = numArg(args[4]), latMax = numArg(args[5]);
+             if (!ra || !dec || !lonMin || !latMin || !lonMax || !latMax) {
+               return Value::null();
+             }
+             sphgeom::SphericalBox box(*lonMin, *latMin, *lonMax, *latMax);
+             return Value::boolean(box.contains(*ra, *dec));
+           });
+    return r;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace qserv::sql

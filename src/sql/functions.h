@@ -1,0 +1,50 @@
+/// \file functions.h
+/// \brief Scalar function (UDF) registry.
+///
+/// Provides the worker-side user-defined functions the paper's queries rely
+/// on (§5.3, §6.2):
+///   - fluxToAbMag(flux): AB magnitude from calibrated flux,
+///     m = -2.5 log10(f) - 48.6 (f in erg s^-1 cm^-2 Hz^-1).
+///   - qserv_angSep(ra1, dec1, ra2, dec2): great-circle separation, degrees.
+///   - qserv_ptInSphericalBox(ra, dec, lonMin, latMin, lonMax, latMax):
+///     1/0 point-in-box with RA wraparound — what qserv_areaspec_box is
+///     rewritten to on workers.
+/// plus ordinary math builtins. The frontend-only pseudo-function
+/// qserv_areaspec_box is deliberately NOT registered: a chunk query that
+/// reaches a worker without being rewritten fails loudly.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "sql/value.h"
+
+namespace qserv::sql {
+
+/// Scalar function: values in, value out. Domain errors yield NULL.
+using ScalarFn = std::function<Value(std::span<const Value>)>;
+
+struct FunctionDef {
+  ScalarFn fn;
+  int arity = -1;  ///< exact argument count; -1 = variadic
+};
+
+class FunctionRegistry {
+ public:
+  /// Registry preloaded with math builtins and the Qserv UDFs.
+  static const FunctionRegistry& builtins();
+
+  /// Adds or replaces \p name (case-insensitive).
+  void add(const std::string& name, int arity, ScalarFn fn);
+
+  /// Looks up \p name (case-insensitive); nullptr when absent.
+  const FunctionDef* find(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, FunctionDef> fns_;
+};
+
+}  // namespace qserv::sql

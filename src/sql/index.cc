@@ -1,0 +1,34 @@
+#include "sql/index.h"
+
+namespace qserv::sql {
+
+OrderedIndex::OrderedIndex(const Table& table, std::size_t col) {
+  for (std::size_t r = 0; r < table.numRows(); ++r) {
+    insert(table.cell(r, col), r);
+  }
+}
+
+void OrderedIndex::insert(const Value& key, std::size_t row) {
+  if (key.isNull()) return;  // NULL keys are unreachable via = / BETWEEN
+  map_.emplace(key, row);
+}
+
+std::vector<std::size_t> OrderedIndex::lookup(const Value& key) const {
+  std::vector<std::size_t> out;
+  if (key.isNull()) return out;
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<std::size_t> OrderedIndex::lookupRange(const Value& lo,
+                                                   const Value& hi) const {
+  std::vector<std::size_t> out;
+  if (lo.isNull() || hi.isNull()) return out;
+  auto begin = map_.lower_bound(lo);
+  auto end = map_.upper_bound(hi);
+  for (auto it = begin; it != end; ++it) out.push_back(it->second);
+  return out;
+}
+
+}  // namespace qserv::sql

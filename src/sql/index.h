@@ -1,0 +1,42 @@
+/// \file index.h
+/// \brief Ordered secondary index over one column of a table.
+///
+/// The paper limits worker-side indexing to objectId (§4.3, §5.5): chunk
+/// tables are indexed by objectId so point queries on the containing chunk
+/// use indexed execution instead of a scan. This is that index.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sql/table.h"
+
+namespace qserv::sql {
+
+class OrderedIndex {
+ public:
+  OrderedIndex() = default;
+
+  /// Build over \p table's column \p col (all current rows).
+  OrderedIndex(const Table& table, std::size_t col);
+
+  void insert(const Value& key, std::size_t row);
+
+  /// Rows whose key equals \p key (sqlEquals semantics; NULL matches none).
+  std::vector<std::size_t> lookup(const Value& key) const;
+
+  /// Rows with lo <= key <= hi (inclusive).
+  std::vector<std::size_t> lookupRange(const Value& lo, const Value& hi) const;
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Cmp {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.compare(b) < 0;
+    }
+  };
+  std::multimap<Value, std::size_t, Cmp> map_;
+};
+
+}  // namespace qserv::sql

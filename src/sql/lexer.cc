@@ -1,0 +1,214 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+bool Token::is(std::string_view keyword) const {
+  return type == TokenType::kIdentifier && util::iequals(text, keyword);
+}
+
+namespace {
+
+bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> tokenize(std::string_view sql) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = sql.size();
+
+  auto push = [&](TokenType t, std::size_t off, std::string text = {}) {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(text);
+    tok.offset = off;
+    out.push_back(std::move(tok));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && sql[i + 1] == '*') {
+      std::size_t end = sql.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        return util::Status::invalidArgument(
+            util::format("unterminated block comment at offset %zu", i));
+      }
+      i = end + 2;
+      continue;
+    }
+    std::size_t start = i;
+    // Identifiers and keywords.
+    if (isIdentStart(c)) {
+      std::size_t j = i + 1;
+      while (j < n && isIdentChar(sql[j])) ++j;
+      push(TokenType::kIdentifier, start, std::string(sql.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Backquoted identifiers.
+    if (c == '`') {
+      std::size_t end = sql.find('`', i + 1);
+      if (end == std::string_view::npos) {
+        return util::Status::invalidArgument(
+            util::format("unterminated quoted identifier at offset %zu", i));
+      }
+      push(TokenType::kIdentifier, start,
+           std::string(sql.substr(i + 1, end - i - 1)));
+      i = end + 1;
+      continue;
+    }
+    // String literals with '' and \' escapes.
+    if (c == '\'') {
+      std::string text;
+      std::size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\\' && j + 1 < n) {
+          text.push_back(sql[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {
+            text.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        text.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return util::Status::invalidArgument(
+            util::format("unterminated string literal at offset %zu", i));
+      }
+      Token tok;
+      tok.type = TokenType::kString;
+      tok.text = std::move(text);
+      tok.offset = start;
+      out.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    // Numbers: 123, 1.5, .5, 1e-3, 0.5e10. A leading +/- is a separate
+    // operator token (the parser folds unary minus).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t j = i;
+      bool isDouble = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        isDouble = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        std::size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          isDouble = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+        }
+      }
+      std::string text(sql.substr(i, j - i));
+      Token tok;
+      tok.offset = start;
+      tok.text = text;
+      if (isDouble) {
+        tok.type = TokenType::kDouble;
+        tok.doubleValue = std::strtod(text.c_str(), nullptr);
+      } else {
+        errno = 0;
+        char* endp = nullptr;
+        long long v = std::strtoll(text.c_str(), &endp, 10);
+        if (errno == ERANGE) {
+          // Out-of-range integer literal degrades to double, like MySQL.
+          tok.type = TokenType::kDouble;
+          tok.doubleValue = std::strtod(text.c_str(), nullptr);
+        } else {
+          tok.type = TokenType::kInt;
+          tok.intValue = v;
+        }
+      }
+      out.push_back(std::move(tok));
+      i = j;
+      continue;
+    }
+    // Operators and punctuation.
+    switch (c) {
+      case ',': push(TokenType::kComma, start); ++i; continue;
+      case '.': push(TokenType::kDot, start); ++i; continue;
+      case ';': push(TokenType::kSemicolon, start); ++i; continue;
+      case '(': push(TokenType::kLParen, start); ++i; continue;
+      case ')': push(TokenType::kRParen, start); ++i; continue;
+      case '*': push(TokenType::kStar, start); ++i; continue;
+      case '+': push(TokenType::kPlus, start); ++i; continue;
+      case '-': push(TokenType::kMinus, start); ++i; continue;
+      case '/': push(TokenType::kSlash, start); ++i; continue;
+      case '%': push(TokenType::kPercent, start); ++i; continue;
+      case '=': push(TokenType::kEq, start); ++i; continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kNe, start);
+          i += 2;
+          continue;
+        }
+        return util::Status::invalidArgument(
+            util::format("stray '!' at offset %zu", i));
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kLe, start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kNe, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kGe, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        continue;
+      default:
+        return util::Status::invalidArgument(util::format(
+            "unexpected character '%c' (0x%02x) at offset %zu", c,
+            static_cast<unsigned char>(c), i));
+    }
+  }
+  push(TokenType::kEnd, n);
+  return out;
+}
+
+}  // namespace qserv::sql

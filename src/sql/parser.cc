@@ -1,0 +1,689 @@
+#include "sql/parser.h"
+
+#include <set>
+
+#include "sql/lexer.h"
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+/// Words that cannot be used as bare identifiers in expressions.
+bool isReservedWord(const Token& t) {
+  static const char* kReserved[] = {
+      "SELECT", "FROM",  "WHERE",  "GROUP", "BY",     "ORDER", "LIMIT",
+      "AS",     "ON",    "JOIN",   "INNER", "AND",    "OR",    "NOT",
+      "BETWEEN", "IN",   "IS",     "HAVING", "UNION", "CREATE", "TABLE",
+      "INSERT", "INTO",  "VALUES", "DROP",  "DESC",   "ASC",   "EXISTS",
+      "IF",     "DISTINCT"};
+  for (const char* k : kReserved) {
+    if (t.is(k)) return true;
+  }
+  return false;
+}
+
+/// Keywords that terminate an implicit (AS-less) alias.
+bool isAliasStopKeyword(const Token& t) {
+  static const char* kStops[] = {"FROM",  "WHERE", "GROUP", "ORDER", "LIMIT",
+                                 "AS",    "ON",    "JOIN",  "INNER", "AND",
+                                 "OR",    "NOT",   "BETWEEN", "IN",  "IS",
+                                 "HAVING", "UNION", "DESC",  "ASC", "VALUES"};
+  for (const char* k : kStops) {
+    if (t.is(k)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Statement> parseOneStatement() {
+    auto stmt = parseStatementInner();
+    if (!stmt.isOk()) return stmt;
+    accept(TokenType::kSemicolon);
+    if (!atEnd()) return errorHere("trailing input after statement");
+    return stmt;
+  }
+
+  Result<std::vector<Statement>> parseAll() {
+    std::vector<Statement> out;
+    while (!atEnd()) {
+      if (accept(TokenType::kSemicolon)) continue;
+      auto stmt = parseStatementInner();
+      if (!stmt.isOk()) return stmt.status();
+      out.push_back(std::move(stmt).value());
+      if (!atEnd() && !accept(TokenType::kSemicolon)) {
+        return errorHere("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+  Result<ExprPtr> parseSingleExpression() {
+    auto e = parseExpr();
+    if (!e.isOk()) return e;
+    if (!atEnd()) return errorHere("trailing input after expression");
+    return e;
+  }
+
+ private:
+  // ------------------------------------------------------------- utilities
+  const Token& peek(std::size_t ahead = 0) const {
+    std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool atEnd() const { return peek().type == TokenType::kEnd; }
+  const Token& advance() { return tokens_[pos_++]; }
+
+  bool accept(TokenType t) {
+    if (peek().type == t) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool acceptKeyword(std::string_view kw) {
+    if (peek().is(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status errorHere(std::string_view what) const {
+    return Status::invalidArgument(util::format(
+        "parse error at offset %zu (near '%s'): %.*s", peek().offset,
+        peek().text.c_str(), static_cast<int>(what.size()), what.data()));
+  }
+
+  Status expect(TokenType t, std::string_view what) {
+    if (accept(t)) return Status::ok();
+    return errorHere(what);
+  }
+  Status expectKeyword(std::string_view kw) {
+    if (acceptKeyword(kw)) return Status::ok();
+    return errorHere(util::format("expected %.*s",
+                                  static_cast<int>(kw.size()), kw.data()));
+  }
+
+  // ------------------------------------------------------------ statements
+  Result<Statement> parseStatementInner() {
+    if (peek().is("SELECT")) {
+      auto s = parseSelectStmt();
+      if (!s.isOk()) return s.status();
+      return Statement(std::move(s).value());
+    }
+    if (peek().is("CREATE")) return parseCreate();
+    if (peek().is("INSERT")) return parseInsert();
+    if (peek().is("DROP")) return parseDrop();
+    return errorHere("expected SELECT, CREATE, INSERT, or DROP");
+  }
+
+  Result<SelectStmt> parseSelectStmt() {
+    QSERV_RETURN_IF_ERROR(expectKeyword("SELECT"));
+    SelectStmt stmt;
+    if (acceptKeyword("DISTINCT")) stmt.distinct = true;
+    // Select list.
+    do {
+      SelectItem item;
+      auto e = parseSelectListExpr();
+      if (!e.isOk()) return e.status();
+      item.expr = std::move(e).value();
+      if (acceptKeyword("AS")) {
+        if (peek().type != TokenType::kIdentifier) {
+          return errorHere("expected alias after AS");
+        }
+        item.alias = advance().text;
+      } else if (peek().type == TokenType::kIdentifier &&
+                 !isAliasStopKeyword(peek())) {
+        item.alias = advance().text;
+      }
+      stmt.items.push_back(std::move(item));
+    } while (accept(TokenType::kComma));
+
+    // FROM.
+    if (acceptKeyword("FROM")) {
+      std::vector<ExprPtr> joinConds;
+      auto first = parseTableRef();
+      if (!first.isOk()) return first.status();
+      stmt.from.push_back(std::move(first).value());
+      while (true) {
+        if (accept(TokenType::kComma)) {
+          auto t = parseTableRef();
+          if (!t.isOk()) return t.status();
+          stmt.from.push_back(std::move(t).value());
+          continue;
+        }
+        bool isJoin = false;
+        if (peek().is("INNER") && peek(1).is("JOIN")) {
+          pos_ += 2;
+          isJoin = true;
+        } else if (acceptKeyword("JOIN")) {
+          isJoin = true;
+        }
+        if (!isJoin) break;
+        auto t = parseTableRef();
+        if (!t.isOk()) return t.status();
+        stmt.from.push_back(std::move(t).value());
+        QSERV_RETURN_IF_ERROR(expectKeyword("ON"));
+        auto cond = parseExpr();
+        if (!cond.isOk()) return cond.status();
+        joinConds.push_back(std::move(cond).value());
+      }
+      // Fold JOIN..ON conditions into WHERE (comma-join canonical form).
+      if (acceptKeyword("WHERE")) {
+        auto w = parseExpr();
+        if (!w.isOk()) return w.status();
+        stmt.where = std::move(w).value();
+      }
+      for (auto& c : joinConds) {
+        if (stmt.where) {
+          stmt.where = std::make_unique<BinaryExpr>(
+              BinOp::kAnd, std::move(stmt.where), std::move(c));
+        } else {
+          stmt.where = std::move(c);
+        }
+      }
+    } else if (acceptKeyword("WHERE")) {
+      return errorHere("WHERE without FROM");
+    }
+
+    // GROUP BY.
+    if (acceptKeyword("GROUP")) {
+      QSERV_RETURN_IF_ERROR(expectKeyword("BY"));
+      do {
+        auto e = parseExpr();
+        if (!e.isOk()) return e.status();
+        stmt.groupBy.push_back(std::move(e).value());
+      } while (accept(TokenType::kComma));
+    }
+
+    // HAVING.
+    if (acceptKeyword("HAVING")) {
+      if (stmt.groupBy.empty()) {
+        return errorHere("HAVING requires GROUP BY");
+      }
+      auto h = parseExpr();
+      if (!h.isOk()) return h.status();
+      stmt.having = std::move(h).value();
+    }
+
+    // ORDER BY.
+    if (acceptKeyword("ORDER")) {
+      QSERV_RETURN_IF_ERROR(expectKeyword("BY"));
+      do {
+        OrderByItem item;
+        auto e = parseExpr();
+        if (!e.isOk()) return e.status();
+        item.expr = std::move(e).value();
+        if (acceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          acceptKeyword("ASC");
+        }
+        stmt.orderBy.push_back(std::move(item));
+      } while (accept(TokenType::kComma));
+    }
+
+    // LIMIT.
+    if (acceptKeyword("LIMIT")) {
+      if (peek().type != TokenType::kInt) {
+        return errorHere("expected integer after LIMIT");
+      }
+      stmt.limit = advance().intValue;
+      if (stmt.limit < 0) return errorHere("LIMIT must be non-negative");
+    }
+    return stmt;
+  }
+
+  Result<TableRef> parseTableRef() {
+    if (peek().type != TokenType::kIdentifier) {
+      return errorHere("expected table name");
+    }
+    TableRef ref;
+    ref.table = advance().text;
+    if (accept(TokenType::kDot)) {
+      if (peek().type != TokenType::kIdentifier) {
+        return errorHere("expected table name after database qualifier");
+      }
+      ref.database = ref.table;
+      ref.table = advance().text;
+    }
+    if (acceptKeyword("AS")) {
+      if (peek().type != TokenType::kIdentifier) {
+        return errorHere("expected alias after AS");
+      }
+      ref.alias = advance().text;
+    } else if (peek().type == TokenType::kIdentifier &&
+               !isAliasStopKeyword(peek())) {
+      ref.alias = advance().text;
+    }
+    return ref;
+  }
+
+  Result<Statement> parseCreate() {
+    QSERV_RETURN_IF_ERROR(expectKeyword("CREATE"));
+    QSERV_RETURN_IF_ERROR(expectKeyword("TABLE"));
+    CreateTableStmt stmt;
+    if (peek().is("IF")) {
+      ++pos_;
+      QSERV_RETURN_IF_ERROR(expectKeyword("NOT"));
+      QSERV_RETURN_IF_ERROR(expectKeyword("EXISTS"));
+      stmt.ifNotExists = true;
+    }
+    auto name = parseQualifiedName();
+    if (!name.isOk()) return name.status();
+    stmt.table = std::move(name).value();
+    if (acceptKeyword("AS")) {
+      auto sel = parseSelectStmt();
+      if (!sel.isOk()) return sel.status();
+      stmt.asSelect = std::make_unique<SelectStmt>(std::move(sel).value());
+      return Statement(std::move(stmt));
+    }
+    QSERV_RETURN_IF_ERROR(expect(TokenType::kLParen, "expected '('"));
+    do {
+      if (peek().type != TokenType::kIdentifier) {
+        return errorHere("expected column name");
+      }
+      ColumnDef col;
+      col.name = advance().text;
+      if (peek().type != TokenType::kIdentifier) {
+        return errorHere("expected column type");
+      }
+      std::string ty = util::toUpper(advance().text);
+      if (ty == "BIGINT" || ty == "INT" || ty == "INTEGER" ||
+          ty == "SMALLINT" || ty == "TINYINT") {
+        col.type = ColumnType::kInt;
+      } else if (ty == "DOUBLE" || ty == "FLOAT" || ty == "REAL" ||
+                 ty == "DECIMAL") {
+        col.type = ColumnType::kDouble;
+      } else if (ty == "VARCHAR" || ty == "CHAR" || ty == "TEXT") {
+        col.type = ColumnType::kString;
+      } else {
+        return errorHere(util::format("unknown column type %s", ty.c_str()));
+      }
+      // Optional length/precision: VARCHAR(80), DECIMAL(10,2).
+      if (accept(TokenType::kLParen)) {
+        if (!accept(TokenType::kRParen)) {
+          if (peek().type != TokenType::kInt) {
+            return errorHere("expected length in type");
+          }
+          ++pos_;
+          if (accept(TokenType::kComma)) {
+            if (peek().type != TokenType::kInt) {
+              return errorHere("expected scale in type");
+            }
+            ++pos_;
+          }
+          QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+        }
+      }
+      // Optional and ignored: NOT NULL / NULL / PRIMARY KEY.
+      if (acceptKeyword("NOT")) QSERV_RETURN_IF_ERROR(expectKeyword("NULL"));
+      else acceptKeyword("NULL");
+      if (acceptKeyword("PRIMARY")) QSERV_RETURN_IF_ERROR(expectKeyword("KEY"));
+      stmt.schema.addColumn(std::move(col));
+    } while (accept(TokenType::kComma));
+    QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> parseInsert() {
+    QSERV_RETURN_IF_ERROR(expectKeyword("INSERT"));
+    QSERV_RETURN_IF_ERROR(expectKeyword("INTO"));
+    InsertStmt stmt;
+    auto name = parseQualifiedName();
+    if (!name.isOk()) return name.status();
+    stmt.table = std::move(name).value();
+    if (peek().is("SELECT")) {
+      auto sel = parseSelectStmt();
+      if (!sel.isOk()) return sel.status();
+      stmt.select = std::make_unique<SelectStmt>(std::move(sel).value());
+      return Statement(std::move(stmt));
+    }
+    QSERV_RETURN_IF_ERROR(expectKeyword("VALUES"));
+    do {
+      QSERV_RETURN_IF_ERROR(expect(TokenType::kLParen, "expected '('"));
+      std::vector<Value> row;
+      if (!accept(TokenType::kRParen)) {
+        do {
+          auto v = parseLiteralValue();
+          if (!v.isOk()) return v.status();
+          row.push_back(std::move(v).value());
+        } while (accept(TokenType::kComma));
+        QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+      }
+      stmt.rows.push_back(std::move(row));
+    } while (accept(TokenType::kComma));
+    return Statement(std::move(stmt));
+  }
+
+  Result<Statement> parseDrop() {
+    QSERV_RETURN_IF_ERROR(expectKeyword("DROP"));
+    QSERV_RETURN_IF_ERROR(expectKeyword("TABLE"));
+    DropTableStmt stmt;
+    if (peek().is("IF")) {
+      ++pos_;
+      QSERV_RETURN_IF_ERROR(expectKeyword("EXISTS"));
+      stmt.ifExists = true;
+    }
+    auto name = parseQualifiedName();
+    if (!name.isOk()) return name.status();
+    stmt.table = std::move(name).value();
+    return Statement(std::move(stmt));
+  }
+
+  /// name or db.name, joined with '.' (the engine treats the database
+  /// qualifier as part of the table key; see Database).
+  Result<std::string> parseQualifiedName() {
+    if (peek().type != TokenType::kIdentifier) {
+      return errorHere("expected name");
+    }
+    std::string name = advance().text;
+    if (accept(TokenType::kDot)) {
+      if (peek().type != TokenType::kIdentifier) {
+        return errorHere("expected name after '.'");
+      }
+      name += "." + advance().text;
+    }
+    return name;
+  }
+
+  Result<Value> parseLiteralValue() {
+    bool neg = false;
+    if (accept(TokenType::kMinus)) neg = true;
+    const Token& t = peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        ++pos_;
+        return Value(neg ? -t.intValue : t.intValue);
+      }
+      case TokenType::kDouble: {
+        ++pos_;
+        return Value(neg ? -t.doubleValue : t.doubleValue);
+      }
+      case TokenType::kString: {
+        if (neg) return errorHere("cannot negate a string");
+        ++pos_;
+        return Value(t.text);
+      }
+      case TokenType::kIdentifier:
+        if (t.is("NULL")) {
+          if (neg) return errorHere("cannot negate NULL");
+          ++pos_;
+          return Value::null();
+        }
+        return errorHere("expected literal");
+      default:
+        return errorHere("expected literal");
+    }
+  }
+
+  // ----------------------------------------------------------- expressions
+  /// Select-list entry: '*', 'alias.*', or an expression.
+  Result<ExprPtr> parseSelectListExpr() {
+    if (peek().type == TokenType::kStar) {
+      ++pos_;
+      return ExprPtr(std::make_unique<StarExpr>());
+    }
+    if (peek().type == TokenType::kIdentifier &&
+        peek(1).type == TokenType::kDot && peek(2).type == TokenType::kStar) {
+      std::string qual = advance().text;
+      pos_ += 2;
+      return ExprPtr(std::make_unique<StarExpr>(qual));
+    }
+    return parseExpr();
+  }
+
+  Result<ExprPtr> parseExpr() { return parseOr(); }
+
+  Result<ExprPtr> parseOr() {
+    auto lhs = parseAnd();
+    if (!lhs.isOk()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (acceptKeyword("OR")) {
+      auto rhs = parseAnd();
+      if (!rhs.isOk()) return rhs;
+      e = std::make_unique<BinaryExpr>(BinOp::kOr, std::move(e),
+                                       std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parseAnd() {
+    auto lhs = parseNot();
+    if (!lhs.isOk()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (peek().is("AND")) {
+      ++pos_;
+      auto rhs = parseNot();
+      if (!rhs.isOk()) return rhs;
+      e = std::make_unique<BinaryExpr>(BinOp::kAnd, std::move(e),
+                                       std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parseNot() {
+    if (acceptKeyword("NOT")) {
+      auto inner = parseNot();
+      if (!inner.isOk()) return inner;
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnOp::kNot, std::move(inner).value()));
+    }
+    return parsePredicate();
+  }
+
+  Result<ExprPtr> parsePredicate() {
+    auto lhs = parseAdditive();
+    if (!lhs.isOk()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+
+    bool negated = false;
+    if (peek().is("NOT") &&
+        (peek(1).is("BETWEEN") || peek(1).is("IN"))) {
+      ++pos_;
+      negated = true;
+    }
+
+    if (acceptKeyword("BETWEEN")) {
+      auto lo = parseAdditive();
+      if (!lo.isOk()) return lo;
+      QSERV_RETURN_IF_ERROR(expectKeyword("AND"));
+      auto hi = parseAdditive();
+      if (!hi.isOk()) return hi;
+      return ExprPtr(std::make_unique<BetweenExpr>(
+          std::move(e), std::move(lo).value(), std::move(hi).value(),
+          negated));
+    }
+    if (acceptKeyword("IN")) {
+      QSERV_RETURN_IF_ERROR(expect(TokenType::kLParen, "expected '('"));
+      std::vector<ExprPtr> list;
+      do {
+        auto item = parseAdditive();
+        if (!item.isOk()) return item;
+        list.push_back(std::move(item).value());
+      } while (accept(TokenType::kComma));
+      QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+      return ExprPtr(
+          std::make_unique<InExpr>(std::move(e), std::move(list), negated));
+    }
+    if (negated) return errorHere("expected BETWEEN or IN after NOT");
+    if (acceptKeyword("IS")) {
+      bool isNot = acceptKeyword("NOT");
+      QSERV_RETURN_IF_ERROR(expectKeyword("NULL"));
+      return ExprPtr(std::make_unique<IsNullExpr>(std::move(e), isNot));
+    }
+
+    BinOp op;
+    switch (peek().type) {
+      case TokenType::kEq: op = BinOp::kEq; break;
+      case TokenType::kNe: op = BinOp::kNe; break;
+      case TokenType::kLt: op = BinOp::kLt; break;
+      case TokenType::kLe: op = BinOp::kLe; break;
+      case TokenType::kGt: op = BinOp::kGt; break;
+      case TokenType::kGe: op = BinOp::kGe; break;
+      default: return e;
+    }
+    ++pos_;
+    auto rhs = parseAdditive();
+    if (!rhs.isOk()) return rhs;
+    return ExprPtr(std::make_unique<BinaryExpr>(op, std::move(e),
+                                                std::move(rhs).value()));
+  }
+
+  Result<ExprPtr> parseAdditive() {
+    auto lhs = parseMultiplicative();
+    if (!lhs.isOk()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinOp op;
+      if (peek().type == TokenType::kPlus) op = BinOp::kAdd;
+      else if (peek().type == TokenType::kMinus) op = BinOp::kSub;
+      else break;
+      ++pos_;
+      auto rhs = parseMultiplicative();
+      if (!rhs.isOk()) return rhs;
+      e = std::make_unique<BinaryExpr>(op, std::move(e),
+                                       std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parseMultiplicative() {
+    auto lhs = parseUnary();
+    if (!lhs.isOk()) return lhs;
+    ExprPtr e = std::move(lhs).value();
+    while (true) {
+      BinOp op;
+      if (peek().type == TokenType::kStar) op = BinOp::kMul;
+      else if (peek().type == TokenType::kSlash) op = BinOp::kDiv;
+      else if (peek().type == TokenType::kPercent) op = BinOp::kMod;
+      else break;
+      ++pos_;
+      auto rhs = parseUnary();
+      if (!rhs.isOk()) return rhs;
+      e = std::make_unique<BinaryExpr>(op, std::move(e),
+                                       std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<ExprPtr> parseUnary() {
+    if (accept(TokenType::kMinus)) {
+      auto inner = parseUnary();
+      if (!inner.isOk()) return inner;
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnOp::kNeg, std::move(inner).value()));
+    }
+    if (accept(TokenType::kPlus)) return parseUnary();
+    return parsePrimary();
+  }
+
+  Result<ExprPtr> parsePrimary() {
+    const Token& t = peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        ++pos_;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value(t.intValue)));
+      }
+      case TokenType::kDouble: {
+        ++pos_;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value(t.doubleValue)));
+      }
+      case TokenType::kString: {
+        ++pos_;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value(t.text)));
+      }
+      case TokenType::kLParen: {
+        ++pos_;
+        auto e = parseExpr();
+        if (!e.isOk()) return e;
+        QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+        return e;
+      }
+      case TokenType::kIdentifier: {
+        if (t.is("NULL")) {
+          ++pos_;
+          return ExprPtr(std::make_unique<LiteralExpr>(Value::null()));
+        }
+        if (isReservedWord(t)) {
+          return errorHere(util::format("unexpected keyword %s",
+                                        t.text.c_str()));
+        }
+        // Function call.
+        if (peek(1).type == TokenType::kLParen) {
+          std::string name = advance().text;
+          ++pos_;  // '('
+          std::vector<ExprPtr> args;
+          if (!accept(TokenType::kRParen)) {
+            do {
+              if (peek().type == TokenType::kStar) {
+                // COUNT(*).
+                ++pos_;
+                args.push_back(std::make_unique<StarExpr>());
+              } else {
+                auto a = parseExpr();
+                if (!a.isOk()) return a;
+                args.push_back(std::move(a).value());
+              }
+            } while (accept(TokenType::kComma));
+            QSERV_RETURN_IF_ERROR(expect(TokenType::kRParen, "expected ')'"));
+          }
+          return ExprPtr(
+              std::make_unique<FuncCall>(std::move(name), std::move(args)));
+        }
+        // Column reference: column or qualifier.column.
+        std::string first = advance().text;
+        if (accept(TokenType::kDot)) {
+          if (peek().type != TokenType::kIdentifier) {
+            return errorHere("expected column after '.'");
+          }
+          std::string second = advance().text;
+          return ExprPtr(std::make_unique<ColumnRef>(first, second));
+        }
+        return ExprPtr(std::make_unique<ColumnRef>("", first));
+      }
+      default:
+        return errorHere("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Result<Statement> parseStatement(std::string_view sql) {
+  QSERV_ASSIGN_OR_RETURN(auto tokens, tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.parseOneStatement();
+}
+
+util::Result<std::vector<Statement>> parseScript(std::string_view sql) {
+  QSERV_ASSIGN_OR_RETURN(auto tokens, tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.parseAll();
+}
+
+util::Result<SelectStmt> parseSelect(std::string_view sql) {
+  QSERV_ASSIGN_OR_RETURN(auto stmt, parseStatement(sql));
+  if (auto* sel = std::get_if<SelectStmt>(&stmt)) {
+    return std::move(*sel);
+  }
+  return util::Status::invalidArgument("statement is not a SELECT");
+}
+
+util::Result<ExprPtr> parseExpression(std::string_view sql) {
+  QSERV_ASSIGN_OR_RETURN(auto tokens, tokenize(sql));
+  Parser p(std::move(tokens));
+  return p.parseSingleExpression();
+}
+
+}  // namespace qserv::sql

@@ -1,0 +1,33 @@
+/// \file parser.h
+/// \brief Recursive-descent SQL parser.
+///
+/// Covers the dialect Qserv needs (paper §5.3, §6.2): SELECT with expressions,
+/// aliases, comma joins and INNER JOIN..ON, WHERE with AND/OR/NOT, BETWEEN,
+/// IN, IS [NOT] NULL, arithmetic and function calls (including the
+/// qserv_areaspec_box pseudo-function), GROUP BY / ORDER BY / LIMIT, plus the
+/// DDL/DML needed by workers and the result merger: CREATE TABLE (schema or
+/// AS SELECT), INSERT .. VALUES / INSERT .. SELECT, DROP TABLE.
+/// SQL subqueries are unsupported, matching the paper.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// Parse exactly one statement (a trailing semicolon is allowed).
+util::Result<Statement> parseStatement(std::string_view sql);
+
+/// Parse a semicolon-separated script; empty statements are skipped.
+util::Result<std::vector<Statement>> parseScript(std::string_view sql);
+
+/// Parse one statement that must be a SELECT.
+util::Result<SelectStmt> parseSelect(std::string_view sql);
+
+/// Parse a standalone scalar/boolean expression (for tests and tools).
+util::Result<ExprPtr> parseExpression(std::string_view sql);
+
+}  // namespace qserv::sql

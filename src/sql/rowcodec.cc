@@ -1,0 +1,195 @@
+#include "sql/rowcodec.h"
+
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+namespace {
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool take(void* out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool u8(std::uint8_t& v) { return take(&v, 1); }
+  bool u16(std::uint16_t& v) {
+    std::uint8_t b[2];
+    if (!take(b, 2)) return false;
+    v = static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint8_t b[4];
+    if (!take(b, 4)) return false;
+    v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    std::uint8_t b[8];
+    if (!take(b, 8)) return false;
+    v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+    return true;
+  }
+  bool str(std::string& out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    out.assign(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool isBinaryTablePayload(std::string_view payload) {
+  return payload.size() >= kRowCodecMagic.size() &&
+         payload.substr(0, kRowCodecMagic.size()) == kRowCodecMagic;
+}
+
+std::string encodeTableBinary(const Table& table,
+                              const std::string& targetName) {
+  std::string out;
+  out.reserve(64 + table.numRows() * table.numColumns() * 9);
+  out.append(kRowCodecMagic);
+  putU16(out, static_cast<std::uint16_t>(targetName.size()));
+  out.append(targetName);
+  putU16(out, static_cast<std::uint16_t>(table.numColumns()));
+  for (std::size_t c = 0; c < table.numColumns(); ++c) {
+    const ColumnDef& col = table.schema().column(c);
+    std::uint8_t type = col.type == ColumnType::kInt      ? 0
+                        : col.type == ColumnType::kDouble ? 1
+                                                          : 2;
+    out.push_back(static_cast<char>(type));
+    putU16(out, static_cast<std::uint16_t>(col.name.size()));
+    out.append(col.name);
+  }
+  putU64(out, table.numRows());
+  for (std::size_t r = 0; r < table.numRows(); ++r) {
+    for (std::size_t c = 0; c < table.numColumns(); ++c) {
+      Value v = table.cell(r, c);
+      out.push_back(v.isNull() ? 1 : 0);
+      if (v.isNull()) continue;
+      switch (table.schema().column(c).type) {
+        case ColumnType::kInt: {
+          putU64(out, static_cast<std::uint64_t>(v.asInt()));
+          break;
+        }
+        case ColumnType::kDouble: {
+          double d = v.toDouble();
+          std::uint64_t bits;
+          std::memcpy(&bits, &d, 8);
+          putU64(out, bits);
+          break;
+        }
+        case ColumnType::kString: {
+          putU32(out, static_cast<std::uint32_t>(v.asString().size()));
+          out.append(v.asString());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+util::Result<TablePtr> loadBinaryTable(Database& db,
+                                       std::string_view payload) {
+  if (!isBinaryTablePayload(payload)) {
+    return util::Status::invalidArgument("not a binary table payload");
+  }
+  Reader reader(payload.substr(kRowCodecMagic.size()));
+  auto corrupt = [] {
+    return util::Status::invalidArgument("truncated binary table payload");
+  };
+
+  std::uint16_t nameLen = 0;
+  std::string name;
+  if (!reader.u16(nameLen) || !reader.str(name, nameLen)) return corrupt();
+  std::uint16_t ncols = 0;
+  if (!reader.u16(ncols)) return corrupt();
+  Schema schema;
+  for (std::uint16_t c = 0; c < ncols; ++c) {
+    std::uint8_t type = 0;
+    std::uint16_t len = 0;
+    std::string colName;
+    if (!reader.u8(type) || !reader.u16(len) || !reader.str(colName, len)) {
+      return corrupt();
+    }
+    if (type > 2) {
+      return util::Status::invalidArgument("unknown column type in payload");
+    }
+    ColumnType t = type == 0   ? ColumnType::kInt
+                   : type == 1 ? ColumnType::kDouble
+                               : ColumnType::kString;
+    schema.addColumn(ColumnDef{std::move(colName), t});
+  }
+  std::uint64_t nrows = 0;
+  if (!reader.u64(nrows)) return corrupt();
+
+  auto table = std::make_shared<Table>(name, schema);
+  std::vector<Value> row(schema.numColumns());
+  for (std::uint64_t r = 0; r < nrows; ++r) {
+    for (std::size_t c = 0; c < schema.numColumns(); ++c) {
+      std::uint8_t null = 0;
+      if (!reader.u8(null)) return corrupt();
+      if (null) {
+        row[c] = Value::null();
+        continue;
+      }
+      switch (schema.column(c).type) {
+        case ColumnType::kInt: {
+          std::uint64_t v = 0;
+          if (!reader.u64(v)) return corrupt();
+          row[c] = Value(static_cast<std::int64_t>(v));
+          break;
+        }
+        case ColumnType::kDouble: {
+          std::uint64_t bits = 0;
+          if (!reader.u64(bits)) return corrupt();
+          double d;
+          std::memcpy(&d, &bits, 8);
+          row[c] = Value(d);
+          break;
+        }
+        case ColumnType::kString: {
+          std::uint32_t len = 0;
+          std::string s;
+          if (!reader.u32(len) || !reader.str(s, len)) return corrupt();
+          row[c] = Value(std::move(s));
+          break;
+        }
+      }
+    }
+    QSERV_RETURN_IF_ERROR(table->appendRow(row));
+  }
+  QSERV_RETURN_IF_ERROR(db.dropTable(name, /*ifExists=*/true));
+  QSERV_RETURN_IF_ERROR(db.registerTable(table));
+  return table;
+}
+
+}  // namespace qserv::sql

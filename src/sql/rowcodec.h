@@ -1,0 +1,41 @@
+/// \file rowcodec.h
+/// \brief Compact binary table serialization — the "more efficient method"
+/// of result transfer the paper wants to replace mysqldump with (§5.4,
+/// §7.1: mysqldump's "costs in speed, disk, network, and database
+/// transactions are strong motivations to explore a more efficient
+/// method").
+///
+/// Format (all integers little-endian):
+///   magic  "QBN1"            4 bytes
+///   name   u16 len + bytes
+///   ncols  u16
+///   per column: u8 type (0=int,1=double,2=string), u16 name len + bytes
+///   nrows  u64
+///   row data, column-major per row: u8 null flag, then payload
+///     (int64 / double raw 8 bytes; string u32 len + bytes)
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sql/database.h"
+#include "sql/table.h"
+
+namespace qserv::sql {
+
+/// Magic prefix distinguishing binary payloads from SQL-dump text.
+inline constexpr std::string_view kRowCodecMagic = "QBN1";
+
+/// True when \p payload starts with the binary magic.
+bool isBinaryTablePayload(std::string_view payload);
+
+/// Serialize \p table under \p targetName.
+std::string encodeTableBinary(const Table& table,
+                              const std::string& targetName);
+
+/// Decode a binary payload and register the table in \p db (replacing any
+/// same-named table, like a dump's DROP + CREATE).
+util::Result<TablePtr> loadBinaryTable(Database& db,
+                                       std::string_view payload);
+
+}  // namespace qserv::sql

@@ -1,0 +1,43 @@
+#include "sql/schema.h"
+
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+const char* columnTypeName(ColumnType t) {
+  switch (t) {
+    case ColumnType::kInt: return "BIGINT";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kString: return "VARCHAR";
+  }
+  return "?";
+}
+
+bool valueMatches(ColumnType t, const Value& v) {
+  if (v.isNull()) return true;
+  switch (t) {
+    case ColumnType::kInt: return v.isInt();
+    case ColumnType::kDouble: return v.isNumeric();
+    case ColumnType::kString: return v.isString();
+  }
+  return false;
+}
+
+std::optional<std::size_t> Schema::indexOf(std::string_view name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (util::iequals(columns_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+std::string Schema::toSql() const {
+  std::string out = "(";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "`" + columns_[i].name + "` " + columnTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace qserv::sql

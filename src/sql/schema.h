@@ -1,0 +1,54 @@
+/// \file schema.h
+/// \brief Column and table schema descriptions.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace qserv::sql {
+
+/// Declared column type. Values are still dynamically typed; the declared
+/// type selects columnar storage and dump rendering.
+enum class ColumnType { kInt, kDouble, kString };
+
+const char* columnTypeName(ColumnType t);
+
+/// Declared type matching a runtime value type (NULL matches any).
+bool valueMatches(ColumnType t, const Value& v);
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// Ordered list of columns with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  std::size_t numColumns() const { return columns_.size(); }
+  const ColumnDef& column(std::size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void addColumn(ColumnDef def) { columns_.push_back(std::move(def)); }
+
+  /// Index of column \p name (case-insensitive), or nullopt.
+  std::optional<std::size_t> indexOf(std::string_view name) const;
+
+  /// "(`a` BIGINT, `b` DOUBLE)" — CREATE TABLE column list.
+  std::string toSql() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace qserv::sql

@@ -1,0 +1,105 @@
+#include "sql/table.h"
+
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  columns_.resize(schema_.numColumns());
+  for (std::size_t i = 0; i < schema_.numColumns(); ++i) {
+    columns_[i].type = schema_.column(i).type;
+  }
+}
+
+util::Status Table::appendRow(std::span<const Value> values) {
+  if (values.size() != schema_.numColumns()) {
+    return util::Status::invalidArgument(util::format(
+        "table %s: row has %zu values, schema has %zu columns", name_.c_str(),
+        values.size(), schema_.numColumns()));
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (!valueMatches(columns_[i].type, values[i])) {
+      return util::Status::invalidArgument(util::format(
+          "table %s column %s: %s value does not match declared type %s",
+          name_.c_str(), schema_.column(i).name.c_str(),
+          valueTypeName(values[i].type()), columnTypeName(columns_[i].type)));
+    }
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    Column& c = columns_[i];
+    const Value& v = values[i];
+    c.nulls.push_back(v.isNull() ? 1 : 0);
+    switch (c.type) {
+      case ColumnType::kInt:
+        c.ints.push_back(v.isNull() ? 0 : v.asInt());
+        break;
+      case ColumnType::kDouble:
+        c.doubles.push_back(v.isNull() ? 0.0 : v.toDouble());
+        break;
+      case ColumnType::kString:
+        c.strings.push_back(v.isNull() ? std::string() : v.asString());
+        break;
+    }
+  }
+  ++numRows_;
+  return util::Status::ok();
+}
+
+Value Table::cell(std::size_t row, std::size_t col) const {
+  assert(row < numRows_ && col < columns_.size());
+  const Column& c = columns_[col];
+  if (c.nulls[row]) return Value::null();
+  switch (c.type) {
+    case ColumnType::kInt: return Value(c.ints[row]);
+    case ColumnType::kDouble: return Value(c.doubles[row]);
+    case ColumnType::kString: return Value(c.strings[row]);
+  }
+  return Value::null();
+}
+
+std::vector<Value> Table::row(std::size_t r) const {
+  std::vector<Value> out;
+  out.reserve(numColumns());
+  for (std::size_t c = 0; c < numColumns(); ++c) out.push_back(cell(r, c));
+  return out;
+}
+
+const std::vector<std::int64_t>& Table::intColumn(std::size_t col) const {
+  assert(columns_[col].type == ColumnType::kInt);
+  return columns_[col].ints;
+}
+
+const std::vector<double>& Table::doubleColumn(std::size_t col) const {
+  assert(columns_[col].type == ColumnType::kDouble);
+  return columns_[col].doubles;
+}
+
+const std::vector<std::string>& Table::stringColumn(std::size_t col) const {
+  assert(columns_[col].type == ColumnType::kString);
+  return columns_[col].strings;
+}
+
+bool Table::isNull(std::size_t row, std::size_t col) const {
+  assert(row < numRows_ && col < columns_.size());
+  return columns_[col].nulls[row] != 0;
+}
+
+std::size_t Table::payloadBytes() const {
+  std::size_t total = 0;
+  for (const Column& c : columns_) {
+    switch (c.type) {
+      case ColumnType::kInt: total += c.ints.size() * sizeof(std::int64_t); break;
+      case ColumnType::kDouble: total += c.doubles.size() * sizeof(double); break;
+      case ColumnType::kString:
+        for (const auto& s : c.strings) total += s.size() + 1;
+        break;
+    }
+    total += c.nulls.size();
+  }
+  return total;
+}
+
+}  // namespace qserv::sql

@@ -1,0 +1,66 @@
+/// \file table.h
+/// \brief Append-only columnar table storage.
+///
+/// Columns are stored as typed vectors with a null mask — a decomposition
+/// storage model in the spirit of the columnar organization the paper
+/// contemplates in §7.4, chosen here for scan speed on wide tables.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/schema.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t numRows() const { return numRows_; }
+  std::size_t numColumns() const { return schema_.numColumns(); }
+
+  /// Append a row; values must match the schema's declared types
+  /// (ints are accepted into DOUBLE columns and widened).
+  util::Status appendRow(std::span<const Value> values);
+
+  /// Value of a cell. Preconditions: row < numRows(), col < numColumns().
+  Value cell(std::size_t row, std::size_t col) const;
+
+  /// Materialize a full row.
+  std::vector<Value> row(std::size_t r) const;
+
+  /// Raw typed column access for hot scan loops. The vectors are only
+  /// meaningful for the column's declared type; null entries hold 0 / "" and
+  /// must be checked through isNull().
+  const std::vector<std::int64_t>& intColumn(std::size_t col) const;
+  const std::vector<double>& doubleColumn(std::size_t col) const;
+  const std::vector<std::string>& stringColumn(std::size_t col) const;
+  bool isNull(std::size_t row, std::size_t col) const;
+
+  /// In-memory payload bytes (column data only, no metadata).
+  std::size_t payloadBytes() const;
+
+ private:
+  struct Column {
+    ColumnType type;
+    std::vector<std::int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    std::vector<std::uint8_t> nulls;  // 1 = NULL
+  };
+
+  std::string name_;
+  Schema schema_;
+  std::vector<Column> columns_;
+  std::size_t numRows_ = 0;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace qserv::sql

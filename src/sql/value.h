@@ -1,0 +1,93 @@
+/// \file value.h
+/// \brief Runtime SQL values: NULL, 64-bit integer, double, string.
+///
+/// These are the cell values flowing through the expression evaluator and
+/// executor of the embedded SQL engine (the MySQL substitute, see DESIGN.md).
+/// Numeric comparisons and arithmetic follow MySQL-like coercion: int op
+/// double -> double; NULL propagates through arithmetic and comparisons
+/// (three-valued logic collapses to "not true" at filter boundaries).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.h"
+
+namespace qserv::sql {
+
+enum class ValueType { kNull = 0, kInt, kDouble, kString };
+
+const char* valueTypeName(ValueType t);
+
+class Value {
+ public:
+  /// NULL.
+  Value() : v_(std::monostate{}) {}
+  Value(std::int64_t i) : v_(i) {}          // NOLINT(google-explicit-constructor)
+  Value(int i) : v_(std::int64_t{i}) {}     // NOLINT(google-explicit-constructor)
+  Value(double d) : v_(d) {}                // NOLINT(google-explicit-constructor)
+  Value(std::string s) : v_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(const char* s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+  Value(bool) = delete;  // booleans are represented as int 0/1 explicitly
+
+  static Value null() { return Value(); }
+  static Value boolean(bool b) { return Value(std::int64_t{b ? 1 : 0}); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(v_.index());
+  }
+  bool isNull() const { return type() == ValueType::kNull; }
+  bool isInt() const { return type() == ValueType::kInt; }
+  bool isDouble() const { return type() == ValueType::kDouble; }
+  bool isString() const { return type() == ValueType::kString; }
+  bool isNumeric() const { return isInt() || isDouble(); }
+
+  /// Integer payload. Precondition: isInt().
+  std::int64_t asInt() const { return std::get<std::int64_t>(v_); }
+  /// Double payload. Precondition: isDouble().
+  double asDouble() const { return std::get<double>(v_); }
+  /// String payload. Precondition: isString().
+  const std::string& asString() const { return std::get<std::string>(v_); }
+
+  /// Numeric value as double (int widened). Precondition: isNumeric().
+  double toDouble() const {
+    return isInt() ? static_cast<double>(asInt()) : asDouble();
+  }
+
+  /// SQL truthiness: non-zero numeric. NULL and strings are not true.
+  bool isTrue() const {
+    if (isInt()) return asInt() != 0;
+    if (isDouble()) return asDouble() != 0.0;
+    return false;
+  }
+
+  /// Three-way comparison for ORDER BY / index keys: NULL sorts first,
+  /// numerics compare numerically across int/double, strings lexically.
+  /// Cross-type (string vs numeric) compares by type rank. Returns -1/0/1.
+  int compare(const Value& other) const;
+
+  /// SQL equality (used by = and hash joins). NULL never equals anything.
+  bool sqlEquals(const Value& other) const {
+    if (isNull() || other.isNull()) return false;
+    return compare(other) == 0;
+  }
+
+  /// Exact structural equality (NULL == NULL), for tests and dedup.
+  bool operator==(const Value& other) const;
+
+  /// SQL literal rendering: NULL, 42, 1.5e10, 'escaped ''string'''.
+  /// Doubles round-trip exactly (%.17g).
+  std::string toSqlLiteral() const;
+
+  /// Human-readable rendering (no quotes on strings).
+  std::string toDisplayString() const;
+
+  /// Hash consistent with sqlEquals for non-null values (int 2.0 == 2).
+  std::size_t hash() const;
+
+ private:
+  std::variant<std::monostate, std::int64_t, double, std::string> v_;
+};
+
+}  // namespace qserv::sql

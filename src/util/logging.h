@@ -1,0 +1,50 @@
+/// \file logging.h
+/// \brief Minimal leveled, thread-safe logger for Qserv components.
+///
+/// Default level is WARN so tests and benchmarks stay quiet; examples raise
+/// it to INFO to narrate the distributed flow.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace qserv::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global minimum level; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// Emit one line ("LEVEL component: message") to stderr, thread-safely.
+void logMessage(LogLevel level, const std::string& component,
+                const std::string& message);
+
+/// Stream-style log statement builder used by the QLOG macro.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { logMessage(level_, component_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+}  // namespace qserv::util
+
+/// Log at \p level for \p component with stream syntax:
+///   QLOG(kInfo, "master") << "dispatching " << n << " chunk queries";
+#define QLOG(level, component)                                     \
+  if (::qserv::util::logLevel() <= ::qserv::util::LogLevel::level) \
+  ::qserv::util::LogLine(::qserv::util::LogLevel::level, (component))

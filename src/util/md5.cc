@@ -1,0 +1,159 @@
+#include "util/md5.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace qserv::util {
+
+namespace {
+
+// Per-round shift amounts (RFC 1321).
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * abs(sin(i+1))) (RFC 1321).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+inline std::uint32_t rotl(std::uint32_t x, std::uint32_t n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+inline std::uint32_t load32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+Md5::Md5() : a_(0x67452301), b_(0xefcdab89), c_(0x98badcfe), d_(0x10325476) {}
+
+void Md5::processBlock(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load32le(block + 4 * i);
+
+  std::uint32_t a = a_, b = b_, c = c_, d = d_;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    std::uint32_t f, g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) & 15;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) & 15;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) & 15;
+    }
+    std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+  a_ += a;
+  b_ += b;
+  c_ += c;
+  d_ += d;
+}
+
+void Md5::update(std::string_view data) { update(data.data(), data.size()); }
+
+void Md5::update(const void* data, std::size_t len) {
+  assert(!finalized_ && "Md5::update after digest()");
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  totalLen_ += len;
+  if (bufferLen_ > 0) {
+    std::size_t take = std::min(len, buffer_.size() - bufferLen_);
+    std::memcpy(buffer_.data() + bufferLen_, p, take);
+    bufferLen_ += take;
+    p += take;
+    len -= take;
+    if (bufferLen_ == buffer_.size()) {
+      processBlock(buffer_.data());
+      bufferLen_ = 0;
+    }
+  }
+  while (len >= 64) {
+    processBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_.data(), p, len);
+    bufferLen_ = len;
+  }
+}
+
+std::array<std::uint8_t, 16> Md5::digest() {
+  assert(!finalized_ && "Md5::digest called twice");
+  finalized_ = true;
+  std::uint64_t bitLen = totalLen_ * 8;
+
+  // Pad: 0x80, zeros, then 8-byte little-endian bit length.
+  std::uint8_t pad[72] = {0x80};
+  std::size_t padLen = (bufferLen_ < 56) ? 56 - bufferLen_ : 120 - bufferLen_;
+  // Append padding then length through the normal buffered path, but avoid
+  // the finalized_ assertion by inlining the buffered logic here.
+  std::uint8_t tail[8];
+  for (int i = 0; i < 8; ++i)
+    tail[i] = static_cast<std::uint8_t>(bitLen >> (8 * i));
+
+  finalized_ = false;  // allow update() for the padding bytes
+  update(pad, padLen);
+  update(tail, 8);
+  finalized_ = true;
+  assert(bufferLen_ == 0);
+
+  std::array<std::uint8_t, 16> out{};
+  store32le(out.data() + 0, a_);
+  store32le(out.data() + 4, b_);
+  store32le(out.data() + 8, c_);
+  store32le(out.data() + 12, d_);
+  return out;
+}
+
+std::string Md5::hex(std::string_view data) {
+  Md5 h;
+  h.update(data);
+  auto d = h.digest();
+  return toHex(d.data(), d.size());
+}
+
+std::string toHex(const std::uint8_t* data, std::size_t len) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(len * 2);
+  for (std::size_t i = 0; i < len; ++i) {
+    out.push_back(kDigits[data[i] >> 4]);
+    out.push_back(kDigits[data[i] & 15]);
+  }
+  return out;
+}
+
+}  // namespace qserv::util

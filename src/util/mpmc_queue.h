@@ -1,0 +1,93 @@
+/// \file mpmc_queue.h
+/// \brief Blocking multi-producer/multi-consumer queue.
+///
+/// Used for worker FIFO task queues and the master's result-collection
+/// channel. Supports closing: after close(), producers fail and consumers
+/// drain remaining items then observe emptiness.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace qserv::util {
+
+template <typename T>
+class MpmcQueue {
+ public:
+  /// \param maxSize bound on queued items; 0 means unbounded.
+  explicit MpmcQueue(std::size_t maxSize = 0) : maxSize_(maxSize) {}
+
+  /// Enqueue \p item; blocks while full. Returns false if closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    notFull_.wait(lock, [&] {
+      return closed_ || maxSize_ == 0 || items_.size() < maxSize_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Enqueue without blocking. Returns false if full or closed.
+  bool tryPush(T item) {
+    std::lock_guard lock(mutex_);
+    if (closed_ || (maxSize_ != 0 && items_.size() >= maxSize_)) return false;
+    items_.push_back(std::move(item));
+    notEmpty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue. Returns nullopt when the queue is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    notEmpty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking dequeue.
+  std::optional<T> tryPop() {
+    std::lock_guard lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    notFull_.notify_one();
+    return item;
+  }
+
+  /// Close the queue: pending/future pushes fail, pops drain then end.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    notEmpty_.notify_all();
+    notFull_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable notEmpty_;
+  std::condition_variable notFull_;
+  std::deque<T> items_;
+  std::size_t maxSize_;
+  bool closed_ = false;
+};
+
+}  // namespace qserv::util

@@ -1,0 +1,80 @@
+/// \file rng.h
+/// \brief Deterministic, seedable random number generation.
+///
+/// All synthetic-data generation and randomized workloads use this generator
+/// so every experiment in EXPERIMENTS.md is exactly reproducible from its
+/// seed. The core is splitmix64 feeding xoshiro256**.
+#pragma once
+
+#include <cstdint>
+
+namespace qserv::util {
+
+/// splitmix64 step; good for seeding and cheap hashing.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9d5ad9bull) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) {
+    // Lemire's multiply-shift rejection-free-enough reduction; bias is
+    // negligible for our n << 2^64.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>((*this)()) * n) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Approximate standard normal via sum of uniforms is too crude; use
+  /// Box-Muller (one value per call, the pair's twin is discarded for
+  /// simplicity and determinism).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace qserv::util

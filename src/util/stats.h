@@ -1,0 +1,49 @@
+/// \file stats.h
+/// \brief Running statistics and fixed-bucket histograms for benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace qserv::util {
+
+/// Accumulates count/mean/min/max/variance in one pass (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  std::string toString() const;
+
+ private:
+  std::int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact percentile over a stored sample set (fine for bench-sized data).
+class Percentiles {
+ public:
+  void add(double x) { values_.push_back(x); }
+  /// \p p in [0,100]. Returns NaN when empty. Sorts lazily.
+  double percentile(double p);
+  std::size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<double> values_;
+  bool sorted_ = false;
+};
+
+}  // namespace qserv::util

@@ -1,0 +1,145 @@
+/// \file status.h
+/// \brief Lightweight error propagation types (Status / Result<T>).
+///
+/// Qserv components report recoverable failures (bad SQL, missing chunk,
+/// worker fault) through these types rather than exceptions, keeping error
+/// paths explicit on the hot dispatch path. Irrecoverable programming errors
+/// still use assertions/exceptions.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace qserv::util {
+
+/// Error category for a failed operation.
+enum class ErrorCode {
+  kOk = 0,
+  kInvalidArgument,   ///< caller passed something malformed (e.g. bad SQL)
+  kNotFound,          ///< named entity (table, chunk, path) does not exist
+  kAlreadyExists,     ///< creation collided with an existing entity
+  kUnavailable,       ///< transient: worker down, path not yet published
+  kFailedPrecondition,///< call sequence violated (e.g. read before close)
+  kUnimplemented,     ///< feature intentionally unsupported (e.g. subqueries)
+  kInternal,          ///< invariant violation inside the system
+  kAborted,           ///< operation cancelled (e.g. shutdown)
+};
+
+/// Human-readable name for an ErrorCode.
+inline const char* errorCodeName(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kFailedPrecondition: return "FAILED_PRECONDITION";
+    case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kAborted: return "ABORTED";
+  }
+  return "UNKNOWN";
+}
+
+/// Status of an operation that returns no value.
+class [[nodiscard]] Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  /// Constructs a status with \p code and \p message (non-OK expected).
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+  static Status invalidArgument(std::string m) { return {ErrorCode::kInvalidArgument, std::move(m)}; }
+  static Status notFound(std::string m) { return {ErrorCode::kNotFound, std::move(m)}; }
+  static Status alreadyExists(std::string m) { return {ErrorCode::kAlreadyExists, std::move(m)}; }
+  static Status unavailable(std::string m) { return {ErrorCode::kUnavailable, std::move(m)}; }
+  static Status failedPrecondition(std::string m) { return {ErrorCode::kFailedPrecondition, std::move(m)}; }
+  static Status unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
+  static Status internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
+  static Status aborted(std::string m) { return {ErrorCode::kAborted, std::move(m)}; }
+
+  bool isOk() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return isOk(); }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "CODE: message".
+  std::string toString() const {
+    if (isOk()) return "OK";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+  }
+
+  bool operator==(const Status& o) const {
+    return code_ == o.code_ && message_ == o.message_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-Status. Holds either a T (success) or a non-OK Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Success.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Failure; \p s must be non-OK.
+  Result(Status s) : v_(std::move(s)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(v_).isOk() && "Result constructed from OK status");
+  }
+
+  bool isOk() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return isOk(); }
+
+  /// The error status; OK when the result holds a value.
+  Status status() const {
+    if (isOk()) return Status::ok();
+    return std::get<Status>(v_);
+  }
+
+  /// Access the held value. Precondition: isOk().
+  const T& value() const& { assert(isOk()); return std::get<T>(v_); }
+  T& value() & { assert(isOk()); return std::get<T>(v_); }
+  T&& value() && { assert(isOk()); return std::get<T>(std::move(v_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Value if OK, else \p fallback.
+  T valueOr(T fallback) const {
+    return isOk() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagate a non-OK Status from an expression. Usage:
+///   QSERV_RETURN_IF_ERROR(doThing());
+#define QSERV_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::qserv::util::Status _st = (expr);              \
+    if (!_st.isOk()) return _st;                     \
+  } while (false)
+
+/// Assign a Result's value to `lhs` or propagate its Status. Usage:
+///   QSERV_ASSIGN_OR_RETURN(auto x, makeX());
+#define QSERV_ASSIGN_OR_RETURN(lhs, rexpr)           \
+  QSERV_ASSIGN_OR_RETURN_IMPL_(                      \
+      QSERV_RESULT_CONCAT_(_res, __LINE__), lhs, rexpr)
+#define QSERV_RESULT_CONCAT_INNER_(a, b) a##b
+#define QSERV_RESULT_CONCAT_(a, b) QSERV_RESULT_CONCAT_INNER_(a, b)
+#define QSERV_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.isOk()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+}  // namespace qserv::util

@@ -1,0 +1,31 @@
+/// \file stopwatch.h
+/// \brief Wall-clock stopwatch for instrumentation.
+#pragma once
+
+#include <chrono>
+
+namespace qserv::util {
+
+/// Measures elapsed wall time since construction or the last reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsedMillis() const { return elapsedSeconds() * 1e3; }
+  std::int64_t elapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace qserv::util

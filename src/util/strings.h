@@ -1,0 +1,37 @@
+/// \file strings.h
+/// \brief Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qserv::util {
+
+/// Split \p s on \p sep; empty fields are kept ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Lowercase (ASCII only).
+std::string toLower(std::string_view s);
+/// Uppercase (ASCII only).
+std::string toUpper(std::string_view s);
+
+/// Case-insensitive equality (ASCII only).
+bool iequals(std::string_view a, std::string_view b);
+
+bool startsWith(std::string_view s, std::string_view prefix);
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/// Join \p parts with \p sep.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Render a byte count as a human-readable string ("1.82 TB").
+std::string humanBytes(double bytes);
+
+}  // namespace qserv::util

@@ -1,0 +1,28 @@
+#include "util/thread_pool.h"
+
+namespace qserv::util {
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  if (numThreads == 0) numThreads = 1;
+  threads_.reserve(numThreads);
+  for (std::size_t i = 0; i < numThreads; ++i) {
+    threads_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  queue_.close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  while (auto task = queue_.pop()) {
+    (*task)();
+  }
+}
+
+}  // namespace qserv::util

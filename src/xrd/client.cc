@@ -1,0 +1,24 @@
+#include "xrd/client.h"
+
+#include "xrd/paths.h"
+
+namespace qserv::xrd {
+
+util::Result<std::string> XrdClient::writeQuery(std::int32_t chunkId,
+                                                std::string chunkQuery) {
+  std::string path = makeQueryPath(chunkId);
+  QSERV_ASSIGN_OR_RETURN(DataServerPtr server, redirector_->locate(path));
+  QSERV_RETURN_IF_ERROR(server->write(path, std::move(chunkQuery)));
+  return server->id();
+}
+
+util::Result<std::string> XrdClient::readResult(const std::string& serverId,
+                                                const std::string& md5Hex) {
+  DataServerPtr server = redirector_->findServer(serverId);
+  if (!server) {
+    return util::Status::notFound("unknown data server " + serverId);
+  }
+  return server->read(makeResultPath(md5Hex));
+}
+
+}  // namespace qserv::xrd

@@ -1,0 +1,40 @@
+/// \file client.h
+/// \brief Client-side two-transaction protocol (paper §5.4).
+///
+/// "The first transaction consists of opening a particular path for writing,
+/// writing the chunk query, and closing the file. ... The second transaction
+/// reads query results and consists of opening a path for reading, reading
+/// until EOF, and closing the file." The write goes through the redirector
+/// (chunk-addressed); the result read goes directly to the worker that
+/// accepted the query (the result path names the worker, not the manager).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "xrd/redirector.h"
+
+namespace qserv::xrd {
+
+class XrdClient {
+ public:
+  explicit XrdClient(RedirectorPtr redirector)
+      : redirector_(std::move(redirector)) {}
+
+  /// Transaction 1: write \p chunkQuery to /query2/<chunkId>. On success
+  /// returns the id of the data server that accepted it — the server the
+  /// result must be read back from.
+  util::Result<std::string> writeQuery(std::int32_t chunkId,
+                                       std::string chunkQuery);
+
+  /// Transaction 2: read /result/<md5Hex> from \p serverId until EOF.
+  util::Result<std::string> readResult(const std::string& serverId,
+                                       const std::string& md5Hex);
+
+  Redirector& redirector() { return *redirector_; }
+
+ private:
+  RedirectorPtr redirector_;
+};
+
+}  // namespace qserv::xrd

@@ -1,0 +1,27 @@
+#include "xrd/data_server.h"
+
+namespace qserv::xrd {
+
+DataServer::DataServer(std::string id, std::shared_ptr<OfsPlugin> plugin)
+    : id_(std::move(id)), plugin_(std::move(plugin)) {}
+
+util::Status DataServer::write(const std::string& path, std::string payload) {
+  if (!isUp()) {
+    return util::Status::unavailable("data server " + id_ + " is down");
+  }
+  bytesWritten_.fetch_add(payload.size(), std::memory_order_relaxed);
+  return plugin_->writeFile(path, std::move(payload));
+}
+
+util::Result<std::string> DataServer::read(const std::string& path) {
+  if (!isUp()) {
+    return util::Status::unavailable("data server " + id_ + " is down");
+  }
+  auto result = plugin_->readFile(path);
+  if (result.isOk()) {
+    bytesRead_.fetch_add(result->size(), std::memory_order_relaxed);
+  }
+  return result;
+}
+
+}  // namespace qserv::xrd

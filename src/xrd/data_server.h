@@ -1,0 +1,47 @@
+/// \file data_server.h
+/// \brief An Xrootd-like data server wrapping an ofs plugin.
+///
+/// Adds liveness (for fault-injection and failover tests) and transfer
+/// accounting on top of the plugin.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "xrd/ofs.h"
+
+namespace qserv::xrd {
+
+class DataServer {
+ public:
+  DataServer(std::string id, std::shared_ptr<OfsPlugin> plugin);
+
+  const std::string& id() const { return id_; }
+
+  bool isUp() const { return up_.load(std::memory_order_acquire); }
+  /// Mark the server up/down (fault injection). Down servers refuse
+  /// transactions with kUnavailable.
+  void setUp(bool up) { up_.store(up, std::memory_order_release); }
+
+  util::Status write(const std::string& path, std::string payload);
+  util::Result<std::string> read(const std::string& path);
+
+  std::vector<std::int32_t> exportedChunks() const {
+    return plugin_->exportedChunks();
+  }
+
+  std::uint64_t bytesWritten() const { return bytesWritten_.load(); }
+  std::uint64_t bytesRead() const { return bytesRead_.load(); }
+
+ private:
+  std::string id_;
+  std::shared_ptr<OfsPlugin> plugin_;
+  std::atomic<bool> up_{true};
+  std::atomic<std::uint64_t> bytesWritten_{0};
+  std::atomic<std::uint64_t> bytesRead_{0};
+};
+
+using DataServerPtr = std::shared_ptr<DataServer>;
+
+}  // namespace qserv::xrd

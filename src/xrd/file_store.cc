@@ -1,0 +1,69 @@
+#include "xrd/file_store.h"
+
+namespace qserv::xrd {
+
+void FileStore::publish(const std::string& path, std::string bytes) {
+  {
+    std::lock_guard lock(mutex_);
+    files_[path].push_back(Entry{std::move(bytes), util::Status::ok(), false});
+  }
+  cv_.notify_all();
+}
+
+void FileStore::publishError(const std::string& path, util::Status error) {
+  {
+    std::lock_guard lock(mutex_);
+    files_[path].push_back(Entry{{}, std::move(error), true});
+  }
+  cv_.notify_all();
+}
+
+util::Result<std::string> FileStore::waitFor(const std::string& path,
+                                             std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  bool ready = cv_.wait_for(lock, timeout, [&] {
+    auto it = files_.find(path);
+    return aborted_ || (it != files_.end() && !it->second.empty());
+  });
+  if (aborted_) {
+    return util::Status::aborted("file store shut down");
+  }
+  if (!ready) {
+    return util::Status::unavailable("timed out waiting for " + path);
+  }
+  auto it = files_.find(path);
+  Entry entry = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) files_.erase(it);
+  if (entry.failed) return entry.error;
+  return std::move(entry.bytes);
+}
+
+std::optional<std::string> FileStore::tryGet(const std::string& path) const {
+  std::lock_guard lock(mutex_);
+  auto it = files_.find(path);
+  if (it == files_.end() || it->second.empty() || it->second.front().failed) {
+    return std::nullopt;
+  }
+  return it->second.front().bytes;
+}
+
+void FileStore::remove(const std::string& path) {
+  std::lock_guard lock(mutex_);
+  files_.erase(path);
+}
+
+std::size_t FileStore::size() const {
+  std::lock_guard lock(mutex_);
+  return files_.size();
+}
+
+void FileStore::abortAll() {
+  {
+    std::lock_guard lock(mutex_);
+    aborted_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace qserv::xrd

@@ -1,0 +1,64 @@
+/// \file file_store.h
+/// \brief Blocking path -> bytes store with publish/wait semantics.
+///
+/// Backs result files on workers: the master's read of /result/<hash> blocks
+/// until the worker finishes the chunk query and publishes the dump — the
+/// same observable behaviour as an Xrootd file appearing when written.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace qserv::xrd {
+
+/// Each path holds a QUEUE of published payloads: identical chunk queries
+/// from concurrent user queries hash to the same result path, and every
+/// write transaction is answered by exactly one execution, so readers
+/// consume one payload each — no publish can be lost to an overwrite or a
+/// double read.
+class FileStore {
+ public:
+  /// Append \p bytes at \p path and wake a waiter.
+  void publish(const std::string& path, std::string bytes);
+
+  /// Append a failure at \p path; one waiter receives \p error.
+  void publishError(const std::string& path, util::Status error);
+
+  /// Block until a payload is available at \p path, then consume it.
+  util::Result<std::string> waitFor(
+      const std::string& path,
+      std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
+
+  /// Non-blocking peek (does not consume).
+  std::optional<std::string> tryGet(const std::string& path) const;
+
+  /// Drop all payloads queued at \p path.
+  void remove(const std::string& path);
+
+  /// Number of paths with pending payloads.
+  std::size_t size() const;
+
+  /// Fail all current and future waits with kAborted (shutdown).
+  void abortAll();
+
+ private:
+  struct Entry {
+    std::string bytes;
+    util::Status error;  // non-OK when the production failed
+    bool failed = false;
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, std::deque<Entry>> files_;
+  bool aborted_ = false;
+};
+
+}  // namespace qserv::xrd

@@ -1,0 +1,41 @@
+#include "xrd/paths.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace qserv::xrd {
+
+std::string makeQueryPath(std::int32_t chunkId) {
+  return std::string(kQueryPrefix) + std::to_string(chunkId);
+}
+
+std::string makeResultPath(std::string_view md5Hex) {
+  return std::string(kResultPrefix) + std::string(md5Hex);
+}
+
+std::optional<std::int32_t> parseQueryPath(std::string_view path) {
+  if (!util::startsWith(path, kQueryPrefix)) return std::nullopt;
+  std::string_view rest = path.substr(kQueryPrefix.size());
+  if (rest.empty() || rest.size() > 10) return std::nullopt;
+  std::int64_t value = 0;
+  for (char c : rest) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  if (value > INT32_MAX) return std::nullopt;
+  return static_cast<std::int32_t>(value);
+}
+
+std::optional<std::string> parseResultPath(std::string_view path) {
+  if (!util::startsWith(path, kResultPrefix)) return std::nullopt;
+  std::string_view rest = path.substr(kResultPrefix.size());
+  if (rest.size() != 32) return std::nullopt;
+  for (char c : rest) {
+    bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return std::nullopt;
+  }
+  return std::string(rest);
+}
+
+}  // namespace qserv::xrd

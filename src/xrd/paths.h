@@ -1,0 +1,32 @@
+/// \file paths.h
+/// \brief Qserv's Xrootd path scheme (paper §5.4).
+///
+/// Chunk queries are written to partition-addressed paths
+///   /query2/<chunkId>
+/// and results are read from hash-addressed paths
+///   /result/<32-hex-digit MD5 of the chunk query text>.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qserv::xrd {
+
+inline constexpr std::string_view kQueryPrefix = "/query2/";
+inline constexpr std::string_view kResultPrefix = "/result/";
+
+/// "/query2/<chunkId>".
+std::string makeQueryPath(std::int32_t chunkId);
+
+/// "/result/<hash>"; \p md5Hex must be 32 lowercase hex digits.
+std::string makeResultPath(std::string_view md5Hex);
+
+/// Chunk id from a query path, or nullopt if \p path is not one.
+std::optional<std::int32_t> parseQueryPath(std::string_view path);
+
+/// Hash from a result path, or nullopt if \p path is not one.
+std::optional<std::string> parseResultPath(std::string_view path);
+
+}  // namespace qserv::xrd

@@ -1,0 +1,95 @@
+#include "xrd/redirector.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+#include "xrd/paths.h"
+
+namespace qserv::xrd {
+
+void Redirector::registerServer(DataServerPtr server) {
+  std::lock_guard lock(mutex_);
+  const std::string& id = server->id();
+  servers_[id] = server;
+  for (std::int32_t chunk : server->exportedChunks()) {
+    auto& replicas = chunkMap_[chunk];
+    bool present = std::any_of(replicas.begin(), replicas.end(),
+                               [&](const auto& s) { return s->id() == id; });
+    if (!present) replicas.push_back(server);
+  }
+}
+
+void Redirector::deregisterServer(const std::string& serverId) {
+  std::lock_guard lock(mutex_);
+  servers_.erase(serverId);
+  for (auto& [chunk, replicas] : chunkMap_) {
+    std::erase_if(replicas,
+                  [&](const auto& s) { return s->id() == serverId; });
+  }
+  std::erase_if(cache_,
+                [&](const auto& kv) { return kv.second->id() == serverId; });
+}
+
+DataServerPtr Redirector::findServer(const std::string& serverId) const {
+  std::lock_guard lock(mutex_);
+  auto it = servers_.find(serverId);
+  return it == servers_.end() ? nullptr : it->second;
+}
+
+util::Result<DataServerPtr> Redirector::locate(const std::string& path) {
+  auto chunkId = parseQueryPath(path);
+  if (!chunkId) {
+    return util::Status::invalidArgument(
+        "redirector only resolves /query2/<chunkId> paths: " + path);
+  }
+  std::lock_guard lock(mutex_);
+  ++lookups_;
+  auto cached = cache_.find(*chunkId);
+  if (cached != cache_.end()) {
+    if (cached->second->isUp()) {
+      ++cacheHits_;
+      return cached->second;
+    }
+    cache_.erase(cached);  // evict the dead replica
+  }
+  auto it = chunkMap_.find(*chunkId);
+  if (it == chunkMap_.end() || it->second.empty()) {
+    return util::Status::notFound(
+        util::format("no data server exports chunk %d", *chunkId));
+  }
+  // Round-robin over live replicas.
+  const auto& replicas = it->second;
+  std::size_t& rr = rrCounter_[*chunkId];
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    DataServerPtr candidate = replicas[(rr + i) % replicas.size()];
+    if (candidate->isUp()) {
+      rr = (rr + i + 1) % replicas.size();
+      cache_[*chunkId] = candidate;
+      return candidate;
+    }
+  }
+  return util::Status::unavailable(
+      util::format("all replicas of chunk %d are down", *chunkId));
+}
+
+std::vector<DataServerPtr> Redirector::replicasOf(std::int32_t chunkId) const {
+  std::lock_guard lock(mutex_);
+  auto it = chunkMap_.find(chunkId);
+  if (it == chunkMap_.end()) return {};
+  std::vector<DataServerPtr> out;
+  for (const auto& s : it->second) {
+    if (s->isUp()) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<std::string> Redirector::serverIds() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(servers_.size());
+  for (const auto& [id, _] : servers_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qserv::xrd

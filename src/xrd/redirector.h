@@ -1,0 +1,59 @@
+/// \file redirector.h
+/// \brief The Scalla/Xrootd redirector: a caching namespace lookup service.
+///
+/// "A client connects to a redirector, which acts as a caching namespace
+/// look-up service that redirects clients to appropriate data servers"
+/// (paper §5.1.2). Query paths (/query2/CC) resolve to a live server whose
+/// plugin exports chunk CC; with replication, several servers export the
+/// same chunk and the redirector balances among them and fails over when a
+/// server goes down.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xrd/data_server.h"
+
+namespace qserv::xrd {
+
+class Redirector {
+ public:
+  /// Register \p server and index its exported chunks.
+  void registerServer(DataServerPtr server);
+
+  /// Remove \p serverId from the cluster entirely.
+  void deregisterServer(const std::string& serverId);
+
+  /// Server by id (for direct reads of /result paths), or nullptr.
+  DataServerPtr findServer(const std::string& serverId) const;
+
+  /// Resolve \p path (/query2/CC) to a live server exporting that chunk.
+  /// Successive lookups of the same chunk hit an internal cache; a cached
+  /// server that has gone down is evicted and another replica chosen.
+  util::Result<DataServerPtr> locate(const std::string& path);
+
+  /// All live servers exporting \p chunkId (replicas).
+  std::vector<DataServerPtr> replicasOf(std::int32_t chunkId) const;
+
+  std::vector<std::string> serverIds() const;
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t cacheHits() const { return cacheHits_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, DataServerPtr> servers_;
+  std::unordered_map<std::int32_t, std::vector<DataServerPtr>> chunkMap_;
+  std::unordered_map<std::int32_t, DataServerPtr> cache_;
+  std::unordered_map<std::int32_t, std::size_t> rrCounter_;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t cacheHits_ = 0;
+};
+
+using RedirectorPtr = std::shared_ptr<Redirector>;
+
+}  // namespace qserv::xrd

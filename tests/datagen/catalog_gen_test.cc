@@ -1,0 +1,235 @@
+#include "datagen/catalog_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sphgeom/angle.h"
+#include "sphgeom/coords.h"
+#include "util/stats.h"
+
+namespace qserv::datagen {
+namespace {
+
+TEST(BasePatch, ObjectsLieInPatchBox) {
+  BasePatchOptions opts;
+  opts.objectCount = 2000;
+  BasePatchGenerator gen(opts);
+  auto objects = gen.objects();
+  ASSERT_EQ(objects.size(), 2000u);
+  auto box = pt11PatchBox();
+  for (const auto& o : objects) {
+    EXPECT_TRUE(box.contains(o.ra, o.decl))
+        << "(" << o.ra << ", " << o.decl << ")";
+  }
+}
+
+TEST(BasePatch, DeterministicForSeed) {
+  BasePatchOptions opts;
+  opts.objectCount = 100;
+  auto a = BasePatchGenerator(opts).objects();
+  auto b = BasePatchGenerator(opts).objects();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ra, b[i].ra);
+    EXPECT_EQ(a[i].flux[0], b[i].flux[0]);
+  }
+}
+
+TEST(BasePatch, ObjectIdsAreSequentialFromZero) {
+  BasePatchOptions opts;
+  opts.objectCount = 50;
+  auto objects = BasePatchGenerator(opts).objects();
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    EXPECT_EQ(objects[i].objectId, static_cast<std::int64_t>(i));
+  }
+}
+
+TEST(BasePatch, FluxesArePositiveAndMagLike) {
+  BasePatchOptions opts;
+  opts.objectCount = 1000;
+  auto objects = BasePatchGenerator(opts).objects();
+  for (const auto& o : objects) {
+    for (double f : o.flux) {
+      EXPECT_GT(f, 0.0);
+      double mag = -2.5 * std::log10(f) - 48.6;
+      EXPECT_GT(mag, 5.0);
+      EXPECT_LT(mag, 35.0);
+    }
+  }
+}
+
+TEST(BasePatch, ColorCutsSelectSmallFractions) {
+  // The LV3 color box must select a small but non-trivial fraction and the
+  // HV2 extreme cut (i-z > 4) a tiny one.
+  BasePatchOptions opts;
+  opts.objectCount = 50000;
+  auto objects = BasePatchGenerator(opts).objects();
+  int lv3 = 0, hv2 = 0;
+  for (const auto& o : objects) {
+    auto mag = [](double f) { return -2.5 * std::log10(f) - 48.6; };
+    double gr = mag(o.flux[1]) - mag(o.flux[2]);
+    double iz = mag(o.flux[3]) - mag(o.flux[4]);
+    if (gr > 0.3 && gr < 0.4 && iz > 0.1 && iz < 0.12) ++lv3;
+    if (iz > 4.0) ++hv2;
+  }
+  EXPECT_GT(lv3, 10);
+  EXPECT_LT(lv3, 5000);
+  EXPECT_GT(hv2, 0);
+  EXPECT_LT(hv2, 50);
+}
+
+TEST(BasePatch, SourcesAverageNearK41) {
+  BasePatchOptions opts;
+  opts.objectCount = 500;
+  BasePatchGenerator gen(opts);
+  auto objects = gen.objects();
+  auto sources = gen.sourcesFor(objects);
+  double k = static_cast<double>(sources.size()) / objects.size();
+  EXPECT_NEAR(k, 41.0, 3.0);  // paper: k ~= 41
+}
+
+TEST(BasePatch, MostSourcesNearTheirObjectSomeStray) {
+  BasePatchOptions opts;
+  opts.objectCount = 500;
+  BasePatchGenerator gen(opts);
+  auto objects = gen.objects();
+  auto sources = gen.sourcesFor(objects);
+  std::size_t near = 0, far = 0;
+  for (const auto& s : sources) {
+    const auto& o = objects[static_cast<std::size_t>(s.objectId)];
+    double sep = sphgeom::angSepDeg(s.ra, s.decl, o.ra, o.decl);
+    if (sep > 0.0045) ++far;  // the SHV2 filter
+    else ++near;
+  }
+  EXPECT_GT(near, far * 10);  // most detections are on-object
+  EXPECT_GT(far, 0u);         // but the SHV2 query finds rows
+}
+
+TEST(Duplicator, FullSkyCopyCountAndBands) {
+  Duplicator dup;
+  EXPECT_EQ(dup.bandCount(), 13);  // ceil(180/14)
+  // The equatorial band holds ~360/7 = 51 copies; polar bands far fewer.
+  Duplicator::Copy equator{6, 0};
+  EXPECT_GE(dup.slotsInBand(6), 45);
+  EXPECT_LE(dup.slotsInBand(6), 51);
+  EXPECT_LE(dup.slotsInBand(0), 10);
+  EXPECT_GT(dup.totalCopies(), 300);
+  (void)equator;
+}
+
+TEST(Duplicator, CopyBoxesTileEachBand) {
+  Duplicator dup;
+  for (int band : {0, 3, 6, 12}) {
+    double covered = 0;
+    for (int s = 0; s < dup.slotsInBand(band); ++s) {
+      covered += dup.copyBox({band, s}).lonExtent();
+    }
+    EXPECT_NEAR(covered, 360.0, 1e-6) << "band " << band;
+  }
+}
+
+TEST(Duplicator, TransformLandsInsideCopyBox) {
+  Duplicator dup;
+  BasePatchOptions opts;
+  opts.objectCount = 200;
+  auto objects = BasePatchGenerator(opts).objects();
+  for (int band : {0, 6, 11}) {
+    for (int slot : {0, dup.slotsInBand(band) - 1}) {
+      Duplicator::Copy c{band, slot};
+      auto box = dup.copyBox(c);
+      for (const auto& o : objects) {
+        auto p = dup.transform(c, o.ra, o.decl);
+        if (p.lat > 90.0) continue;  // top-band spill is dropped by loaders
+        EXPECT_TRUE(box.dilated(1e-6).contains(p.lon, p.lat))
+            << "band " << band << " slot " << slot << " point (" << p.lon
+            << "," << p.lat << ") box " << box.toString();
+      }
+    }
+  }
+}
+
+TEST(Duplicator, PreservesRelativeDeclination) {
+  Duplicator dup;
+  Duplicator::Copy c{6, 3};
+  auto p1 = dup.transform(c, 0.0, -7.0);
+  auto p2 = dup.transform(c, 0.0, 7.0);
+  EXPECT_NEAR(p2.lat - p1.lat, 14.0, 1e-9);
+}
+
+TEST(Duplicator, RaStretchGrowsTowardPoles) {
+  Duplicator dup;
+  auto width = [&](int band) {
+    return dup.copyBox({band, 0}).lonExtent();
+  };
+  EXPECT_GT(width(0), width(3));
+  EXPECT_GT(width(3), width(6));
+  EXPECT_NEAR(width(6), 7.0, 1.0);  // near-equator copies are ~patch width
+}
+
+TEST(Duplicator, DensityRoughlyPreservedAcrossBands) {
+  // Objects per solid angle must match within ~an order of magnitude
+  // (paper §4.4: "within an order of magnitude").
+  Duplicator dup;
+  BasePatchOptions opts;
+  opts.objectCount = 3000;
+  auto objects = BasePatchGenerator(opts).objects();
+  double basePatchArea = pt11PatchBox().area();
+  double baseDensity = objects.size() / basePatchArea;
+  for (int band : {1, 6, 11}) {
+    Duplicator::Copy c{band, 0};
+    auto box = dup.copyBox(c);
+    std::size_t kept = 0;
+    for (const auto& o : objects) {
+      auto p = dup.transform(c, o.ra, o.decl);
+      if (p.lat <= 90.0) ++kept;
+    }
+    double density = kept / box.area();
+    EXPECT_GT(density, baseDensity / 3.0) << "band " << band;
+    EXPECT_LT(density, baseDensity * 3.0) << "band " << band;
+  }
+}
+
+TEST(Duplicator, CopiesIntersectingRegion) {
+  Duplicator dup;
+  // A small equatorial region.
+  auto copies = dup.copiesIntersecting(sphgeom::SphericalBox(10, -3, 20, 3));
+  EXPECT_GE(copies.size(), 2u);
+  EXPECT_LE(copies.size(), 8u);
+  for (const auto& c : copies) {
+    EXPECT_TRUE(dup.copyBox(c).intersects(sphgeom::SphericalBox(10, -3, 20, 3)));
+  }
+  // Full sky selects every copy.
+  EXPECT_EQ(dup.copiesIntersecting(sphgeom::SphericalBox::fullSky()).size(),
+            static_cast<std::size_t>(dup.totalCopies()));
+}
+
+TEST(Duplicator, DecRangeRestrictsBands) {
+  Duplicator::Options opts;
+  opts.decMin = -54.0;
+  opts.decMax = 54.0;  // the paper's Source clipping
+  Duplicator dup(opts);
+  EXPECT_LT(dup.bandCount(), 13);
+  for (const auto& c : dup.copiesIntersecting(sphgeom::SphericalBox::fullSky())) {
+    auto box = dup.copyBox(c);
+    EXPECT_GT(box.latMax(), -62.0);
+    EXPECT_LT(box.latMin(), 62.0);
+  }
+}
+
+TEST(Duplicator, IdOffsetsNeverCollide) {
+  Duplicator dup;
+  std::set<std::int64_t> offsets;
+  std::int64_t baseCount = 1000;
+  for (int b = 0; b < dup.bandCount(); ++b) {
+    for (int s = 0; s < dup.slotsInBand(b); ++s) {
+      auto [it, inserted] = offsets.insert(dup.idOffset({b, s}, baseCount));
+      EXPECT_TRUE(inserted);
+    }
+  }
+  // Offsets are multiples of baseCount, so id ranges are disjoint.
+  for (std::int64_t off : offsets) EXPECT_EQ(off % baseCount, 0);
+}
+
+}  // namespace
+}  // namespace qserv::datagen

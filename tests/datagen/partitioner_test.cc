@@ -1,0 +1,186 @@
+#include "datagen/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/schemas.h"
+#include "sphgeom/coords.h"
+
+namespace qserv::datagen {
+namespace {
+
+class PartitionerTest : public ::testing::Test {
+ protected:
+  PartitionerTest() : chunker_(18, 6, 0.05) {}
+
+  void SetUp() override {
+    BasePatchOptions opts;
+    opts.objectCount = 1500;
+    BasePatchGenerator gen(opts);
+    objects_ = gen.objects();
+    sources_ = gen.sourcesFor(objects_);
+    auto r = partitionCatalog(chunker_, objects_, sources_);
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    catalog_ = std::move(r).value();
+  }
+
+  sphgeom::Chunker chunker_;
+  std::vector<ObjectRow> objects_;
+  std::vector<SourceRow> sources_;
+  PartitionedCatalog catalog_;
+};
+
+TEST_F(PartitionerTest, EveryObjectLandsInExactlyOneChunkTable) {
+  std::size_t total = 0;
+  for (const auto& chunk : catalog_.chunks) total += chunk.objects->numRows();
+  EXPECT_EQ(total, objects_.size());
+}
+
+TEST_F(PartitionerTest, ChunkAssignmentMatchesChunker) {
+  for (const auto& chunk : catalog_.chunks) {
+    for (std::size_t r = 0; r < chunk.objects->numRows(); ++r) {
+      double ra = chunk.objects->cell(r, kObjRaPs).asDouble();
+      double dec = chunk.objects->cell(r, kObjDeclPs).asDouble();
+      EXPECT_EQ(chunker_.chunkAt(ra, dec), chunk.chunkId);
+      EXPECT_EQ(chunk.objects->cell(r, kObjChunkId).asInt(), chunk.chunkId);
+      EXPECT_EQ(chunk.objects->cell(r, kObjSubChunkId).asInt(),
+                chunker_.subChunkAt(chunk.chunkId, ra, dec));
+    }
+  }
+}
+
+TEST_F(PartitionerTest, OverlapRowsAreNearButNotInsideTheChunk) {
+  bool sawAny = false;
+  for (const auto& chunk : catalog_.chunks) {
+    auto box = chunker_.chunkBox(chunk.chunkId);
+    auto dilated = box.dilated(chunker_.overlapDeg());
+    for (std::size_t r = 0; r < chunk.objectOverlap->numRows(); ++r) {
+      sawAny = true;
+      double ra = chunk.objectOverlap->cell(r, kObjRaPs).asDouble();
+      double dec = chunk.objectOverlap->cell(r, kObjDeclPs).asDouble();
+      EXPECT_FALSE(chunker_.chunkAt(ra, dec) == chunk.chunkId)
+          << "overlap row owned by the same chunk";
+      EXPECT_TRUE(dilated.contains(ra, dec));
+    }
+  }
+  EXPECT_TRUE(sawAny) << "no overlap rows at all — margin too small?";
+}
+
+TEST_F(PartitionerTest, OverlapIsComplete) {
+  // Every object within the overlap margin of a foreign chunk's box must be
+  // in that chunk's overlap table.
+  std::map<std::int32_t, std::set<std::int64_t>> overlapIds;
+  for (const auto& chunk : catalog_.chunks) {
+    for (std::size_t r = 0; r < chunk.objectOverlap->numRows(); ++r) {
+      overlapIds[chunk.chunkId].insert(
+          chunk.objectOverlap->cell(r, kObjObjectId).asInt());
+    }
+  }
+  for (const auto& o : objects_) {
+    std::int32_t owner = chunker_.chunkAt(o.ra, o.decl);
+    for (const auto& chunk : catalog_.chunks) {
+      if (chunk.chunkId == owner) continue;
+      if (chunker_.chunkBox(chunk.chunkId)
+              .dilated(chunker_.overlapDeg())
+              .contains(o.ra, o.decl)) {
+        EXPECT_TRUE(overlapIds[chunk.chunkId].count(o.objectId))
+            << "object " << o.objectId << " missing from overlap of chunk "
+            << chunk.chunkId;
+      }
+    }
+  }
+}
+
+TEST_F(PartitionerTest, SourcesAreColocatedWithTheirObject) {
+  std::map<std::int64_t, std::int32_t> objectChunk;
+  for (const auto& e : catalog_.index) objectChunk[e.objectId] = e.chunkId;
+  std::size_t total = 0;
+  for (const auto& chunk : catalog_.chunks) {
+    for (std::size_t r = 0; r < chunk.sources->numRows(); ++r) {
+      std::int64_t oid = chunk.sources->cell(r, kSrcObjectId).asInt();
+      EXPECT_EQ(objectChunk.at(oid), chunk.chunkId);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, sources_.size());
+}
+
+TEST_F(PartitionerTest, SecondaryIndexCoversAllObjectsSorted) {
+  EXPECT_EQ(catalog_.index.size(), objects_.size());
+  for (std::size_t i = 1; i < catalog_.index.size(); ++i) {
+    EXPECT_LT(catalog_.index[i - 1].objectId, catalog_.index[i].objectId);
+  }
+  for (const auto& e : catalog_.index) {
+    EXPECT_TRUE(chunker_.isValidChunk(e.chunkId));
+    EXPECT_TRUE(chunker_.isValidSubChunk(e.chunkId, e.subChunkId));
+  }
+}
+
+TEST_F(PartitionerTest, ChunksSortedAndNonEmpty) {
+  for (std::size_t i = 0; i < catalog_.chunks.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(catalog_.chunks[i - 1].chunkId, catalog_.chunks[i].chunkId);
+    }
+    EXPECT_GT(catalog_.chunks[i].objects->numRows() +
+                  catalog_.chunks[i].objectOverlap->numRows() +
+                  catalog_.chunks[i].sources->numRows(),
+              0u);
+  }
+}
+
+TEST_F(PartitionerTest, LoadIntoDatabaseCreatesIndexedTables) {
+  sql::Database db;
+  const ChunkData& chunk = catalog_.chunks.front();
+  ASSERT_TRUE(loadChunkIntoDatabase(db, chunk).isOk());
+  EXPECT_TRUE(db.hasTable(chunkTableName("Object", chunk.chunkId)));
+  EXPECT_TRUE(db.hasTable(overlapTableName("Object", chunk.chunkId)));
+  EXPECT_TRUE(db.hasTable(chunkTableName("Source", chunk.chunkId)));
+  EXPECT_TRUE(db.findIndex(chunkTableName("Object", chunk.chunkId), "objectId"));
+  // Point query through the index works.
+  std::int64_t someId = chunk.objects->cell(0, kObjObjectId).asInt();
+  sql::ExecStats stats;
+  auto r = db.execute("SELECT * FROM " +
+                          chunkTableName("Object", chunk.chunkId) +
+                          " WHERE objectId = " + std::to_string(someId),
+                      &stats);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ((*r)->numRows(), 1u);
+  EXPECT_EQ(stats.indexLookups, 1u);
+}
+
+TEST_F(PartitionerTest, OrphanSourcesAreDropped) {
+  std::vector<SourceRow> orphans = {SourceRow{999999, 888888, 1, 1, 1, 0.1, 50000}};
+  auto r = partitionCatalog(chunker_, objects_, orphans);
+  ASSERT_TRUE(r.isOk());
+  std::size_t total = 0;
+  for (const auto& chunk : r->chunks) total += chunk.sources->numRows();
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(PartitionerEdge, DuplicatorSpillRowsAreDropped) {
+  sphgeom::Chunker chunker(10, 3);
+  ObjectRow above;
+  above.objectId = 1;
+  above.ra = 10;
+  above.decl = 91.0;  // top-band spill
+  ObjectRow ok;
+  ok.objectId = 2;
+  ok.ra = 10;
+  ok.decl = 45.0;
+  std::vector<ObjectRow> objs = {above, ok};
+  auto r = partitionCatalog(chunker, objs, {});
+  ASSERT_TRUE(r.isOk());
+  std::size_t total = 0;
+  for (const auto& chunk : r->chunks) total += chunk.objects->numRows();
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(PartitionerNames, TableNameFormats) {
+  EXPECT_EQ(chunkTableName("Object", 1234), "Object_1234");
+  EXPECT_EQ(overlapTableName("Object", 1234), "ObjectOverlap_1234");
+  EXPECT_EQ(subChunkTableName("Object", 1234, 5), "Object_1234_5");
+}
+
+}  // namespace
+}  // namespace qserv::datagen

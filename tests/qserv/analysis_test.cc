@@ -1,0 +1,197 @@
+#include "qserv/query_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::core {
+namespace {
+
+CatalogConfig cfg() { return CatalogConfig::lsst(18, 6); }
+
+AnalyzedQuery analyze(std::string_view sql) {
+  auto r = analyzeQuery(sql, cfg());
+  EXPECT_TRUE(r.isOk()) << r.status().toString() << " for: " << sql;
+  return std::move(r).value();
+}
+
+TEST(Analysis, PlainFullSkyQuery) {
+  auto a = analyze("SELECT COUNT(*) FROM Object");
+  EXPECT_FALSE(a.areaRestriction.has_value());
+  EXPECT_TRUE(a.restrictedObjectIds.empty());
+  EXPECT_FALSE(a.isNearNeighbor);
+  EXPECT_TRUE(a.hasAggregates);
+  EXPECT_TRUE(a.touchesPartitioned());
+}
+
+TEST(Analysis, AreaspecExtracted) {
+  auto a = analyze(
+      "SELECT AVG(uFlux_SG) FROM Object "
+      "WHERE qserv_areaspec_box(0.0, 0.0, 10.0, 10.0) AND uRadius_PS > 0.04");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_DOUBLE_EQ(a.areaRestriction->lonMin(), 0.0);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->latMax(), 10.0);
+  // The areaspec conjunct is removed; the ordinary predicate stays.
+  ASSERT_TRUE(a.stmt.where != nullptr);
+  EXPECT_EQ(a.stmt.where->toSql().find("areaspec"), std::string::npos);
+  EXPECT_NE(a.stmt.where->toSql().find("uRadius_PS"), std::string::npos);
+}
+
+TEST(Analysis, AreaspecOnlyWhereBecomesEmpty) {
+  auto a = analyze("SELECT COUNT(*) FROM Object "
+                   "WHERE qserv_areaspec_box(-5, -5, 5, 5)");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_TRUE(a.stmt.where == nullptr);
+}
+
+TEST(Analysis, NegativeAreaspecBounds) {
+  auto a = analyze("SELECT COUNT(*) FROM Object o1, Object o2 "
+                   "WHERE qserv_areaspec_box(-5, -5, 5, 5) AND "
+                   "qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) "
+                   "< 0.1");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_DOUBLE_EQ(a.areaRestriction->lonMin(), 355.0);  // normalized
+  EXPECT_DOUBLE_EQ(a.areaRestriction->latMin(), -5.0);
+  EXPECT_TRUE(a.isNearNeighbor);
+}
+
+TEST(Analysis, ObjectIdEquality) {
+  auto a = analyze("SELECT * FROM Object WHERE objectId = 31415");
+  ASSERT_EQ(a.restrictedObjectIds.size(), 1u);
+  EXPECT_EQ(a.restrictedObjectIds[0], 31415);
+  // The conjunct stays in the WHERE for worker-side execution.
+  EXPECT_NE(a.stmt.where->toSql().find("objectId"), std::string::npos);
+}
+
+TEST(Analysis, ObjectIdInList) {
+  auto a = analyze("SELECT * FROM Source WHERE objectId IN (3, 1, 2, 3)");
+  ASSERT_EQ(a.restrictedObjectIds.size(), 3u);  // deduplicated, sorted
+  EXPECT_EQ(a.restrictedObjectIds[0], 1);
+  EXPECT_EQ(a.restrictedObjectIds[2], 3);
+}
+
+TEST(Analysis, QualifiedObjectIdRespectsAlias) {
+  auto a = analyze("SELECT o.objectId FROM Object o, Source s "
+                   "WHERE o.objectId = s.objectId AND s.objectId = 7");
+  ASSERT_EQ(a.restrictedObjectIds.size(), 1u);
+  EXPECT_EQ(a.restrictedObjectIds[0], 7);
+}
+
+TEST(Analysis, NonIdColumnIsNotIndexOpportunity) {
+  auto a = analyze("SELECT * FROM Object WHERE chunkId = 5");
+  EXPECT_TRUE(a.restrictedObjectIds.empty());
+}
+
+TEST(Analysis, ObjectIdComparedToColumnIsNotPinned) {
+  auto a = analyze("SELECT COUNT(*) FROM Object o, Source s "
+                   "WHERE o.objectId = s.objectId");
+  EXPECT_TRUE(a.restrictedObjectIds.empty());
+}
+
+TEST(Analysis, NearNeighborDetection) {
+  auto a = analyze(
+      "SELECT count(*) FROM Object o1, Object o2 "
+      "WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1");
+  EXPECT_TRUE(a.isNearNeighbor);
+}
+
+TEST(Analysis, ObjectSourceJoinIsNotNearNeighbor) {
+  auto a = analyze("SELECT o.objectId FROM Object o, Source s "
+                   "WHERE o.objectId = s.objectId");
+  EXPECT_FALSE(a.isNearNeighbor);
+  EXPECT_EQ(a.from.size(), 2u);
+  EXPECT_NE(a.from[0].partitioned, nullptr);
+  EXPECT_NE(a.from[1].partitioned, nullptr);
+}
+
+TEST(Analysis, SelfJoinWithoutOverlapRejected) {
+  // Source carries no overlap data; a Source self-join cannot run.
+  auto r = analyzeQuery(
+      "SELECT count(*) FROM Source s1, Source s2 "
+      "WHERE qserv_angSep(s1.ra, s1.decl, s2.ra, s2.decl) < 0.01",
+      cfg());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kUnimplemented);
+}
+
+TEST(Analysis, NonPartitionedQuery) {
+  auto a = analyze("SELECT 1 + 1");
+  EXPECT_FALSE(a.touchesPartitioned());
+}
+
+TEST(Analysis, AreaspecInsideOrRejected) {
+  auto r = analyzeQuery(
+      "SELECT COUNT(*) FROM Object "
+      "WHERE qserv_areaspec_box(0,0,1,1) OR ra_PS > 100",
+      cfg());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kUnimplemented);
+}
+
+TEST(Analysis, MultipleAreaspecsRejected) {
+  auto r = analyzeQuery(
+      "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(0,0,1,1) AND "
+      "qserv_areaspec_box(2,2,3,3)",
+      cfg());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kUnimplemented);
+}
+
+TEST(Analysis, NonLiteralAreaspecRejected) {
+  auto r = analyzeQuery(
+      "SELECT COUNT(*) FROM Object WHERE qserv_areaspec_box(ra_PS, 0, 1, 1)",
+      cfg());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Analysis, AggregateInWhereRejected) {
+  auto r = analyzeQuery("SELECT 1 FROM Object WHERE SUM(ra_PS) > 3", cfg());
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Analysis, ImplicitRestrictionFromBetweenOnPartitionColumns) {
+  // The paper's LV3 shape: BETWEEN predicates on ra_PS/decl_PS must prune
+  // the chunk cover even without qserv_areaspec_box.
+  auto a = analyze("SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN 1 AND 2 "
+                   "AND decl_PS BETWEEN 3 AND 4");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_TRUE(a.areaRestrictionIsImplicit);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->lonMin(), 1.0);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->lonMax(), 2.0);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->latMin(), 3.0);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->latMax(), 4.0);
+  // Predicates stay in the WHERE (pruning is coarse).
+  EXPECT_NE(a.stmt.where->toSql().find("ra_PS"), std::string::npos);
+}
+
+TEST(Analysis, ImplicitRestrictionDecOnly) {
+  auto a = analyze("SELECT COUNT(*) FROM Object WHERE decl_PS BETWEEN -5 AND 5");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_TRUE(a.areaRestriction->isFullLon());
+  EXPECT_DOUBLE_EQ(a.areaRestriction->latMin(), -5.0);
+}
+
+TEST(Analysis, NoImplicitRestrictionFromNonPartitionColumns) {
+  auto a = analyze("SELECT COUNT(*) FROM Object WHERE uRadius_PS BETWEEN 0 AND 1");
+  EXPECT_FALSE(a.areaRestriction.has_value());
+}
+
+TEST(Analysis, ExplicitAreaspecWinsOverImplicit) {
+  auto a = analyze("SELECT COUNT(*) FROM Object WHERE "
+                   "qserv_areaspec_box(10, 10, 20, 20) AND "
+                   "ra_PS BETWEEN 12 AND 13");
+  ASSERT_TRUE(a.areaRestriction.has_value());
+  EXPECT_FALSE(a.areaRestrictionIsImplicit);
+  EXPECT_DOUBLE_EQ(a.areaRestriction->lonMin(), 10.0);
+}
+
+TEST(Analysis, NegatedBetweenDoesNotRestrict) {
+  auto a = analyze(
+      "SELECT COUNT(*) FROM Object WHERE ra_PS NOT BETWEEN 1 AND 2");
+  EXPECT_FALSE(a.areaRestriction.has_value());
+}
+
+TEST(Analysis, AggregateDetectionInsideExpressions) {
+  auto a = analyze("SELECT SUM(uFlux_PS) / COUNT(uFlux_PS) FROM Object");
+  EXPECT_TRUE(a.hasAggregates);
+  auto b = analyze("SELECT fluxToAbMag(uFlux_PS) FROM Object");
+  EXPECT_FALSE(b.hasAggregates);
+}
+
+}  // namespace
+}  // namespace qserv::core

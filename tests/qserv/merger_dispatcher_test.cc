@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "qserv/dispatcher.h"
+#include "qserv/merger.h"
+#include "qserv/observables_codec.h"
+#include "sql/dump.h"
+#include "sql/rowcodec.h"
+#include "util/md5.h"
+#include "xrd/file_store.h"
+#include "xrd/paths.h"
+
+namespace qserv::core {
+namespace {
+
+// ------------------------------------------------------------------ merger
+
+sql::TablePtr makeRows(const std::string& name, std::vector<int> values) {
+  sql::Schema schema({{"v", sql::ColumnType::kInt}});
+  auto t = std::make_shared<sql::Table>(name, schema);
+  for (int v : values) {
+    EXPECT_TRUE(t->appendRow(std::vector<sql::Value>{sql::Value(v)}).isOk());
+  }
+  return t;
+}
+
+TEST(ResultMerger, UnionsDumpsIntoMergeTable) {
+  ResultMerger merger("m");
+  ASSERT_TRUE(merger.mergeDump(sql::dumpTable(*makeRows("a", {1, 2}), "r_a"))
+                  .isOk());
+  ASSERT_TRUE(merger.mergeDump(sql::dumpTable(*makeRows("b", {3}), "r_b"))
+                  .isOk());
+  EXPECT_EQ(merger.rowsMerged(), 3u);
+  auto final = merger.finalize("SELECT SUM(v) FROM m");
+  ASSERT_TRUE(final.isOk()) << final.status().toString();
+  EXPECT_EQ((*final)->cell(0, 0).asInt(), 6);
+}
+
+TEST(ResultMerger, HandlesBinaryPayloads) {
+  ResultMerger merger("m");
+  ASSERT_TRUE(
+      merger.mergeDump(sql::encodeTableBinary(*makeRows("a", {5, 7}), "r_a"))
+          .isOk());
+  // Mixed formats in one query also work.
+  ASSERT_TRUE(merger.mergeDump(sql::dumpTable(*makeRows("b", {8}), "r_b"))
+                  .isOk());
+  auto final = merger.finalize("SELECT COUNT(*) AS n, SUM(v) FROM m");
+  ASSERT_TRUE(final.isOk());
+  EXPECT_EQ((*final)->cell(0, 0).asInt(), 3);
+  EXPECT_EQ((*final)->cell(0, 1).asInt(), 20);
+}
+
+TEST(ResultMerger, ObservablesCommentIsHarmless) {
+  ResultMerger merger("m");
+  simio::WorkObservables obs;
+  obs.rowsExamined = 9;
+  std::string dump = sql::dumpTable(*makeRows("a", {1}), "r_a");
+  dump += encodeObservables(obs);
+  ASSERT_TRUE(merger.mergeDump(dump).isOk());
+  EXPECT_EQ(merger.rowsMerged(), 1u);
+}
+
+TEST(ResultMerger, EmptyDumpKeepsSchema) {
+  ResultMerger merger("m");
+  ASSERT_TRUE(merger.mergeDump(sql::dumpTable(*makeRows("a", {}), "r_a"))
+                  .isOk());
+  auto final = merger.finalize("SELECT * FROM m");
+  ASSERT_TRUE(final.isOk());
+  EXPECT_EQ((*final)->numRows(), 0u);
+  EXPECT_EQ((*final)->numColumns(), 1u);
+}
+
+TEST(ResultMerger, NoDumpsFinalizesEmpty) {
+  ResultMerger merger("m");
+  auto final = merger.finalize("SELECT * FROM m");
+  ASSERT_TRUE(final.isOk());
+  EXPECT_EQ((*final)->numRows(), 0u);
+}
+
+TEST(ResultMerger, MismatchedColumnCountFails) {
+  ResultMerger merger("m");
+  ASSERT_TRUE(merger.mergeDump(sql::dumpTable(*makeRows("a", {1}), "r_a"))
+                  .isOk());
+  sql::Schema two({{"x", sql::ColumnType::kInt}, {"y", sql::ColumnType::kInt}});
+  sql::Table wide("w", two);
+  ASSERT_TRUE(wide.appendRow(std::vector<sql::Value>{sql::Value(1),
+                                                     sql::Value(2)})
+                  .isOk());
+  EXPECT_FALSE(merger.mergeDump(sql::dumpTable(wide, "r_b")).isOk());
+}
+
+TEST(ResultMerger, GarbagePayloadFails) {
+  ResultMerger merger("m");
+  EXPECT_FALSE(merger.mergeDump("this is not a dump").isOk());
+}
+
+// --------------------------------------------------------------- dispatcher
+
+/// A plugin that fails the first `failures` read attempts per path.
+class FlakyPlugin : public xrd::OfsPlugin {
+ public:
+  FlakyPlugin(std::vector<std::int32_t> chunks, int failures)
+      : chunks_(std::move(chunks)), failuresLeft_(failures) {}
+
+  util::Status writeFile(const std::string& path, std::string payload) override {
+    auto chunk = xrd::parseQueryPath(path);
+    if (!chunk) return util::Status::invalidArgument("bad path");
+    ++writes_;
+    std::string hash = util::Md5::hex(payload);
+    if (failuresLeft_.fetch_sub(1) > 0) {
+      store_.publishError(xrd::makeResultPath(hash),
+                          util::Status::unavailable("injected fault"));
+      return util::Status::ok();
+    }
+    auto table = makeRows("r", {static_cast<int>(*chunk)});
+    store_.publish(xrd::makeResultPath(hash),
+                   sql::dumpTable(*table, "r_" + hash));
+    return util::Status::ok();
+  }
+
+  util::Result<std::string> readFile(const std::string& path) override {
+    return store_.waitFor(path, std::chrono::milliseconds(2000));
+  }
+
+  std::vector<std::int32_t> exportedChunks() const override { return chunks_; }
+
+  int writes() const { return writes_.load(); }
+
+ private:
+  std::vector<std::int32_t> chunks_;
+  std::atomic<int> failuresLeft_;
+  std::atomic<int> writes_{0};
+  xrd::FileStore store_;
+};
+
+TEST(Dispatcher, CollectsAllChunkResults) {
+  auto redirector = std::make_shared<xrd::Redirector>();
+  auto plugin = std::make_shared<FlakyPlugin>(std::vector<std::int32_t>{1, 2, 3},
+                                              0);
+  redirector->registerServer(
+      std::make_shared<xrd::DataServer>("w0", plugin));
+  Dispatcher dispatcher(redirector, 4);
+  std::vector<ChunkQuerySpec> specs;
+  for (std::int32_t c : {1, 2, 3}) {
+    specs.push_back(ChunkQuerySpec{c, {}, "SELECT " + std::to_string(c)});
+  }
+  auto results = dispatcher.run(specs);
+  ASSERT_TRUE(results.isOk()) << results.status().toString();
+  EXPECT_EQ(results->size(), 3u);
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.workerId, "w0");
+    EXPECT_FALSE(r.dump.empty());
+    EXPECT_EQ(r.hash, util::Md5::hex("SELECT " + std::to_string(r.chunkId)));
+  }
+}
+
+TEST(Dispatcher, RetriesTransientFailures) {
+  auto redirector = std::make_shared<xrd::Redirector>();
+  auto plugin = std::make_shared<FlakyPlugin>(std::vector<std::int32_t>{7},
+                                              /*failures=*/2);
+  redirector->registerServer(std::make_shared<xrd::DataServer>("w0", plugin));
+  Dispatcher dispatcher(redirector, 1, /*maxAttempts=*/3);
+  auto results = dispatcher.run({ChunkQuerySpec{7, {}, "SELECT 7"}});
+  ASSERT_TRUE(results.isOk()) << results.status().toString();
+  EXPECT_EQ(plugin->writes(), 3);  // two injected faults, then success
+}
+
+TEST(Dispatcher, GivesUpAfterMaxAttempts) {
+  auto redirector = std::make_shared<xrd::Redirector>();
+  auto plugin = std::make_shared<FlakyPlugin>(std::vector<std::int32_t>{7},
+                                              /*failures=*/100);
+  redirector->registerServer(std::make_shared<xrd::DataServer>("w0", plugin));
+  Dispatcher dispatcher(redirector, 1, /*maxAttempts=*/2);
+  auto results = dispatcher.run({ChunkQuerySpec{7, {}, "SELECT 7"}});
+  EXPECT_FALSE(results.isOk());
+  EXPECT_EQ(results.status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(Dispatcher, UnknownChunkFailsFast) {
+  auto redirector = std::make_shared<xrd::Redirector>();
+  Dispatcher dispatcher(redirector, 1);
+  auto results = dispatcher.run({ChunkQuerySpec{99, {}, "SELECT 99"}});
+  EXPECT_FALSE(results.isOk());
+}
+
+TEST(Dispatcher, ParsesInBandObservables) {
+  auto redirector = std::make_shared<xrd::Redirector>();
+  // A plugin whose dumps carry observables.
+  class ObsPlugin : public xrd::OfsPlugin {
+   public:
+    util::Status writeFile(const std::string& path, std::string payload) override {
+      (void)path;
+      simio::WorkObservables obs;
+      obs.bytesScanned = 12345;
+      obs.rowsExamined = 67;
+      std::string dump = sql::dumpTable(*makeRows("r", {1}), "r_x");
+      dump += encodeObservables(obs);
+      store_.publish(xrd::makeResultPath(util::Md5::hex(payload)),
+                     std::move(dump));
+      return util::Status::ok();
+    }
+    util::Result<std::string> readFile(const std::string& path) override {
+      return store_.waitFor(path, std::chrono::milliseconds(1000));
+    }
+    std::vector<std::int32_t> exportedChunks() const override { return {5}; }
+
+   private:
+    xrd::FileStore store_;
+  };
+  redirector->registerServer(
+      std::make_shared<xrd::DataServer>("w0", std::make_shared<ObsPlugin>()));
+  Dispatcher dispatcher(redirector, 1);
+  auto results = dispatcher.run({ChunkQuerySpec{5, {}, "SELECT 5"}});
+  ASSERT_TRUE(results.isOk());
+  EXPECT_DOUBLE_EQ((*results)[0].observables.bytesScanned, 12345.0);
+  EXPECT_EQ((*results)[0].observables.rowsExamined, 67u);
+}
+
+}  // namespace
+}  // namespace qserv::core

@@ -1,0 +1,292 @@
+#include "qserv/worker.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/partitioner.h"
+#include "datagen/schemas.h"
+#include "qserv/cluster.h"
+#include "util/md5.h"
+#include "util/strings.h"
+#include "xrd/paths.h"
+
+namespace qserv::core {
+namespace {
+
+/// A one-worker fixture with a couple of real partitioned chunks.
+class WorkerTest : public ::testing::Test {
+ protected:
+  WorkerTest() : config_(CatalogConfig::lsst(18, 6, 0.05)) {}
+
+  void SetUp() override {
+    SkyDataOptions data;
+    data.basePatchObjects = 800;
+    data.region = sphgeom::SphericalBox(0, -7, 7, 7);  // a few chunks
+    auto catalog = buildSkyCatalog(config_, data);
+    ASSERT_TRUE(catalog.isOk()) << catalog.status().toString();
+    db_ = std::make_shared<sql::Database>("w0");
+    std::size_t bestRows = 0;
+    for (const auto& chunk : catalog->chunks) {
+      ASSERT_TRUE(datagen::loadChunkIntoDatabase(*db_, chunk).isOk());
+      ASSERT_TRUE(
+          db_->createIndex(chunk.objects->name(), "subChunkId").isOk());
+      chunks_.push_back(chunk.chunkId);
+      // Edge chunks may carry only overlap rows; tests that need data use
+      // the most populated chunk.
+      if (chunk.objects->numRows() > bestRows) {
+        bestRows = chunk.objects->numRows();
+        populatedChunk_ = chunk.chunkId;
+      }
+    }
+    ASSERT_FALSE(chunks_.empty());
+    ASSERT_GT(bestRows, 0u);
+  }
+
+  std::unique_ptr<Worker> makeWorker(WorkerConfig wc = {}) {
+    return std::make_unique<Worker>("w0", db_, config_, chunks_, wc);
+  }
+
+  /// Round-trip one chunk query through the ofs interface.
+  util::Result<std::string> runQuery(Worker& w, std::int32_t chunk,
+                                     const std::string& text) {
+    QSERV_RETURN_IF_ERROR(w.writeFile(xrd::makeQueryPath(chunk), text));
+    return w.readFile(xrd::makeResultPath(util::Md5::hex(text)));
+  }
+
+  CatalogConfig config_;
+  std::shared_ptr<sql::Database> db_;
+  std::vector<std::int32_t> chunks_;
+  std::int32_t populatedChunk_ = -1;
+};
+
+TEST_F(WorkerTest, ExecutesChunkQueryAndPublishesDump) {
+  auto w = makeWorker();
+  std::int32_t chunk = populatedChunk_;
+  std::string q = "SELECT COUNT(*) AS QS0_COUNT FROM Object_" +
+                  std::to_string(chunk) + ";\n";
+  auto dump = runQuery(*w, chunk, q);
+  ASSERT_TRUE(dump.isOk()) << dump.status().toString();
+  EXPECT_NE(dump->find("CREATE TABLE"), std::string::npos);
+  EXPECT_NE(dump->find("QS0_COUNT"), std::string::npos);
+  EXPECT_NE(dump->find("-- QSERV-OBS"), std::string::npos);
+  EXPECT_EQ(w->tasksExecuted(), 1u);
+}
+
+TEST_F(WorkerTest, RejectsUnknownChunk) {
+  auto w = makeWorker();
+  EXPECT_EQ(w->writeFile(xrd::makeQueryPath(999999), "SELECT 1;").code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST_F(WorkerTest, RejectsNonQueryPath) {
+  auto w = makeWorker();
+  EXPECT_EQ(w->writeFile("/bogus/1", "x").code(),
+            util::ErrorCode::kInvalidArgument);
+  EXPECT_EQ(w->readFile("/bogus/1").status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST_F(WorkerTest, BadSqlPublishesError) {
+  auto w = makeWorker();
+  std::int32_t chunk = populatedChunk_;
+  std::string q = "SELECT FROM WHERE;";
+  ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
+  auto r = w->readFile(xrd::makeResultPath(util::Md5::hex(q)));
+  EXPECT_FALSE(r.isOk());
+}
+
+TEST_F(WorkerTest, UnrewrittenAreaspecFailsLoudly) {
+  // A chunk query that still contains the frontend-only pseudo-function
+  // must fail on the worker, not silently return everything.
+  auto w = makeWorker();
+  std::int32_t chunk = populatedChunk_;
+  std::string q = "SELECT COUNT(*) FROM Object_" + std::to_string(chunk) +
+                  " WHERE qserv_areaspec_box(0,0,1,1);";
+  ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
+  EXPECT_FALSE(w->readFile(xrd::makeResultPath(util::Md5::hex(q))).isOk());
+}
+
+TEST_F(WorkerTest, ResultsAreOneShot) {
+  WorkerConfig wc;
+  wc.resultTimeout = std::chrono::milliseconds(200);
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  std::string q = "SELECT COUNT(*) AS c FROM Object_" +
+                  std::to_string(chunk) + ";";
+  auto first = runQuery(*w, chunk, q);
+  ASSERT_TRUE(first.isOk());
+  // The result was consumed; a second read times out.
+  auto second = w->readFile(xrd::makeResultPath(util::Md5::hex(q)));
+  EXPECT_FALSE(second.isOk());
+}
+
+TEST_F(WorkerTest, SubchunkBuildAndCleanup) {
+  auto w = makeWorker();
+  std::int32_t chunk = populatedChunk_;
+  sphgeom::Chunker chunker = config_.makeChunker();
+  std::int32_t sc = chunker.subChunksOf(chunk)[0];
+  std::string scTable = datagen::subChunkTableName("Object", chunk, sc);
+  std::string ovTable =
+      datagen::subChunkTableName("ObjectFullOverlap", chunk, sc);
+  std::string q = "-- SUBCHUNKS: " + std::to_string(sc) + "\n" +
+                  "SELECT COUNT(*) AS c FROM " + scTable + " AS o1, " +
+                  ovTable + " AS o2;\n";
+  auto dump = runQuery(*w, chunk, q);
+  ASSERT_TRUE(dump.isOk()) << dump.status().toString();
+  // Tables are dropped after the task (no caching by default, like the
+  // paper's implementation).
+  EXPECT_FALSE(db_->hasTable(scTable));
+  EXPECT_FALSE(db_->hasTable(ovTable));
+}
+
+TEST_F(WorkerTest, SubchunkCachingKeepsTables) {
+  WorkerConfig wc;
+  wc.cacheSubchunks = true;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  sphgeom::Chunker chunker = config_.makeChunker();
+  std::int32_t sc = chunker.subChunksOf(chunk)[0];
+  std::string scTable = datagen::subChunkTableName("Object", chunk, sc);
+  std::string q = "-- SUBCHUNKS: " + std::to_string(sc) + "\n" +
+                  "SELECT COUNT(*) AS c FROM " + scTable + ";\n";
+  ASSERT_TRUE(runQuery(*w, chunk, q).isOk());
+  EXPECT_TRUE(db_->hasTable(scTable));
+}
+
+TEST_F(WorkerTest, SubchunkRowsPartitionTheChunk) {
+  // Union of subchunk tables == chunk table rows (build correctness).
+  WorkerConfig wc;
+  wc.cacheSubchunks = true;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  sphgeom::Chunker chunker = config_.makeChunker();
+  auto subChunks = chunker.subChunksOf(chunk);
+  std::vector<std::string> ids;
+  for (auto sc : subChunks) ids.push_back(std::to_string(sc));
+  std::string q = "-- SUBCHUNKS: " + util::join(ids, ", ") + "\n";
+  for (auto sc : subChunks) {
+    q += "SELECT COUNT(*) AS c FROM " +
+         datagen::subChunkTableName("Object", chunk, sc) + ";\n";
+  }
+  ASSERT_TRUE(runQuery(*w, chunk, q).isOk());
+  // Sum the published counts directly from the database.
+  auto total =
+      db_->execute("SELECT COUNT(*) FROM Object_" + std::to_string(chunk));
+  ASSERT_TRUE(total.isOk());
+  std::int64_t expect = (*total)->cell(0, 0).asInt();
+  std::int64_t got = 0;
+  for (auto sc : subChunks) {
+    auto r = db_->execute("SELECT COUNT(*) FROM " +
+                          datagen::subChunkTableName("Object", chunk, sc));
+    ASSERT_TRUE(r.isOk());
+    got += (*r)->cell(0, 0).asInt();
+  }
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(WorkerTest, ObservablesScaleWithRowScale) {
+  WorkerConfig wc;
+  wc.rowScale = 100.0;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  std::string q = "SELECT COUNT(*) AS c FROM Object_" +
+                  std::to_string(chunk) + " WHERE ra_PS > 0;";
+  ASSERT_TRUE(runQuery(*w, chunk, q).isOk());
+  auto obs = w->observablesFor(util::Md5::hex(q));
+  ASSERT_TRUE(obs.has_value());
+  auto rows =
+      db_->execute("SELECT COUNT(*) FROM Object_" + std::to_string(chunk));
+  ASSERT_TRUE(rows.isOk());
+  auto n = static_cast<std::uint64_t>((*rows)->cell(0, 0).asInt());
+  EXPECT_EQ(obs->rowsExamined, n * 100);
+  // bytesScanned charges Object's paper row width.
+  EXPECT_NEAR(obs->bytesScanned,
+              static_cast<double>(n) * 100.0 * datagen::kObjectRowBytes,
+              1.0);
+}
+
+TEST_F(WorkerTest, ParallelTasksAcrossSlots) {
+  WorkerConfig wc;
+  wc.slots = 4;
+  auto w = makeWorker(wc);
+  std::vector<std::string> queries;
+  for (int i = 0; i < 12; ++i) {
+    std::int32_t chunk = chunks_[static_cast<std::size_t>(i) % chunks_.size()];
+    queries.push_back("SELECT COUNT(*) AS c FROM Object_" +
+                      std::to_string(chunk) + " WHERE ra_PS > " +
+                      std::to_string(i) + ";");
+    ASSERT_TRUE(
+        w->writeFile(xrd::makeQueryPath(chunk), queries.back()).isOk());
+  }
+  for (const auto& q : queries) {
+    auto r = w->readFile(xrd::makeResultPath(util::Md5::hex(q)));
+    EXPECT_TRUE(r.isOk()) << r.status().toString();
+  }
+  EXPECT_EQ(w->tasksExecuted(), 12u);
+}
+
+TEST_F(WorkerTest, SharedScanGroupChargesIoOnce) {
+  WorkerConfig wc;
+  wc.slots = 1;
+  wc.scheduler = SchedulerMode::kSharedScan;
+  wc.startPaused = true;  // stage the queue before any task is claimed
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  // Three distinct scans of the same chunk queued together.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back("SELECT COUNT(*) AS c FROM Object_" +
+                      std::to_string(chunk) + " WHERE ra_PS > " +
+                      std::to_string(i * 100) + ";");
+  }
+  for (const auto& q : queries) {
+    ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
+  }
+  w->resume();
+  int charged = 0;
+  for (const auto& q : queries) {
+    auto r = w->readFile(xrd::makeResultPath(util::Md5::hex(q)));
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    auto obs = w->observablesFor(util::Md5::hex(q));
+    ASSERT_TRUE(obs.has_value());
+    if (obs->bytesScanned > 0) ++charged;
+  }
+  // The whole group shares one scan: exactly one task pays the I/O.
+  EXPECT_EQ(charged, 1);
+}
+
+TEST_F(WorkerTest, FifoChargesEveryScan) {
+  WorkerConfig wc;
+  wc.slots = 1;
+  wc.scheduler = SchedulerMode::kFifo;
+  wc.startPaused = true;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  std::vector<std::string> queries;
+  for (int i = 0; i < 3; ++i) {
+    queries.push_back("SELECT COUNT(*) AS c FROM Object_" +
+                      std::to_string(chunk) + " WHERE decl_PS > " +
+                      std::to_string(i * 100) + ";");
+  }
+  for (const auto& q : queries) {
+    ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
+  }
+  w->resume();
+  int charged = 0;
+  for (const auto& q : queries) {
+    ASSERT_TRUE(w->readFile(xrd::makeResultPath(util::Md5::hex(q))).isOk());
+    auto obs = w->observablesFor(util::Md5::hex(q));
+    ASSERT_TRUE(obs.has_value());
+    if (obs->bytesScanned > 0) ++charged;
+  }
+  EXPECT_EQ(charged, 3);
+}
+
+TEST_F(WorkerTest, ShutdownRejectsNewWork) {
+  auto w = makeWorker();
+  w->shutdown();
+  EXPECT_FALSE(
+      w->writeFile(xrd::makeQueryPath(chunks_[0]), "SELECT 1;").isOk());
+}
+
+}  // namespace
+}  // namespace qserv::core

@@ -1,0 +1,78 @@
+#include "simio/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::simio {
+namespace {
+
+TEST(CostModel, PointLookupIsSubSecond) {
+  // LV1 worker side: one index probe, a handful of rows, tiny result.
+  WorkObservables w;
+  w.indexLookups = 1;
+  w.rowsExamined = 1;
+  w.resultBytes = 2048;
+  w.resultRows = 1;
+  CostParams p = CostParams::paper150();
+  EXPECT_LT(workerServiceSeconds(w, p), 0.5);
+  EXPECT_LT(masterCollectSeconds(w, p), 0.1);
+}
+
+TEST(CostModel, FullChunkScanMatchesContendedBandwidth) {
+  // One Object chunk at paper scale: 1.824e12 bytes / 8983 chunks.
+  WorkObservables w;
+  w.bytesScanned = 1.824e12 / 8983.0;
+  w.rowsExamined = 1700000000ULL / 8983;
+  CostParams p = CostParams::paper150();
+  double s = workerServiceSeconds(w, p);
+  // ~203 MB at 27/4 MB/s/stream ≈ 30 s (+ CPU).
+  EXPECT_GT(s, 25.0);
+  EXPECT_LT(s, 40.0);
+}
+
+TEST(CostModel, CacheFractionReducesDiskTime) {
+  WorkObservables w;
+  w.bytesScanned = 1e9;
+  CostParams cold = CostParams::paper150();
+  CostParams warm = cold;
+  warm.cacheFraction = 0.9;
+  EXPECT_GT(workerServiceSeconds(w, cold),
+            5.0 * workerServiceSeconds(w, warm));
+}
+
+TEST(CostModel, SingleStreamUsesSequentialBandwidth) {
+  WorkObservables w;
+  w.bytesScanned = 76e6;  // one second at sequential rate
+  CostParams p = CostParams::paper150();
+  p.slotsPerNode = 1;
+  double s = workerServiceSeconds(w, p);
+  EXPECT_NEAR(s, 1.0 + p.seekSeconds, 0.05);
+}
+
+TEST(CostModel, PairEvaluationDominatesNearNeighbor) {
+  // SHV1 anchor: ~260e6 pairs per chunk ≈ 650 s of CPU at 2.5 us/pair.
+  WorkObservables w;
+  w.pairsEvaluated = 260000000ULL;
+  CostParams p = CostParams::paper150();
+  double s = workerServiceSeconds(w, p);
+  EXPECT_GT(s, 500.0);
+  EXPECT_LT(s, 800.0);
+}
+
+TEST(CostModel, CollectScalesWithResultBytes) {
+  WorkObservables small, big;
+  small.resultBytes = 1e4;
+  big.resultBytes = 1e8;
+  CostParams p = CostParams::paper150();
+  EXPECT_GT(masterCollectSeconds(big, p),
+            100.0 * masterCollectSeconds(small, p));
+}
+
+TEST(CostModel, ZeroWorkIsZeroSeconds) {
+  WorkObservables w;
+  CostParams p = CostParams::paper150();
+  EXPECT_DOUBLE_EQ(workerServiceSeconds(w, p), 0.0);
+  EXPECT_DOUBLE_EQ(masterCollectSeconds(w, p), 0.0);
+}
+
+}  // namespace
+}  // namespace qserv::simio

@@ -1,0 +1,120 @@
+#include "sphgeom/coords.h"
+
+#include <gtest/gtest.h>
+
+#include "sphgeom/angle.h"
+#include "util/rng.h"
+
+namespace qserv::sphgeom {
+namespace {
+
+TEST(Angle, NormalizeLon) {
+  EXPECT_DOUBLE_EQ(normalizeLonDeg(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeLonDeg(360.0), 0.0);
+  EXPECT_DOUBLE_EQ(normalizeLonDeg(-1.0), 359.0);
+  EXPECT_DOUBLE_EQ(normalizeLonDeg(725.0), 5.0);
+  EXPECT_DOUBLE_EQ(normalizeLonDeg(-725.0), 355.0);
+}
+
+TEST(Angle, ClampLat) {
+  EXPECT_DOUBLE_EQ(clampLatDeg(91.0), 90.0);
+  EXPECT_DOUBLE_EQ(clampLatDeg(-91.0), -90.0);
+  EXPECT_DOUBLE_EQ(clampLatDeg(45.0), 45.0);
+}
+
+TEST(Coords, AxisPoints) {
+  Vector3d x = toXyz(0.0, 0.0);
+  EXPECT_NEAR(x.x, 1.0, 1e-15);
+  EXPECT_NEAR(x.y, 0.0, 1e-15);
+  EXPECT_NEAR(x.z, 0.0, 1e-15);
+
+  Vector3d np = toXyz(123.0, 90.0);
+  EXPECT_NEAR(np.z, 1.0, 1e-15);
+
+  Vector3d y = toXyz(90.0, 0.0);
+  EXPECT_NEAR(y.y, 1.0, 1e-15);
+}
+
+TEST(Coords, RoundTripRandomPoints) {
+  util::Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double lon = rng.uniform(0.0, 360.0);
+    double lat = rng.uniform(-89.9, 89.9);
+    LonLat p = toLonLat(toXyz(lon, lat));
+    EXPECT_NEAR(p.lon, lon, 1e-9);
+    EXPECT_NEAR(p.lat, lat, 1e-9);
+  }
+}
+
+TEST(Coords, UnitNorm) {
+  util::Rng rng(43);
+  for (int i = 0; i < 100; ++i) {
+    Vector3d v = toXyz(rng.uniform(0, 360), rng.uniform(-90, 90));
+    EXPECT_NEAR(v.norm(), 1.0, 1e-14);
+  }
+}
+
+TEST(AngSep, IdenticalPointsZero) {
+  EXPECT_DOUBLE_EQ(angSepDeg(10.0, 20.0, 10.0, 20.0), 0.0);
+}
+
+TEST(AngSep, Antipodes) {
+  EXPECT_NEAR(angSepDeg(0.0, 0.0, 180.0, 0.0), 180.0, 1e-12);
+  EXPECT_NEAR(angSepDeg(0.0, 90.0, 0.0, -90.0), 180.0, 1e-12);
+}
+
+TEST(AngSep, EquatorLongitudeDifference) {
+  // On the equator separation equals the longitude difference.
+  EXPECT_NEAR(angSepDeg(10.0, 0.0, 25.0, 0.0), 15.0, 1e-12);
+}
+
+TEST(AngSep, MeridianLatitudeDifference) {
+  EXPECT_NEAR(angSepDeg(42.0, -10.0, 42.0, 30.0), 40.0, 1e-12);
+}
+
+TEST(AngSep, Symmetric) {
+  util::Rng rng(44);
+  for (int i = 0; i < 200; ++i) {
+    double a1 = rng.uniform(0, 360), d1 = rng.uniform(-90, 90);
+    double a2 = rng.uniform(0, 360), d2 = rng.uniform(-90, 90);
+    EXPECT_NEAR(angSepDeg(a1, d1, a2, d2), angSepDeg(a2, d2, a1, d1), 1e-12);
+  }
+}
+
+TEST(AngSep, TriangleInequality) {
+  util::Rng rng(45);
+  for (int i = 0; i < 200; ++i) {
+    double a1 = rng.uniform(0, 360), d1 = rng.uniform(-90, 90);
+    double a2 = rng.uniform(0, 360), d2 = rng.uniform(-90, 90);
+    double a3 = rng.uniform(0, 360), d3 = rng.uniform(-90, 90);
+    double ab = angSepDeg(a1, d1, a2, d2);
+    double bc = angSepDeg(a2, d2, a3, d3);
+    double ac = angSepDeg(a1, d1, a3, d3);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+TEST(AngSep, AgreesWithDotProduct) {
+  util::Rng rng(46);
+  for (int i = 0; i < 500; ++i) {
+    double a1 = rng.uniform(0, 360), d1 = rng.uniform(-90, 90);
+    double a2 = rng.uniform(0, 360), d2 = rng.uniform(-90, 90);
+    double dot = toXyz(a1, d1).dot(toXyz(a2, d2));
+    dot = std::clamp(dot, -1.0, 1.0);
+    double viaDot = radToDeg(std::acos(dot));
+    EXPECT_NEAR(angSepDeg(a1, d1, a2, d2), viaDot, 1e-6);
+  }
+}
+
+TEST(AngSep, StableForTinySeparations) {
+  // Haversine keeps precision where acos(dot) loses it.
+  double sep = angSepDeg(100.0, 30.0, 100.0, 30.0 + 1e-7);
+  EXPECT_NEAR(sep, 1e-7, 1e-13);
+}
+
+TEST(AngSep, WrapsAcrossZeroMeridian) {
+  EXPECT_NEAR(angSepDeg(359.5, 0.0, 0.5, 0.0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qserv::sphgeom

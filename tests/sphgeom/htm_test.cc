@@ -1,0 +1,205 @@
+#include "sphgeom/htm.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sphgeom/angle.h"
+#include "sphgeom/coords.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace qserv::sphgeom::htm {
+namespace {
+
+TEST(Htm, RootIdsAndLevels) {
+  for (TrixelId id = 8; id <= 15; ++id) {
+    EXPECT_TRUE(isValid(id));
+    EXPECT_EQ(levelOf(id), 0);
+  }
+  EXPECT_FALSE(isValid(0));
+  EXPECT_FALSE(isValid(7));
+  EXPECT_FALSE(isValid(16));  // level would be fractional
+  EXPECT_TRUE(isValid(32));   // 8*4: level 1
+  EXPECT_EQ(levelOf(32), 1);
+  EXPECT_EQ(levelOf(8ULL << 10), 5);
+}
+
+TEST(Htm, ParentChildRelations) {
+  TrixelId id = 8;
+  auto kids = childrenOf(id);
+  for (TrixelId k : kids) {
+    EXPECT_EQ(parentOf(k), id);
+    EXPECT_EQ(levelOf(k), 1);
+  }
+}
+
+TEST(Htm, RootsPartitionTheSphere) {
+  util::Rng rng(200);
+  for (int i = 0; i < 2000; ++i) {
+    Vector3d v = toXyz(rng.uniform(0, 360), rng.uniform(-90, 90));
+    int containing = 0;
+    for (TrixelId id = 8; id <= 15; ++id) {
+      if (trixelContains(id, v)) ++containing;
+    }
+    EXPECT_GE(containing, 1);
+    EXPECT_LE(containing, 3);  // boundary points may touch several
+  }
+}
+
+TEST(Htm, PointToTrixelContainsPoint) {
+  util::Rng rng(201);
+  for (int level : {0, 1, 3, 6, 10}) {
+    for (int i = 0; i < 500; ++i) {
+      Vector3d v = toXyz(rng.uniform(0, 360), rng.uniform(-90, 90));
+      TrixelId id = pointToTrixel(v, level);
+      EXPECT_EQ(levelOf(id), level);
+      EXPECT_TRUE(trixelContains(id, v)) << "level " << level;
+    }
+  }
+}
+
+TEST(Htm, ChildIdsNestUnderParent) {
+  util::Rng rng(202);
+  for (int i = 0; i < 500; ++i) {
+    Vector3d v = toXyz(rng.uniform(0, 360), rng.uniform(-90, 90));
+    TrixelId deep = pointToTrixel(v, 8);
+    TrixelId shallow = pointToTrixel(v, 5);
+    EXPECT_EQ(deep >> 6, shallow);  // 3 levels = 6 bits
+  }
+}
+
+TEST(Htm, TrixelCountByLevel) {
+  // 8 * 4^L trixels at level L; verify via distinct ids of random points at
+  // a low level where sampling saturates.
+  util::Rng rng(203);
+  std::set<TrixelId> seen;
+  for (int i = 0; i < 20000; ++i) {
+    seen.insert(
+        pointToTrixel(rng.uniform(0, 360), rng.uniform(-90, 90), 2));
+  }
+  EXPECT_EQ(seen.size(), 8u * 16u);
+}
+
+TEST(Htm, AreasSumToSphere) {
+  double total = 0;
+  for (TrixelId id = 8; id <= 15; ++id) total += trixelArea(id);
+  EXPECT_NEAR(total, 4 * kPi * kDegPerRad * kDegPerRad, 1.0);
+}
+
+TEST(Htm, ChildAreasSumToParent) {
+  for (TrixelId id : {TrixelId{8}, TrixelId{13}}) {
+    double parent = trixelArea(id);
+    double kids = 0;
+    for (TrixelId k : childrenOf(id)) kids += trixelArea(k);
+    EXPECT_NEAR(kids, parent, parent * 0.01);
+  }
+}
+
+TEST(Htm, AreaVarianceIsBounded) {
+  // HTM trixels at one level vary in area by a bounded factor (~2);
+  // this is the §7.5 claim that hierarchical schemes have "less variation
+  // in area" than lon/lat boxes near poles.
+  util::Rng rng(204);
+  std::map<TrixelId, double> areas;
+  for (int i = 0; i < 5000; ++i) {
+    TrixelId id = pointToTrixel(rng.uniform(0, 360), rng.uniform(-90, 90), 3);
+    if (!areas.count(id)) areas[id] = trixelArea(id);
+  }
+  double mn = 1e18, mx = 0;
+  for (auto& [id, a] : areas) {
+    mn = std::min(mn, a);
+    mx = std::max(mx, a);
+  }
+  EXPECT_LT(mx / mn, 2.5);
+}
+
+TEST(Htm, CoverBoxIsConservative) {
+  // Every point of the box lies in some covering trixel.
+  util::Rng rng(205);
+  for (int trial = 0; trial < 20; ++trial) {
+    double lon = rng.uniform(0, 350);
+    double lat = rng.uniform(-70, 60);
+    SphericalBox box(lon, lat, lon + rng.uniform(0.5, 10),
+                     lat + rng.uniform(0.5, 10));
+    int level = 5;
+    auto cover = coverBox(box, level);
+    ASSERT_FALSE(cover.empty());
+    std::set<TrixelId> coverSet(cover.begin(), cover.end());
+    for (int i = 0; i < 200; ++i) {
+      double plon = normalizeLonDeg(lon + rng.uniform(0, 1) * (box.lonExtent()));
+      double plat = box.latMin() + rng.uniform(0, 1) * box.latExtent();
+      TrixelId id = pointToTrixel(plon, plat, level);
+      EXPECT_TRUE(coverSet.count(id))
+          << "point (" << plon << "," << plat << ") trixel " << id
+          << " missing from cover of " << box.toString();
+    }
+  }
+}
+
+TEST(Htm, CoverBoxIsReasonablyTight) {
+  // The cover should not blow up to the whole sphere for a small box.
+  SphericalBox box(100, 10, 103, 13);
+  auto cover = coverBox(box, 6);
+  // Level 6: 8*4^6 = 32768 trixels over the sphere, each ~1.26 deg^2.
+  // A 9 deg^2 box should be covered by a few dozen, not thousands.
+  EXPECT_LT(cover.size(), 200u);
+  EXPECT_GE(cover.size(), 4u);
+}
+
+TEST(Htm, CoverFullSkyIsEverything) {
+  auto cover = coverBox(SphericalBox::fullSky(), 2);
+  std::set<TrixelId> uniq(cover.begin(), cover.end());
+  EXPECT_EQ(uniq.size(), 8u * 16u);
+}
+
+TEST(Htm, CoverRangesMatchCoverSet) {
+  SphericalBox box(40, -20, 55, -5);
+  auto ids = coverBox(box, 6);
+  auto ranges = coverBoxRanges(box, 6);
+  std::set<TrixelId> fromRanges;
+  for (const auto& r : ranges) {
+    ASSERT_LE(r.first, r.last);
+    for (TrixelId id = r.first; id <= r.last; ++id) fromRanges.insert(id);
+  }
+  std::set<TrixelId> fromIds(ids.begin(), ids.end());
+  EXPECT_EQ(fromRanges, fromIds);
+}
+
+TEST(Htm, CoverRangesAreSortedDisjointAndMaximal) {
+  SphericalBox box(100, 10, 112, 22);
+  auto ranges = coverBoxRanges(box, 7);
+  ASSERT_FALSE(ranges.empty());
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    // Sorted, disjoint, and not mergeable (a gap of at least one id).
+    EXPECT_GT(ranges[i].first, ranges[i - 1].last + 1);
+  }
+}
+
+TEST(Htm, RangesCompressSpatialLocality) {
+  // §7.5: small regions map to FEW contiguous ranges — far fewer than the
+  // trixel count — because siblings share id prefixes.
+  SphericalBox box(200, -40, 206, -34);
+  auto ids = coverBox(box, 8);
+  auto ranges = coverBoxRanges(box, 8);
+  EXPECT_GE(ids.size(), 40u);
+  EXPECT_LT(ranges.size() * 2, ids.size());
+}
+
+TEST(Htm, VerticesAreUnitAndCcw) {
+  util::Rng rng(206);
+  for (int i = 0; i < 200; ++i) {
+    TrixelId id = pointToTrixel(rng.uniform(0, 360), rng.uniform(-90, 90), 4);
+    auto v = trixelVertices(id);
+    for (auto& p : v) EXPECT_NEAR(p.norm(), 1.0, 1e-12);
+    // CCW orientation: centroid on the positive side of each edge.
+    Vector3d c = (v[0] + v[1] + v[2]).normalized();
+    EXPECT_GT(v[0].cross(v[1]).dot(c), 0);
+    EXPECT_GT(v[1].cross(v[2]).dot(c), 0);
+    EXPECT_GT(v[2].cross(v[0]).dot(c), 0);
+  }
+}
+
+}  // namespace
+}  // namespace qserv::sphgeom::htm

@@ -1,0 +1,186 @@
+#include "sphgeom/spherical_box.h"
+
+#include <gtest/gtest.h>
+
+#include "sphgeom/angle.h"
+#include "util/rng.h"
+
+namespace qserv::sphgeom {
+namespace {
+
+TEST(SphericalBox, DefaultIsEmpty) {
+  SphericalBox b;
+  EXPECT_TRUE(b.isEmpty());
+  EXPECT_FALSE(b.contains(0, 0));
+  EXPECT_DOUBLE_EQ(b.area(), 0.0);
+}
+
+TEST(SphericalBox, SimpleContainment) {
+  SphericalBox b(10, -5, 20, 5);
+  EXPECT_TRUE(b.contains(15, 0));
+  EXPECT_TRUE(b.contains(10, -5));   // boundary inclusive
+  EXPECT_TRUE(b.contains(20, 5));
+  EXPECT_FALSE(b.contains(21, 0));
+  EXPECT_FALSE(b.contains(15, 6));
+  EXPECT_FALSE(b.contains(9.999, 0));
+}
+
+TEST(SphericalBox, WrappingBoxLikePt11Patch) {
+  // The PT1.1 patch spans RA 358..5 (paper §6.1.2) — wraps the 0 meridian.
+  SphericalBox b(358, -7, 5, 7);
+  EXPECT_TRUE(b.wraps());
+  EXPECT_TRUE(b.contains(359, 0));
+  EXPECT_TRUE(b.contains(0, 0));
+  EXPECT_TRUE(b.contains(4, 6.9));
+  EXPECT_FALSE(b.contains(180, 0));
+  EXPECT_FALSE(b.contains(5.01, 0));
+  EXPECT_FALSE(b.contains(357.9, 0));
+  EXPECT_NEAR(b.lonExtent(), 7.0, 1e-12);
+}
+
+TEST(SphericalBox, FullSkyContainsEverything) {
+  SphericalBox b = SphericalBox::fullSky();
+  EXPECT_TRUE(b.isFullLon());
+  util::Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(b.contains(rng.uniform(0, 360), rng.uniform(-90, 90)));
+  }
+  EXPECT_NEAR(b.area(), 4 * kPi * kDegPerRad * kDegPerRad, 1e-6);
+}
+
+TEST(SphericalBox, InvalidLatOrderIsEmpty) {
+  SphericalBox b(0, 10, 10, -10);
+  EXPECT_TRUE(b.isEmpty());
+}
+
+TEST(SphericalBox, IntersectsBasic) {
+  SphericalBox a(0, 0, 10, 10);
+  EXPECT_TRUE(a.intersects(SphericalBox(5, 5, 15, 15)));
+  EXPECT_TRUE(a.intersects(SphericalBox(10, 10, 20, 20)));  // corner touch
+  EXPECT_FALSE(a.intersects(SphericalBox(11, 0, 20, 10)));
+  EXPECT_FALSE(a.intersects(SphericalBox(0, 11, 10, 20)));
+  EXPECT_TRUE(a.intersects(a));
+}
+
+TEST(SphericalBox, IntersectsAcrossWrap) {
+  SphericalBox wrap(350, -10, 10, 10);
+  EXPECT_TRUE(wrap.intersects(SphericalBox(0, 0, 5, 5)));
+  EXPECT_TRUE(wrap.intersects(SphericalBox(355, 0, 358, 5)));
+  EXPECT_FALSE(wrap.intersects(SphericalBox(100, 0, 200, 5)));
+  EXPECT_TRUE(wrap.intersects(SphericalBox(340, -5, 352, 5)));
+  // Two wrapping boxes.
+  EXPECT_TRUE(wrap.intersects(SphericalBox(355, -5, 2, 5)));
+}
+
+TEST(SphericalBox, IntersectsEmptyIsFalse) {
+  SphericalBox a(0, 0, 10, 10);
+  EXPECT_FALSE(a.intersects(SphericalBox()));
+  EXPECT_FALSE(SphericalBox().intersects(a));
+}
+
+TEST(SphericalBox, IntersectionConsistentWithSharedPoints) {
+  util::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    double l1 = rng.uniform(0, 360), l2 = l1 + rng.uniform(0, 90);
+    double m1 = rng.uniform(-80, 70), m2 = m1 + rng.uniform(0, 20);
+    double l3 = rng.uniform(0, 360), l4 = l3 + rng.uniform(0, 90);
+    double m3 = rng.uniform(-80, 70), m4 = m3 + rng.uniform(0, 20);
+    SphericalBox a(l1, m1, l2, m2), b(l3, m3, l4, m4);
+    // Sample a dense grid of A; if any sampled point is in B they must
+    // report intersection.
+    bool shared = false;
+    for (int gi = 0; gi <= 10 && !shared; ++gi) {
+      for (int gj = 0; gj <= 10 && !shared; ++gj) {
+        double lon = l1 + (l2 - l1) * gi / 10.0;
+        double lat = m1 + (m2 - m1) * gj / 10.0;
+        if (b.contains(normalizeLonDeg(lon), lat)) shared = true;
+      }
+    }
+    if (shared) {
+      EXPECT_TRUE(a.intersects(b)) << a.toString() << " vs " << b.toString();
+      EXPECT_TRUE(b.intersects(a));
+    }
+  }
+}
+
+TEST(SphericalBox, DilatedContainsOriginalNeighborhood) {
+  SphericalBox b(10, 10, 20, 20);
+  SphericalBox d = b.dilated(1.0);
+  EXPECT_TRUE(d.contains(9.5, 10));   // extends west
+  EXPECT_TRUE(d.contains(20.5, 20));  // extends east
+  EXPECT_TRUE(d.contains(15, 9.2));
+  EXPECT_TRUE(d.contains(15, 20.8));
+  EXPECT_FALSE(d.contains(15, 22.0));
+}
+
+TEST(SphericalBox, DilationLonMarginGrowsWithLatitude) {
+  // At 60 deg latitude, 1 deg of arc spans 2 deg of longitude.
+  SphericalBox b(100, 59, 110, 60);
+  SphericalBox d = b.dilated(1.0);
+  EXPECT_TRUE(d.contains(100 - 1.9, 59.5));
+  EXPECT_FALSE(d.contains(100 - 2.5, 59.5));
+}
+
+TEST(SphericalBox, DilationCoversAllNearbyPoints) {
+  // Property: every point within r of the box is inside the dilated box.
+  util::Rng rng(8);
+  SphericalBox b(340, 30, 20, 50);  // wrapping, mid-latitude
+  double r = 0.5;
+  SphericalBox d = b.dilated(r);
+  for (int i = 0; i < 2000; ++i) {
+    double lon = rng.uniform(0, 360);
+    double lat = rng.uniform(25, 55);
+    // Find if the point is within r of the box by sampling box boundary.
+    if (b.contains(lon, lat)) {
+      EXPECT_TRUE(d.contains(lon, lat));
+      continue;
+    }
+    double best = 1e9;
+    for (int gi = 0; gi <= 40; ++gi) {
+      double t = gi / 40.0;
+      double blon = normalizeLonDeg(340 + 40 * t);
+      for (double blat : {30.0, 50.0}) best = std::min(best, angSepDeg(lon, lat, blon, blat));
+      for (double blon2 : {340.0, 20.0}) {
+        double blat2 = 30 + 20 * t;
+        best = std::min(best, angSepDeg(lon, lat, blon2, blat2));
+      }
+    }
+    if (best < r * 0.999) {
+      EXPECT_TRUE(d.contains(lon, lat))
+          << "point (" << lon << "," << lat << ") at distance " << best;
+    }
+  }
+}
+
+TEST(SphericalBox, DilationNearPoleBecomesFullLon) {
+  SphericalBox b(10, 88, 20, 89);
+  SphericalBox d = b.dilated(1.5);
+  EXPECT_TRUE(d.isFullLon());
+  EXPECT_TRUE(d.contains(200, 89.5));
+}
+
+TEST(SphericalBox, AreaOfKnownBoxes) {
+  // A 1-degree square box at the equator is slightly less than 1 deg^2.
+  SphericalBox eq(0, -0.5, 1, 0.5);
+  EXPECT_NEAR(eq.area(), 1.0, 1e-4);
+  // Same box at 60 degrees latitude has ~cos(60)=0.5 the area.
+  SphericalBox mid(0, 59.5, 1, 60.5);
+  EXPECT_NEAR(mid.area(), 0.5, 1e-3);
+}
+
+TEST(SphericalBox, AreaAdditivity) {
+  SphericalBox whole(0, 0, 30, 20);
+  SphericalBox left(0, 0, 15, 20);
+  SphericalBox right(15, 0, 30, 20);
+  EXPECT_NEAR(whole.area(), left.area() + right.area(), 1e-9);
+}
+
+TEST(SphericalBox, EqualityAndToString) {
+  SphericalBox a(10, 0, 20, 5);
+  SphericalBox b(10, 0, 20, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.toString().find("box"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qserv::sphgeom

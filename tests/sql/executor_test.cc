@@ -1,0 +1,493 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sql/dump.h"
+#include "sql/parser.h"
+
+namespace qserv::sql {
+namespace {
+
+/// Build a small Object-like chunk table.
+TablePtr makeObjects() {
+  Schema schema({{"objectId", ColumnType::kInt},
+                 {"ra_PS", ColumnType::kDouble},
+                 {"decl_PS", ColumnType::kDouble},
+                 {"gFlux_PS", ColumnType::kDouble},
+                 {"chunkId", ColumnType::kInt},
+                 {"subChunkId", ColumnType::kInt}});
+  auto t = std::make_shared<Table>("Object", schema);
+  auto add = [&](std::int64_t id, double ra, double dec, double flux,
+                 std::int64_t chunk, std::int64_t sub) {
+    EXPECT_TRUE(t->appendRow(std::vector<Value>{Value(id), Value(ra),
+                                                Value(dec), Value(flux),
+                                                Value(chunk), Value(sub)})
+                    .isOk());
+  };
+  add(1, 1.0, 1.0, 1e-28, 10, 0);
+  add(2, 1.5, 1.2, 2e-28, 10, 0);
+  add(3, 2.0, 1.4, 3e-28, 10, 1);
+  add(4, 5.0, 2.0, 4e-28, 11, 0);
+  add(5, 5.5, 2.2, 5e-28, 11, 1);
+  add(6, 9.0, 3.0, 6e-28, 12, 0);
+  return t;
+}
+
+TablePtr makeSources() {
+  Schema schema({{"sourceId", ColumnType::kInt},
+                 {"objectId", ColumnType::kInt},
+                 {"ra", ColumnType::kDouble},
+                 {"decl", ColumnType::kDouble},
+                 {"psfFlux", ColumnType::kDouble},
+                 {"taiMidPoint", ColumnType::kDouble}});
+  auto t = std::make_shared<Table>("Source", schema);
+  std::int64_t sid = 100;
+  for (std::int64_t oid : {1, 1, 1, 2, 2, 3, 4, 4, 5, 6, 6, 6}) {
+    EXPECT_TRUE(t->appendRow(std::vector<Value>{
+                       Value(sid++), Value(oid), Value(1.0 + 0.01 * sid),
+                       Value(1.0), Value(1e-28), Value(50000.0 + sid)})
+                    .isOk());
+  }
+  return t;
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.registerTable(makeObjects()).isOk());
+    ASSERT_TRUE(db_.registerTable(makeSources()).isOk());
+  }
+
+  TablePtr run(std::string_view sql) {
+    ExecStats stats;
+    auto r = db_.execute(sql, &stats);
+    EXPECT_TRUE(r.isOk()) << r.status().toString() << " for: " << sql;
+    if (!r.isOk()) return nullptr;
+    lastStats_ = stats;
+    return *r;
+  }
+
+  Database db_;
+  ExecStats lastStats_;
+};
+
+TEST_F(ExecutorTest, SelectStarReturnsAllRowsAndColumns) {
+  auto t = run("SELECT * FROM Object");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 6u);
+  EXPECT_EQ(t->numColumns(), 6u);
+  EXPECT_EQ(t->schema().column(0).name, "objectId");
+}
+
+TEST_F(ExecutorTest, PointLookup) {
+  auto t = run("SELECT * FROM Object WHERE objectId = 4");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 1u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 4);
+  EXPECT_DOUBLE_EQ(t->cell(0, 1).asDouble(), 5.0);
+}
+
+TEST_F(ExecutorTest, ProjectionAndAlias) {
+  auto t = run("SELECT ra_PS AS ra, decl_PS FROM Object WHERE objectId = 1");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->schema().column(0).name, "ra");
+  EXPECT_EQ(t->schema().column(1).name, "decl_PS");
+  EXPECT_DOUBLE_EQ(t->cell(0, 0).asDouble(), 1.0);
+}
+
+TEST_F(ExecutorTest, ComputedColumns) {
+  auto t = run("SELECT objectId * 10 + 1 AS k FROM Object WHERE objectId = 3");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 31);
+}
+
+TEST_F(ExecutorTest, WhereFiltering) {
+  auto t = run("SELECT objectId FROM Object WHERE ra_PS BETWEEN 1 AND 2.5 "
+               "AND decl_PS > 1.1");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 2u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 2);
+  EXPECT_EQ(t->cell(1, 0).asInt(), 3);
+}
+
+TEST_F(ExecutorTest, CountStar) {
+  auto t = run("SELECT COUNT(*) FROM Object");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 1u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 6);
+}
+
+TEST_F(ExecutorTest, CountWithFilter) {
+  auto t = run("SELECT COUNT(*) FROM Object WHERE chunkId = 11");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 2);
+}
+
+TEST_F(ExecutorTest, AggregatesSumAvgMinMax) {
+  auto t = run("SELECT SUM(objectId), AVG(objectId), MIN(ra_PS), MAX(ra_PS) "
+               "FROM Object");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 21);
+  EXPECT_DOUBLE_EQ(t->cell(0, 1).asDouble(), 3.5);
+  EXPECT_DOUBLE_EQ(t->cell(0, 2).asDouble(), 1.0);
+  EXPECT_DOUBLE_EQ(t->cell(0, 3).asDouble(), 9.0);
+}
+
+TEST_F(ExecutorTest, AggregateOverEmptyInput) {
+  auto t = run("SELECT COUNT(*), SUM(objectId), AVG(ra_PS) FROM Object "
+               "WHERE objectId > 1000");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 1u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 0);
+  EXPECT_TRUE(t->cell(0, 1).isNull());
+  EXPECT_TRUE(t->cell(0, 2).isNull());
+}
+
+TEST_F(ExecutorTest, GroupBy) {
+  auto t = run("SELECT chunkId, COUNT(*) AS n, AVG(ra_PS) FROM Object "
+               "GROUP BY chunkId ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 3u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 10);
+  EXPECT_EQ(t->cell(0, 1).asInt(), 3);
+  EXPECT_NEAR(t->cell(0, 2).asDouble(), 1.5, 1e-12);
+  EXPECT_EQ(t->cell(2, 0).asInt(), 12);
+  EXPECT_EQ(t->cell(2, 1).asInt(), 1);
+}
+
+TEST_F(ExecutorTest, HavingFiltersGroups) {
+  auto t = run("SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId "
+               "HAVING COUNT(*) > 1 ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  // chunk 10 has 3 objects, 11 has 2, 12 has 1 -> 12 filtered out.
+  ASSERT_EQ(t->numRows(), 2u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 10);
+  EXPECT_EQ(t->cell(1, 0).asInt(), 11);
+}
+
+TEST_F(ExecutorTest, HavingAggregateNotInSelectList) {
+  auto t = run("SELECT chunkId FROM Object GROUP BY chunkId "
+               "HAVING MAX(ra_PS) > 4 ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  // max ra per chunk: 10 -> 2.0, 11 -> 5.5, 12 -> 9.0.
+  ASSERT_EQ(t->numRows(), 2u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 11);
+  EXPECT_EQ(t->cell(1, 0).asInt(), 12);
+}
+
+TEST_F(ExecutorTest, HavingOnGroupKey) {
+  auto t = run("SELECT chunkId FROM Object GROUP BY chunkId "
+               "HAVING chunkId > 10 ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 2u);
+}
+
+TEST_F(ExecutorTest, GroupByWithoutAggregatesDeduplicates) {
+  auto t = run("SELECT chunkId FROM Object GROUP BY chunkId ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 3u);
+}
+
+TEST_F(ExecutorTest, AggregateExpressionOverSlots) {
+  // The merger's form: SUM(a)/SUM(b) as one expression.
+  auto t = run("SELECT SUM(gFlux_PS) / COUNT(gFlux_PS) AS m, AVG(gFlux_PS) "
+               "FROM Object");
+  ASSERT_TRUE(t);
+  EXPECT_NEAR(t->cell(0, 0).asDouble(), t->cell(0, 1).asDouble(), 1e-40);
+}
+
+TEST_F(ExecutorTest, OrderByDescendingAndLimit) {
+  auto t = run("SELECT objectId FROM Object ORDER BY objectId DESC LIMIT 3");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 3u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 6);
+  EXPECT_EQ(t->cell(2, 0).asInt(), 4);
+}
+
+TEST_F(ExecutorTest, OrderByAlias) {
+  auto t = run("SELECT chunkId, COUNT(*) AS n FROM Object GROUP BY chunkId "
+               "ORDER BY n DESC, chunkId");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 10);  // 3 rows
+}
+
+TEST_F(ExecutorTest, LimitZero) {
+  auto t = run("SELECT * FROM Object LIMIT 0");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 0u);
+}
+
+TEST_F(ExecutorTest, EquiJoinObjectSource) {
+  auto t = run("SELECT o.objectId, s.sourceId FROM Object o, Source s "
+               "WHERE o.objectId = s.objectId ORDER BY s.sourceId");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 12u);  // every source matches an object
+}
+
+TEST_F(ExecutorTest, EquiJoinWithPerTableFilter) {
+  auto t = run("SELECT o.objectId, s.sourceId FROM Object o, Source s "
+               "WHERE o.objectId = s.objectId AND o.chunkId = 10");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 6u);  // objects 1,2,3 have 3+2+1 sources
+}
+
+TEST_F(ExecutorTest, JoinOnSyntax) {
+  auto t = run("SELECT COUNT(*) FROM Object o JOIN Source s "
+               "ON o.objectId = s.objectId");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 12);
+}
+
+TEST_F(ExecutorTest, SelfJoinWithSpatialPredicate) {
+  // Near-neighbor shape: nested loop with angSep residual.
+  auto t = run("SELECT COUNT(*) FROM Object o1, Object o2 "
+               "WHERE qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) "
+               "< 0.6");
+  ASSERT_TRUE(t);
+  // Pairs within 0.6 deg: (1,2) sep ~0.54, (2,3) sep ~0.54, (4,5) ~0.54,
+  // plus 6 self-pairs: total 6 + 2*3 = 12 ordered pairs.
+  EXPECT_EQ(t->cell(0, 0).asInt(), 12);
+}
+
+TEST_F(ExecutorTest, CrossJoinCountsAllPairs) {
+  auto t = run("SELECT COUNT(*) FROM Object o1, Object o2");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 36);
+  EXPECT_GE(lastStats_.pairsEvaluated, 36u);
+}
+
+TEST_F(ExecutorTest, ThreeWayJoin) {
+  auto t = run("SELECT COUNT(*) FROM Object o, Source s, Source s2 "
+               "WHERE o.objectId = s.objectId AND s.sourceId = s2.sourceId");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 12);
+}
+
+TEST_F(ExecutorTest, FunctionInWhere) {
+  auto t = run("SELECT objectId FROM Object "
+               "WHERE qserv_ptInSphericalBox(ra_PS, decl_PS, 0, 0, 3, 2) = 1 "
+               "ORDER BY objectId");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 3u);
+  EXPECT_EQ(t->cell(2, 0).asInt(), 3);
+}
+
+TEST_F(ExecutorTest, SelectDistinct) {
+  auto t = run("SELECT DISTINCT chunkId FROM Object ORDER BY chunkId");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 3u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 10);
+  EXPECT_EQ(t->cell(2, 0).asInt(), 12);
+}
+
+TEST_F(ExecutorTest, SelectDistinctMultiColumn) {
+  auto t = run("SELECT DISTINCT chunkId, subChunkId FROM Object "
+               "ORDER BY chunkId, subChunkId");
+  ASSERT_TRUE(t);
+  // Pairs present: (10,0) x2, (10,1), (11,0), (11,1), (12,0).
+  EXPECT_EQ(t->numRows(), 5u);
+}
+
+TEST_F(ExecutorTest, DistinctWithLimit) {
+  auto t = run("SELECT DISTINCT chunkId FROM Object ORDER BY chunkId LIMIT 2");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 2u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 10);
+  EXPECT_EQ(t->cell(1, 0).asInt(), 11);
+}
+
+TEST_F(ExecutorTest, DistinctTreatsNullsAsEqual) {
+  ASSERT_TRUE(db_.execute("CREATE TABLE nn (a BIGINT)").isOk());
+  ASSERT_TRUE(
+      db_.execute("INSERT INTO nn VALUES (NULL), (NULL), (1), (1)").isOk());
+  auto t = run("SELECT DISTINCT a FROM nn");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->numRows(), 2u);
+  ASSERT_TRUE(db_.execute("DROP TABLE nn").isOk());
+}
+
+TEST_F(ExecutorTest, SelectWithoutFrom) {
+  auto t = run("SELECT 1 + 1 AS two, 'x' AS s");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 1u);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 2);
+  EXPECT_EQ(t->cell(0, 1).asString(), "x");
+}
+
+TEST_F(ExecutorTest, IndexAcceleratesPointQuery) {
+  ASSERT_TRUE(db_.createIndex("Object", "objectId").isOk());
+  ExecStats stats;
+  auto r = db_.execute("SELECT * FROM Object WHERE objectId = 4", &stats);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ((*r)->numRows(), 1u);
+  EXPECT_EQ(stats.indexLookups, 1u);
+  EXPECT_EQ(stats.rowsScanned, 1u);  // only the indexed row is touched
+}
+
+TEST_F(ExecutorTest, IndexInListLookup) {
+  ASSERT_TRUE(db_.createIndex("Object", "objectId").isOk());
+  ExecStats stats;
+  auto r = db_.execute(
+      "SELECT objectId FROM Object WHERE objectId IN (2, 4, 999)", &stats);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ((*r)->numRows(), 2u);
+  EXPECT_EQ(stats.indexLookups, 1u);
+}
+
+TEST_F(ExecutorTest, IndexRangeLookup) {
+  ASSERT_TRUE(db_.createIndex("Object", "objectId").isOk());
+  ExecStats stats;
+  auto r = db_.execute(
+      "SELECT COUNT(*) FROM Object WHERE objectId BETWEEN 2 AND 5", &stats);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 4);
+  EXPECT_EQ(stats.indexLookups, 1u);
+}
+
+TEST_F(ExecutorTest, StatsCountScans) {
+  run("SELECT objectId FROM Object WHERE ra_PS > 0");
+  EXPECT_EQ(lastStats_.rowsScanned, 6u);
+  EXPECT_EQ(lastStats_.rowsScannedByTable.at("Object"), 6u);
+}
+
+TEST_F(ExecutorTest, UnrestrictedCountStarSkipsTheScan) {
+  // MyISAM-style metadata count: no rows are read (the paper's HV1 is
+  // dispatch-overhead-bound, not scan-bound).
+  auto t = run("SELECT COUNT(*) FROM Object");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 6);
+  EXPECT_EQ(lastStats_.rowsScanned, 0u);
+}
+
+TEST_F(ExecutorTest, CountStarWithWhereStillScans) {
+  auto t = run("SELECT COUNT(*) FROM Object WHERE ra_PS > 0");
+  ASSERT_TRUE(t);
+  EXPECT_EQ(t->cell(0, 0).asInt(), 6);
+  EXPECT_EQ(lastStats_.rowsScanned, 6u);
+}
+
+TEST_F(ExecutorTest, CreateInsertDrop) {
+  auto r1 = db_.execute("CREATE TABLE tmp (a BIGINT, b DOUBLE)");
+  ASSERT_TRUE(r1.isOk()) << r1.status().toString();
+  ASSERT_TRUE(db_.execute("INSERT INTO tmp VALUES (1, 2.5), (3, NULL)").isOk());
+  auto t = run("SELECT * FROM tmp ORDER BY a");
+  ASSERT_TRUE(t);
+  ASSERT_EQ(t->numRows(), 2u);
+  EXPECT_TRUE(t->cell(1, 1).isNull());
+  ASSERT_TRUE(db_.execute("DROP TABLE tmp").isOk());
+  EXPECT_FALSE(db_.execute("SELECT * FROM tmp").isOk());
+}
+
+TEST_F(ExecutorTest, CreateTableAsSelect) {
+  ASSERT_TRUE(db_.execute("CREATE TABLE Object_10_0 AS SELECT * FROM Object "
+                          "WHERE chunkId = 10 AND subChunkId = 0")
+                  .isOk());
+  auto t = run("SELECT COUNT(*) FROM Object_10_0");
+  EXPECT_EQ(t->cell(0, 0).asInt(), 2);
+}
+
+TEST_F(ExecutorTest, InsertSelectMerging) {
+  ASSERT_TRUE(db_.execute("CREATE TABLE merged (objectId BIGINT)").isOk());
+  ASSERT_TRUE(db_.execute("INSERT INTO merged SELECT objectId FROM Object "
+                          "WHERE chunkId = 10")
+                  .isOk());
+  ASSERT_TRUE(db_.execute("INSERT INTO merged SELECT objectId FROM Object "
+                          "WHERE chunkId = 11")
+                  .isOk());
+  auto t = run("SELECT COUNT(*) FROM merged");
+  EXPECT_EQ(t->cell(0, 0).asInt(), 5);
+}
+
+TEST_F(ExecutorTest, ErrorsSurfaceCleanly) {
+  EXPECT_FALSE(db_.execute("SELECT nosuchcol FROM Object").isOk());
+  EXPECT_FALSE(db_.execute("SELECT * FROM NoSuchTable").isOk());
+  EXPECT_FALSE(db_.execute("SELECT COUNT(*) FROM Object WHERE SUM(ra_PS) > 1").isOk());
+  EXPECT_FALSE(db_.execute("CREATE TABLE Object (x INT)").isOk());
+  EXPECT_FALSE(db_.execute("DROP TABLE NoSuchTable").isOk());
+  EXPECT_TRUE(db_.execute("DROP TABLE IF EXISTS NoSuchTable").isOk());
+  EXPECT_FALSE(db_.execute("INSERT INTO Object VALUES (1)").isOk());
+  EXPECT_FALSE(db_.execute("SELECT SUM(COUNT(ra_PS)) FROM Object").isOk());
+}
+
+TEST_F(ExecutorTest, ScriptUnionsSelectResults) {
+  // Chunk-query protocol: one SELECT per subchunk, results unioned.
+  ExecStats stats;
+  auto r = db_.executeScript(
+      "SELECT COUNT(*) FROM Object WHERE subChunkId = 0;\n"
+      "SELECT COUNT(*) FROM Object WHERE subChunkId = 1;\n",
+      &stats);
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  ASSERT_EQ((*r)->numRows(), 2u);
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 4);
+  EXPECT_EQ((*r)->cell(1, 0).asInt(), 2);
+  EXPECT_EQ(stats.statements, 2u);
+}
+
+TEST_F(ExecutorTest, ScriptWithDdlAndSelect) {
+  auto r = db_.executeScript(
+      "CREATE TABLE sub AS SELECT * FROM Object WHERE chunkId = 10;\n"
+      "SELECT COUNT(*) FROM sub;\n"
+      "DROP TABLE sub;\n");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 3);
+  EXPECT_FALSE(db_.hasTable("sub"));
+}
+
+TEST_F(ExecutorTest, DumpAndReplayRoundTrip) {
+  auto t = run("SELECT objectId, ra_PS, decl_PS FROM Object ORDER BY objectId");
+  ASSERT_TRUE(t);
+  std::string dump = dumpTable(*t, "replayed", 2);
+  Database other;
+  auto loaded = loadDump(other, dump);
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+  ASSERT_EQ((*loaded)->numRows(), t->numRows());
+  for (std::size_t r = 0; r < t->numRows(); ++r) {
+    for (std::size_t c = 0; c < t->numColumns(); ++c) {
+      EXPECT_EQ(t->cell(r, c).compare((*loaded)->cell(r, c)), 0)
+          << "cell " << r << "," << c;
+    }
+  }
+}
+
+TEST_F(ExecutorTest, DumpPreservesNullsAndStrings) {
+  ASSERT_TRUE(db_.execute("CREATE TABLE s (a BIGINT, b VARCHAR(20))").isOk());
+  ASSERT_TRUE(
+      db_.execute("INSERT INTO s VALUES (1, 'it''s'), (NULL, NULL)").isOk());
+  auto t = run("SELECT * FROM s");
+  std::string dump = dumpTable(*t, "s2");
+  Database other;
+  auto loaded = loadDump(other, dump);
+  ASSERT_TRUE(loaded.isOk()) << loaded.status().toString();
+  EXPECT_EQ((*loaded)->cell(0, 1).asString(), "it's");
+  EXPECT_TRUE((*loaded)->cell(1, 0).isNull());
+}
+
+TEST_F(ExecutorTest, EmptyTableDumpReplaysToEmptyTable) {
+  auto t = run("SELECT objectId FROM Object WHERE objectId > 100");
+  std::string dump = dumpTable(*t, "empty");
+  Database other;
+  auto loaded = loadDump(other, dump);
+  ASSERT_TRUE(loaded.isOk());
+  EXPECT_EQ((*loaded)->numRows(), 0u);
+  EXPECT_EQ((*loaded)->numColumns(), 1u);
+}
+
+// The §5.3 worked example, executed end to end on a single table: AVG
+// rewritten by hand into the chunk/merge pair must equal direct AVG.
+TEST_F(ExecutorTest, AvgSplitMatchesDirectAvg) {
+  auto direct = run("SELECT AVG(gFlux_PS) FROM Object");
+  auto chunk = run("SELECT SUM(gFlux_PS) AS `SUM(gFlux_PS)`, "
+                   "COUNT(gFlux_PS) AS `COUNT(gFlux_PS)` FROM Object");
+  ASSERT_TRUE(direct && chunk);
+  std::string dump = dumpTable(*chunk, "partials");
+  ASSERT_TRUE(loadDump(db_, dump).isOk());
+  auto merged = run("SELECT SUM(`SUM(gFlux_PS)`) / SUM(`COUNT(gFlux_PS)`) "
+                    "FROM partials");
+  EXPECT_NEAR(merged->cell(0, 0).asDouble(), direct->cell(0, 0).asDouble(),
+              1e-40);
+}
+
+}  // namespace
+}  // namespace qserv::sql

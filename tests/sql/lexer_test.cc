@@ -1,0 +1,129 @@
+#include "sql/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::sql {
+namespace {
+
+std::vector<Token> lex(std::string_view s) {
+  auto r = tokenize(s);
+  EXPECT_TRUE(r.isOk()) << r.status().toString();
+  return std::move(r).value();
+}
+
+TEST(Lexer, EmptyInput) {
+  auto t = lex("");
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].type, TokenType::kEnd);
+}
+
+TEST(Lexer, IdentifiersAndKeywords) {
+  auto t = lex("SELECT objectId FROM Object_123");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_TRUE(t[0].is("select"));
+  EXPECT_EQ(t[1].text, "objectId");
+  EXPECT_TRUE(t[2].is("FROM"));
+  EXPECT_EQ(t[3].text, "Object_123");
+}
+
+TEST(Lexer, QuotedIdentifiers) {
+  auto t = lex("SELECT `SUM(uFlux_SG)` FROM x");
+  EXPECT_EQ(t[1].type, TokenType::kIdentifier);
+  EXPECT_EQ(t[1].text, "SUM(uFlux_SG)");
+}
+
+TEST(Lexer, Numbers) {
+  auto t = lex("1 2.5 .5 1e3 2.5e-2 0.176");
+  EXPECT_EQ(t[0].type, TokenType::kInt);
+  EXPECT_EQ(t[0].intValue, 1);
+  EXPECT_EQ(t[1].type, TokenType::kDouble);
+  EXPECT_DOUBLE_EQ(t[1].doubleValue, 2.5);
+  EXPECT_DOUBLE_EQ(t[2].doubleValue, 0.5);
+  EXPECT_DOUBLE_EQ(t[3].doubleValue, 1000.0);
+  EXPECT_DOUBLE_EQ(t[4].doubleValue, 0.025);
+  EXPECT_DOUBLE_EQ(t[5].doubleValue, 0.176);
+}
+
+TEST(Lexer, HugeIntegerDegradesToDouble) {
+  auto t = lex("99999999999999999999999");
+  EXPECT_EQ(t[0].type, TokenType::kDouble);
+}
+
+TEST(Lexer, NegativeNumberIsMinusThenNumber) {
+  auto t = lex("-5");
+  EXPECT_EQ(t[0].type, TokenType::kMinus);
+  EXPECT_EQ(t[1].type, TokenType::kInt);
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto t = lex("'hello' 'it''s' 'a\\'b'");
+  EXPECT_EQ(t[0].text, "hello");
+  EXPECT_EQ(t[1].text, "it's");
+  EXPECT_EQ(t[2].text, "a'b");
+}
+
+TEST(Lexer, Operators) {
+  auto t = lex("= != <> < <= > >= + - * / %");
+  EXPECT_EQ(t[0].type, TokenType::kEq);
+  EXPECT_EQ(t[1].type, TokenType::kNe);
+  EXPECT_EQ(t[2].type, TokenType::kNe);
+  EXPECT_EQ(t[3].type, TokenType::kLt);
+  EXPECT_EQ(t[4].type, TokenType::kLe);
+  EXPECT_EQ(t[5].type, TokenType::kGt);
+  EXPECT_EQ(t[6].type, TokenType::kGe);
+  EXPECT_EQ(t[7].type, TokenType::kPlus);
+  EXPECT_EQ(t[8].type, TokenType::kMinus);
+  EXPECT_EQ(t[9].type, TokenType::kStar);
+  EXPECT_EQ(t[10].type, TokenType::kSlash);
+  EXPECT_EQ(t[11].type, TokenType::kPercent);
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  auto t = lex("SELECT 1 -- trailing comment\n , 2 /* block */ , 3");
+  // SELECT 1 , 2 , 3 END
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[1].intValue, 1);
+  EXPECT_EQ(t[3].intValue, 2);
+  EXPECT_EQ(t[5].intValue, 3);
+}
+
+TEST(Lexer, SubchunksHeaderIsComment) {
+  auto t = lex("-- SUBCHUNKS: 1, 2, 3\nSELECT 1");
+  EXPECT_TRUE(t[0].is("SELECT"));
+}
+
+TEST(Lexer, Punctuation) {
+  auto t = lex("f(a, b.c);");
+  EXPECT_EQ(t[0].text, "f");
+  EXPECT_EQ(t[1].type, TokenType::kLParen);
+  EXPECT_EQ(t[3].type, TokenType::kComma);
+  EXPECT_EQ(t[5].type, TokenType::kDot);
+  EXPECT_EQ(t[7].type, TokenType::kRParen);
+  EXPECT_EQ(t[8].type, TokenType::kSemicolon);
+}
+
+TEST(Lexer, ErrorOnUnterminatedString) {
+  EXPECT_FALSE(tokenize("SELECT 'oops").isOk());
+}
+
+TEST(Lexer, ErrorOnUnterminatedQuote) {
+  EXPECT_FALSE(tokenize("SELECT `oops").isOk());
+}
+
+TEST(Lexer, ErrorOnUnterminatedBlockComment) {
+  EXPECT_FALSE(tokenize("SELECT 1 /* oops").isOk());
+}
+
+TEST(Lexer, ErrorOnStrayCharacter) {
+  EXPECT_FALSE(tokenize("SELECT #").isOk());
+  EXPECT_FALSE(tokenize("SELECT a ! b").isOk());
+}
+
+TEST(Lexer, OffsetsPointIntoInput) {
+  auto t = lex("SELECT x");
+  EXPECT_EQ(t[0].offset, 0u);
+  EXPECT_EQ(t[1].offset, 7u);
+}
+
+}  // namespace
+}  // namespace qserv::sql

@@ -1,0 +1,321 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::sql {
+namespace {
+
+SelectStmt sel(std::string_view s) {
+  auto r = parseSelect(s);
+  EXPECT_TRUE(r.isOk()) << r.status().toString() << " for: " << s;
+  return std::move(r).value();
+}
+
+TEST(Parser, SimpleSelect) {
+  SelectStmt s = sel("SELECT a, b FROM t");
+  ASSERT_EQ(s.items.size(), 2u);
+  ASSERT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "t");
+  EXPECT_EQ(s.items[0].expr->toSql(), "a");
+}
+
+TEST(Parser, SelectStar) {
+  SelectStmt s = sel("SELECT * FROM Object WHERE objectId = 42");
+  ASSERT_EQ(s.items.size(), 1u);
+  EXPECT_EQ(s.items[0].expr->kind(), ExprKind::kStar);
+  ASSERT_TRUE(s.where != nullptr);
+}
+
+TEST(Parser, QualifiedStar) {
+  SelectStmt s = sel("SELECT o.* FROM Object o");
+  ASSERT_EQ(s.items[0].expr->kind(), ExprKind::kStar);
+  EXPECT_EQ(static_cast<StarExpr&>(*s.items[0].expr).qualifier, "o");
+}
+
+TEST(Parser, AliasesWithAndWithoutAs) {
+  SelectStmt s = sel("SELECT count(*) AS n, AVG(ra_PS) avgRa FROM Object");
+  EXPECT_EQ(s.items[0].alias, "n");
+  EXPECT_EQ(s.items[1].alias, "avgRa");
+}
+
+TEST(Parser, TableAliases) {
+  SelectStmt s = sel("SELECT o1.ra FROM Object AS o1, Object o2");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[0].alias, "o1");
+  EXPECT_EQ(s.from[1].alias, "o2");
+  EXPECT_EQ(s.from[0].bindingName(), "o1");
+}
+
+TEST(Parser, DatabaseQualifiedTable) {
+  SelectStmt s = sel("SELECT x FROM LSST.Object_1234");
+  EXPECT_EQ(s.from[0].database, "LSST");
+  EXPECT_EQ(s.from[0].table, "Object_1234");
+}
+
+TEST(Parser, JoinOnDesugarsToWhere) {
+  SelectStmt s =
+      sel("SELECT o.a FROM Object o JOIN Source s ON o.objectId = s.objectId "
+          "WHERE o.ra > 1");
+  ASSERT_EQ(s.from.size(), 2u);
+  ASSERT_TRUE(s.where != nullptr);
+  // WHERE and the ON condition are ANDed.
+  EXPECT_NE(s.where->toSql().find("objectId"), std::string::npos);
+  EXPECT_NE(s.where->toSql().find("ra"), std::string::npos);
+}
+
+TEST(Parser, InnerJoin) {
+  SelectStmt s =
+      sel("SELECT 1 FROM a INNER JOIN b ON a.x = b.x");
+  EXPECT_EQ(s.from.size(), 2u);
+}
+
+TEST(Parser, WherePrecedenceAndOverOr) {
+  SelectStmt s = sel("SELECT 1 FROM t WHERE a OR b AND c");
+  // Must parse as a OR (b AND c).
+  EXPECT_EQ(s.where->toSql(), "(a OR (b AND c))");
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  auto e = parseExpression("1 + 2 * 3");
+  ASSERT_TRUE(e.isOk());
+  EXPECT_EQ((*e)->toSql(), "(1 + (2 * 3))");
+}
+
+TEST(Parser, ComparisonOfArithmetic) {
+  auto e = parseExpression("fluxToAbMag(g) - fluxToAbMag(r) BETWEEN 0.3 AND 0.4");
+  ASSERT_TRUE(e.isOk());
+  EXPECT_EQ((*e)->kind(), ExprKind::kBetween);
+}
+
+TEST(Parser, NotBetweenAndNotIn) {
+  auto e1 = parseExpression("x NOT BETWEEN 1 AND 2");
+  ASSERT_TRUE(e1.isOk());
+  EXPECT_TRUE(static_cast<BetweenExpr&>(**e1).negated);
+  auto e2 = parseExpression("x NOT IN (1, 2, 3)");
+  ASSERT_TRUE(e2.isOk());
+  EXPECT_TRUE(static_cast<InExpr&>(**e2).negated);
+}
+
+TEST(Parser, IsNullForms) {
+  auto e1 = parseExpression("x IS NULL");
+  ASSERT_TRUE(e1.isOk());
+  EXPECT_FALSE(static_cast<IsNullExpr&>(**e1).negated);
+  auto e2 = parseExpression("x IS NOT NULL");
+  ASSERT_TRUE(e2.isOk());
+  EXPECT_TRUE(static_cast<IsNullExpr&>(**e2).negated);
+}
+
+TEST(Parser, GroupByOrderByLimit) {
+  SelectStmt s = sel(
+      "SELECT chunkId, count(*) FROM Object GROUP BY chunkId "
+      "ORDER BY chunkId DESC LIMIT 10");
+  ASSERT_EQ(s.groupBy.size(), 1u);
+  ASSERT_EQ(s.orderBy.size(), 1u);
+  EXPECT_TRUE(s.orderBy[0].descending);
+  EXPECT_EQ(s.limit, 10);
+}
+
+TEST(Parser, Having) {
+  SelectStmt s = sel("SELECT chunkId, COUNT(*) AS n FROM Object "
+                     "GROUP BY chunkId HAVING COUNT(*) > 5 ORDER BY n");
+  ASSERT_TRUE(s.having != nullptr);
+  EXPECT_NE(s.having->toSql().find("COUNT"), std::string::npos);
+  // Round trip.
+  SelectStmt s2 = sel(s.toSql());
+  EXPECT_EQ(s.toSql(), s2.toSql());
+  // HAVING requires GROUP BY.
+  EXPECT_FALSE(parseSelect("SELECT COUNT(*) FROM t HAVING COUNT(*) > 5").isOk());
+}
+
+TEST(Parser, SelectDistinct) {
+  SelectStmt s = sel("SELECT DISTINCT chunkId FROM Object");
+  EXPECT_TRUE(s.distinct);
+  EXPECT_EQ(s.toSql().rfind("SELECT DISTINCT ", 0), 0u);
+  // Round trip.
+  EXPECT_TRUE(sel(s.toSql()).distinct);
+  // DISTINCT is reserved: not usable as a bare column.
+  EXPECT_FALSE(parseSelect("SELECT DISTINCT FROM t").isOk());
+}
+
+TEST(Parser, CountStar) {
+  SelectStmt s = sel("SELECT COUNT(*) FROM Object");
+  auto& f = static_cast<FuncCall&>(*s.items[0].expr);
+  EXPECT_TRUE(f.isAggregate());
+  ASSERT_EQ(f.args.size(), 1u);
+  EXPECT_EQ(f.args[0]->kind(), ExprKind::kStar);
+}
+
+// Every query from the paper's evaluation section must parse.
+class PaperQueries : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperQueries, Parses) {
+  auto r = parseStatement(GetParam());
+  EXPECT_TRUE(r.isOk()) << r.status().toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Evaluation, PaperQueries,
+    ::testing::Values(
+        // LV1
+        "SELECT * FROM Object WHERE objectId = 3141592653",
+        // LV2
+        "SELECT taiMidPoint, fluxToAbMag(psfFlux), fluxToAbMag(psfFluxErr), "
+        "ra, decl FROM Source WHERE objectId = 3141592653",
+        // LV3
+        "SELECT COUNT(*) FROM Object WHERE ra_PS BETWEEN 1 AND 2 "
+        "AND decl_PS BETWEEN 3 AND 4 "
+        "AND fluxToAbMag(zFlux_PS) BETWEEN 21 AND 21.5 "
+        "AND fluxToAbMag(gFlux_PS)-fluxToAbMag(rFlux_PS) BETWEEN 0.3 AND 0.4 "
+        "AND fluxToAbMag(iFlux_PS)-fluxToAbMag(zFlux_PS) BETWEEN 0.1 AND 0.12",
+        // HV1
+        "SELECT COUNT(*) FROM Object",
+        // HV2
+        "SELECT objectId, ra_PS, decl_PS, uFlux_PS, gFlux_PS, rFlux_PS, "
+        "iFlux_PS, zFlux_PS, yFlux_PS FROM Object "
+        "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 4",
+        // HV3
+        "SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId FROM Object "
+        "GROUP BY chunkId",
+        // SHV1
+        "SELECT count(*) FROM Object o1, Object o2 "
+        "WHERE qserv_areaspec_box(-5,-5,5,-5) "
+        "AND qserv_angSep(o1.ra_PS, o1.decl_PS, o2.ra_PS, o2.decl_PS) < 0.1",
+        // SHV2
+        "SELECT o.objectId, s.sourceId, s.ra, s.decl, o.ra_PS, o.decl_PS "
+        "FROM Object o, Source s "
+        "WHERE qserv_areaspec_box(224.1, -7.5, 237.1, 5.5) "
+        "AND o.objectId = s.objectId "
+        "AND qserv_angSep(s.ra, s.decl, o.ra_PS, o.decl_PS) > 0.0045",
+        // The worked rewrite example in §5.3.
+        "SELECT AVG(uFlux_SG) FROM Object "
+        "WHERE qserv_areaspec_box(0.0, 0.0, 10.0, 10.0) AND uRadius_PS > 0.04"));
+
+TEST(Parser, ToSqlRoundTripReparses) {
+  const char* queries[] = {
+      "SELECT a + 1 AS x FROM t WHERE b BETWEEN 1 AND 2 ORDER BY x LIMIT 5",
+      "SELECT count(*) AS n, AVG(ra_PS), chunkId FROM Object GROUP BY chunkId",
+      "SELECT o.objectId FROM Object o, Source s WHERE o.objectId = s.objectId",
+      "SELECT * FROM LSST.Object_88 WHERE qserv_ptInSphericalBox(ra, decl, "
+      "0.0, 0.0, 10.0, 10.0) = 1",
+  };
+  for (const char* q : queries) {
+    SelectStmt s1 = sel(q);
+    std::string sql1 = s1.toSql();
+    SelectStmt s2 = sel(sql1);
+    EXPECT_EQ(sql1, s2.toSql()) << q;  // fixed point after one round
+  }
+}
+
+TEST(Parser, CloneIsDeepAndEquivalent) {
+  SelectStmt s1 = sel(
+      "SELECT count(*) n FROM Object o1, Object o2 WHERE "
+      "qserv_angSep(o1.ra, o1.decl, o2.ra, o2.decl) < 0.1 GROUP BY n "
+      "ORDER BY n LIMIT 3");
+  SelectStmt s2 = s1.clone();
+  EXPECT_EQ(s1.toSql(), s2.toSql());
+  // Mutating the clone must not affect the original.
+  s2.from[0].table = "Mutated";
+  EXPECT_NE(s1.toSql(), s2.toSql());
+}
+
+TEST(Parser, CreateTable) {
+  auto r = parseStatement(
+      "CREATE TABLE t (id BIGINT NOT NULL, ra DOUBLE, name VARCHAR(80))");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  auto& c = std::get<CreateTableStmt>(*r);
+  EXPECT_EQ(c.table, "t");
+  ASSERT_EQ(c.schema.numColumns(), 3u);
+  EXPECT_EQ(c.schema.column(0).type, ColumnType::kInt);
+  EXPECT_EQ(c.schema.column(1).type, ColumnType::kDouble);
+  EXPECT_EQ(c.schema.column(2).type, ColumnType::kString);
+}
+
+TEST(Parser, CreateTableIfNotExists) {
+  auto r = parseStatement("CREATE TABLE IF NOT EXISTS t (x INT)");
+  ASSERT_TRUE(r.isOk());
+  EXPECT_TRUE(std::get<CreateTableStmt>(*r).ifNotExists);
+}
+
+TEST(Parser, CreateTableAsSelect) {
+  auto r = parseStatement(
+      "CREATE TABLE Object_88_3 AS SELECT * FROM Object_88 WHERE subChunkId = 3");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  auto& c = std::get<CreateTableStmt>(*r);
+  ASSERT_TRUE(c.asSelect != nullptr);
+  EXPECT_EQ(c.asSelect->from[0].table, "Object_88");
+}
+
+TEST(Parser, InsertValues) {
+  auto r = parseStatement(
+      "INSERT INTO t VALUES (1, 2.5, 'x', NULL), (-2, -3.5, 'y', 4)");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  auto& ins = std::get<InsertStmt>(*r);
+  ASSERT_EQ(ins.rows.size(), 2u);
+  EXPECT_EQ(ins.rows[0][0].asInt(), 1);
+  EXPECT_TRUE(ins.rows[0][3].isNull());
+  EXPECT_EQ(ins.rows[1][0].asInt(), -2);
+  EXPECT_DOUBLE_EQ(ins.rows[1][1].asDouble(), -3.5);
+}
+
+TEST(Parser, InsertSelect) {
+  auto r = parseStatement("INSERT INTO merged SELECT * FROM tmp_result");
+  ASSERT_TRUE(r.isOk());
+  EXPECT_TRUE(std::get<InsertStmt>(*r).select != nullptr);
+}
+
+TEST(Parser, DropTable) {
+  auto r1 = parseStatement("DROP TABLE t");
+  ASSERT_TRUE(r1.isOk());
+  EXPECT_FALSE(std::get<DropTableStmt>(*r1).ifExists);
+  auto r2 = parseStatement("DROP TABLE IF EXISTS t");
+  ASSERT_TRUE(r2.isOk());
+  EXPECT_TRUE(std::get<DropTableStmt>(*r2).ifExists);
+}
+
+TEST(Parser, ScriptMultipleStatements) {
+  auto r = parseScript(
+      "CREATE TABLE t (x INT);\n"
+      "INSERT INTO t VALUES (1);\n"
+      "SELECT * FROM t;\n");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(Parser, ScriptWithSubchunksHeader) {
+  auto r = parseScript(
+      "-- SUBCHUNKS: 3, 4, 5\n"
+      "SELECT count(*) FROM Object_88_3;\n"
+      "SELECT count(*) FROM Object_88_4;\n");
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Parser, Errors) {
+  EXPECT_FALSE(parseStatement("SELECT").isOk());
+  EXPECT_FALSE(parseStatement("SELECT FROM t").isOk());
+  EXPECT_FALSE(parseStatement("SELECT 1 FROM").isOk());
+  EXPECT_FALSE(parseStatement("FOO BAR").isOk());
+  EXPECT_FALSE(parseStatement("SELECT 1 FROM t WHERE").isOk());
+  EXPECT_FALSE(parseStatement("SELECT 1 LIMIT -2").isOk());
+  EXPECT_FALSE(parseStatement("SELECT 1 FROM t GROUP chunkId").isOk());
+  EXPECT_FALSE(parseStatement("CREATE TABLE t (x NOTATYPE)").isOk());
+  EXPECT_FALSE(parseStatement("INSERT INTO t VALUES (1+2)").isOk());
+  EXPECT_FALSE(parseStatement("SELECT 1; SELECT 2").isOk());  // one stmt only
+  EXPECT_FALSE(parseSelect("DROP TABLE t").isOk());
+}
+
+TEST(Parser, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(parseStatement("SELECT 1;").isOk());
+}
+
+TEST(Parser, UnaryMinusAndDoubleNegation) {
+  // Note: "--5" is a line comment in SQL, so the inner minus needs space
+  // or parentheses.
+  auto e = parseExpression("- -5");
+  ASSERT_TRUE(e.isOk());
+  EXPECT_EQ((*e)->kind(), ExprKind::kUnary);
+  EXPECT_FALSE(parseExpression("--5").isOk());  // comment swallows the rest
+}
+
+}  // namespace
+}  // namespace qserv::sql

@@ -1,0 +1,92 @@
+#include "sql/value.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::sql {
+namespace {
+
+TEST(Value, TypesAndAccessors) {
+  EXPECT_TRUE(Value().isNull());
+  EXPECT_TRUE(Value(42).isInt());
+  EXPECT_EQ(Value(42).asInt(), 42);
+  EXPECT_TRUE(Value(1.5).isDouble());
+  EXPECT_DOUBLE_EQ(Value(1.5).asDouble(), 1.5);
+  EXPECT_TRUE(Value("x").isString());
+  EXPECT_EQ(Value("x").asString(), "x");
+  EXPECT_TRUE(Value(42).isNumeric());
+  EXPECT_TRUE(Value(1.5).isNumeric());
+  EXPECT_FALSE(Value("x").isNumeric());
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_TRUE(Value(1).isTrue());
+  EXPECT_TRUE(Value(-3).isTrue());
+  EXPECT_FALSE(Value(0).isTrue());
+  EXPECT_TRUE(Value(0.1).isTrue());
+  EXPECT_FALSE(Value(0.0).isTrue());
+  EXPECT_FALSE(Value().isTrue());
+  EXPECT_FALSE(Value("yes").isTrue());
+}
+
+TEST(Value, CompareNumericCrossType) {
+  EXPECT_EQ(Value(2).compare(Value(2.0)), 0);
+  EXPECT_LT(Value(2).compare(Value(2.5)), 0);
+  EXPECT_GT(Value(3.5).compare(Value(3)), 0);
+}
+
+TEST(Value, CompareLargeIntsExactly) {
+  // Values above 2^53 lose precision as doubles; int-int comparison must
+  // stay exact (objectIds are large int64s).
+  std::int64_t a = (1LL << 60) + 1;
+  std::int64_t b = (1LL << 60) + 2;
+  EXPECT_LT(Value(a).compare(Value(b)), 0);
+  EXPECT_GT(Value(b).compare(Value(a)), 0);
+  EXPECT_EQ(Value(a).compare(Value(a)), 0);
+}
+
+TEST(Value, CompareStrings) {
+  EXPECT_LT(Value("abc").compare(Value("abd")), 0);
+  EXPECT_EQ(Value("abc").compare(Value("abc")), 0);
+}
+
+TEST(Value, NullSortsFirst) {
+  EXPECT_LT(Value().compare(Value(-1000)), 0);
+  EXPECT_LT(Value().compare(Value("")), 0);
+  EXPECT_EQ(Value().compare(Value()), 0);
+}
+
+TEST(Value, SqlEqualsNullNeverEqual) {
+  EXPECT_FALSE(Value().sqlEquals(Value()));
+  EXPECT_FALSE(Value(1).sqlEquals(Value()));
+  EXPECT_TRUE(Value(2).sqlEquals(Value(2.0)));
+}
+
+TEST(Value, SqlLiteralRoundTripForms) {
+  EXPECT_EQ(Value().toSqlLiteral(), "NULL");
+  EXPECT_EQ(Value(42).toSqlLiteral(), "42");
+  EXPECT_EQ(Value(-7).toSqlLiteral(), "-7");
+  // Doubles always read back as doubles.
+  EXPECT_EQ(Value(2.0).toSqlLiteral(), "2.0");
+  EXPECT_EQ(Value("it's").toSqlLiteral(), "'it''s'");
+}
+
+TEST(Value, DoubleLiteralRoundTripsExactly) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 3.141592653589793, 1e17}) {
+    std::string lit = Value(d).toSqlLiteral();
+    EXPECT_DOUBLE_EQ(std::stod(lit), d) << lit;
+  }
+}
+
+TEST(Value, HashConsistentWithSqlEquals) {
+  EXPECT_EQ(Value(2).hash(), Value(2.0).hash());
+  EXPECT_EQ(Value("abc").hash(), Value("abc").hash());
+}
+
+TEST(Value, StructuralEquality) {
+  EXPECT_EQ(Value(2), Value(2));
+  EXPECT_FALSE(Value(2) == Value(2.0));  // structural, not SQL
+  EXPECT_EQ(Value(), Value());
+}
+
+}  // namespace
+}  // namespace qserv::sql

@@ -1,0 +1,66 @@
+#include "util/md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace qserv::util {
+namespace {
+
+// RFC 1321 appendix A.5 test vectors.
+TEST(Md5, Rfc1321Vectors) {
+  EXPECT_EQ(Md5::hex(""), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(Md5::hex("a"), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(Md5::hex("abc"), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(Md5::hex("message digest"), "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(Md5::hex("abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      Md5::hex("ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(Md5::hex("1234567890123456789012345678901234567890"
+                     "1234567890123456789012345678901234567890"),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5, IncrementalMatchesOneShot) {
+  std::string data(1000, 'q');
+  Md5 h;
+  for (int i = 0; i < 10; ++i) h.update(std::string_view(data).substr(i * 100, 100));
+  auto d = h.digest();
+  EXPECT_EQ(toHex(d.data(), d.size()), Md5::hex(data));
+}
+
+TEST(Md5, SplitAcrossBlockBoundaries) {
+  std::string data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<char>(i & 0x7f));
+  for (std::size_t cut : {1u, 55u, 56u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    Md5 h;
+    h.update(std::string_view(data).substr(0, cut));
+    h.update(std::string_view(data).substr(cut));
+    auto d = h.digest();
+    EXPECT_EQ(toHex(d.data(), d.size()), Md5::hex(data)) << "cut=" << cut;
+  }
+}
+
+TEST(Md5, HexIs32LowercaseDigits) {
+  // Paper §5.4: result paths embed "the MD5 hash, represented via 32
+  // hexadecimal digits in ASCII".
+  std::string h = Md5::hex("SELECT COUNT(*) FROM Object_1234;");
+  ASSERT_EQ(h.size(), 32u);
+  for (char c : h) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(Md5, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Md5::hex("SELECT 1"), Md5::hex("SELECT 2"));
+}
+
+TEST(Md5, ToHexEncodesBytes) {
+  std::uint8_t bytes[] = {0x00, 0x0f, 0xf0, 0xff};
+  EXPECT_EQ(toHex(bytes, 4), "000ff0ff");
+}
+
+}  // namespace
+}  // namespace qserv::util

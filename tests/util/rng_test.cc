@@ -1,0 +1,89 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.h"
+
+namespace qserv::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    double x = r.uniform();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    double x = r.uniform(358.0, 365.0);
+    ASSERT_GE(x, 358.0);
+    ASSERT_LT(x, 365.0);
+  }
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 9u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::int64_t v = r.range(-2, 2);
+    ASSERT_GE(v, -2);
+    ASSERT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(17);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(SplitMix, KnownSequenceIsStable) {
+  std::uint64_t st = 0;
+  std::uint64_t v1 = splitmix64(st);
+  std::uint64_t v2 = splitmix64(st);
+  EXPECT_NE(v1, v2);
+  // Regression pin: these values must never change, or every dataset in
+  // EXPERIMENTS.md silently changes.
+  std::uint64_t st2 = 0;
+  EXPECT_EQ(splitmix64(st2), v1);
+  EXPECT_EQ(splitmix64(st2), v2);
+}
+
+}  // namespace
+}  // namespace qserv::util

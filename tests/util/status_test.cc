@@ -1,0 +1,92 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.toString(), "OK");
+}
+
+TEST(Status, FactoryFunctionsCarryCodeAndMessage) {
+  Status s = Status::notFound("chunk 42");
+  EXPECT_FALSE(s.isOk());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "chunk 42");
+  EXPECT_EQ(s.toString(), "NOT_FOUND: chunk 42");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::ok(), Status());
+  EXPECT_EQ(Status::internal("x"), Status::internal("x"));
+  EXPECT_FALSE(Status::internal("x") == Status::internal("y"));
+  EXPECT_FALSE(Status::internal("x") == Status::aborted("x"));
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kAborted); ++c) {
+    EXPECT_STRNE(errorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().isOk());
+  EXPECT_EQ(r.valueOr(0), 7);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::unavailable("worker down");
+  ASSERT_FALSE(r.isOk());
+  EXPECT_EQ(r.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(r.valueOr(-1), -1);
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.isOk());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+Status failIfNegative(int x) {
+  if (x < 0) return Status::invalidArgument("negative");
+  return Status::ok();
+}
+
+Status chain(int x) {
+  QSERV_RETURN_IF_ERROR(failIfNegative(x));
+  return Status::ok();
+}
+
+TEST(Result, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(chain(1).isOk());
+  EXPECT_EQ(chain(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+Result<int> half(int x) {
+  if (x % 2 != 0) return Status::invalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> quarter(int x) {
+  QSERV_ASSIGN_OR_RETURN(int h, half(x));
+  QSERV_ASSIGN_OR_RETURN(int q, half(h));
+  return q;
+}
+
+TEST(Result, AssignOrReturnMacro) {
+  auto r = quarter(8);
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(*r, 2);
+  EXPECT_EQ(quarter(6).status().code(), ErrorCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace qserv::util

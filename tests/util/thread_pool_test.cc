@@ -1,0 +1,75 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+namespace qserv::util {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.numThreads(), 1u);
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&] { done.fetch_add(1); });
+    }
+    pool.shutdown();
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] {}), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelTasksActuallyOverlap) {
+  // With 4 threads, 4 tasks that wait on a shared barrier can only finish
+  // if they run concurrently.
+  ThreadPool pool(4);
+  std::atomic<int> arrived{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 4; ++i) {
+    futs.push_back(pool.submit([&] {
+      arrived.fetch_add(1);
+      while (arrived.load() < 4) std::this_thread::yield();
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(arrived.load(), 4);
+}
+
+}  // namespace
+}  // namespace qserv::util

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "util/md5.h"
+#include "xrd/client.h"
+#include "xrd/data_server.h"
+#include "xrd/file_store.h"
+#include "xrd/paths.h"
+#include "xrd/redirector.h"
+
+namespace qserv::xrd {
+namespace {
+
+TEST(Paths, MakeAndParseQueryPath) {
+  EXPECT_EQ(makeQueryPath(42), "/query2/42");
+  EXPECT_EQ(parseQueryPath("/query2/42"), 42);
+  EXPECT_EQ(parseQueryPath("/query2/0"), 0);
+  EXPECT_FALSE(parseQueryPath("/query2/").has_value());
+  EXPECT_FALSE(parseQueryPath("/query2/abc").has_value());
+  EXPECT_FALSE(parseQueryPath("/result/42").has_value());
+  EXPECT_FALSE(parseQueryPath("/query2/99999999999").has_value());
+}
+
+TEST(Paths, MakeAndParseResultPath) {
+  std::string h = util::Md5::hex("SELECT 1");
+  std::string p = makeResultPath(h);
+  EXPECT_EQ(p, "/result/" + h);
+  EXPECT_EQ(parseResultPath(p), h);
+  EXPECT_FALSE(parseResultPath("/result/short").has_value());
+  EXPECT_FALSE(parseResultPath("/result/" + std::string(32, 'X')).has_value());
+  EXPECT_FALSE(parseResultPath("/query2/5").has_value());
+}
+
+TEST(FileStore, PublishThenGet) {
+  FileStore fs;
+  fs.publish("/result/aa", "payload");
+  EXPECT_EQ(fs.tryGet("/result/aa"), "payload");
+  EXPECT_FALSE(fs.tryGet("/result/bb").has_value());
+  EXPECT_EQ(fs.size(), 1u);
+  fs.remove("/result/aa");
+  EXPECT_EQ(fs.size(), 0u);
+}
+
+TEST(FileStore, WaitBlocksUntilPublish) {
+  FileStore fs;
+  std::atomic<bool> published{false};
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    published = true;
+    fs.publish("/result/x", "late");
+  });
+  auto r = fs.waitFor("/result/x", std::chrono::milliseconds(2000));
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_TRUE(published.load());
+  EXPECT_EQ(*r, "late");
+  writer.join();
+}
+
+TEST(FileStore, WaitTimesOut) {
+  FileStore fs;
+  auto r = fs.waitFor("/result/never", std::chrono::milliseconds(20));
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kUnavailable);
+}
+
+TEST(FileStore, PublishErrorPropagates) {
+  FileStore fs;
+  fs.publishError("/result/bad", util::Status::internal("query failed"));
+  auto r = fs.waitFor("/result/bad", std::chrono::milliseconds(100));
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kInternal);
+}
+
+TEST(FileStore, AbortWakesWaiters) {
+  FileStore fs;
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    fs.abortAll();
+  });
+  auto r = fs.waitFor("/result/x", std::chrono::milliseconds(5000));
+  EXPECT_EQ(r.status().code(), util::ErrorCode::kAborted);
+  aborter.join();
+}
+
+/// Test plugin: in-memory store of written queries, canned results.
+class EchoPlugin : public OfsPlugin {
+ public:
+  explicit EchoPlugin(std::vector<std::int32_t> chunks)
+      : chunks_(std::move(chunks)) {}
+
+  util::Status writeFile(const std::string& path, std::string payload) override {
+    auto chunk = parseQueryPath(path);
+    if (!chunk) return util::Status::invalidArgument("bad path " + path);
+    // Publish the "result" immediately: hash of query -> echoed payload.
+    std::string hash = util::Md5::hex(payload);
+    store_.publish(makeResultPath(hash), "echo:" + payload);
+    return util::Status::ok();
+  }
+
+  util::Result<std::string> readFile(const std::string& path) override {
+    return store_.waitFor(path, std::chrono::milliseconds(500));
+  }
+
+  std::vector<std::int32_t> exportedChunks() const override { return chunks_; }
+
+ private:
+  std::vector<std::int32_t> chunks_;
+  FileStore store_;
+};
+
+DataServerPtr makeServer(const std::string& id,
+                         std::vector<std::int32_t> chunks) {
+  return std::make_shared<DataServer>(
+      id, std::make_shared<EchoPlugin>(std::move(chunks)));
+}
+
+TEST(Redirector, RoutesChunksToExportingServer) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {1, 2, 3}));
+  r->registerServer(makeServer("w2", {4, 5, 6}));
+  auto s = r->locate("/query2/5");
+  ASSERT_TRUE(s.isOk()) << s.status().toString();
+  EXPECT_EQ((*s)->id(), "w2");
+  auto s2 = r->locate("/query2/2");
+  ASSERT_TRUE(s2.isOk());
+  EXPECT_EQ((*s2)->id(), "w1");
+}
+
+TEST(Redirector, UnknownChunkIsNotFound) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {1}));
+  EXPECT_EQ(r->locate("/query2/99").status().code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST(Redirector, NonQueryPathRejected) {
+  auto r = std::make_shared<Redirector>();
+  EXPECT_EQ(r->locate("/result/" + std::string(32, 'a')).status().code(),
+            util::ErrorCode::kInvalidArgument);
+}
+
+TEST(Redirector, CachesLookups) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {1}));
+  ASSERT_TRUE(r->locate("/query2/1").isOk());
+  ASSERT_TRUE(r->locate("/query2/1").isOk());
+  ASSERT_TRUE(r->locate("/query2/1").isOk());
+  EXPECT_EQ(r->lookups(), 3u);
+  EXPECT_EQ(r->cacheHits(), 2u);
+}
+
+TEST(Redirector, ReplicationBalancesAcrossReplicas) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {7}));
+  r->registerServer(makeServer("w2", {7}));
+  EXPECT_EQ(r->replicasOf(7).size(), 2u);
+}
+
+TEST(Redirector, FailoverToLiveReplica) {
+  auto r = std::make_shared<Redirector>();
+  auto w1 = makeServer("w1", {7});
+  auto w2 = makeServer("w2", {7});
+  r->registerServer(w1);
+  r->registerServer(w2);
+  auto first = r->locate("/query2/7");
+  ASSERT_TRUE(first.isOk());
+  // Kill the located server; the next lookup must return the other.
+  (*first)->setUp(false);
+  auto second = r->locate("/query2/7");
+  ASSERT_TRUE(second.isOk()) << second.status().toString();
+  EXPECT_NE((*second)->id(), (*first)->id());
+  EXPECT_TRUE((*second)->isUp());
+}
+
+TEST(Redirector, AllReplicasDownIsUnavailable) {
+  auto r = std::make_shared<Redirector>();
+  auto w1 = makeServer("w1", {7});
+  r->registerServer(w1);
+  w1->setUp(false);
+  EXPECT_EQ(r->locate("/query2/7").status().code(),
+            util::ErrorCode::kUnavailable);
+}
+
+TEST(Redirector, DeregisterRemovesServer) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {1}));
+  ASSERT_TRUE(r->locate("/query2/1").isOk());
+  r->deregisterServer("w1");
+  EXPECT_FALSE(r->findServer("w1"));
+  EXPECT_EQ(r->locate("/query2/1").status().code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST(DataServer, DownServerRefusesTransactions) {
+  auto s = makeServer("w1", {1});
+  s->setUp(false);
+  EXPECT_EQ(s->write("/query2/1", "q").code(), util::ErrorCode::kUnavailable);
+  EXPECT_EQ(s->read("/result/x").status().code(),
+            util::ErrorCode::kUnavailable);
+}
+
+TEST(DataServer, AccountsTransferredBytes) {
+  auto s = makeServer("w1", {1});
+  ASSERT_TRUE(s->write("/query2/1", "0123456789").isOk());
+  EXPECT_EQ(s->bytesWritten(), 10u);
+  std::string hash = util::Md5::hex("0123456789");
+  auto r = s->read(makeResultPath(hash));
+  ASSERT_TRUE(r.isOk());
+  EXPECT_EQ(s->bytesRead(), r->size());
+}
+
+TEST(Client, TwoTransactionRoundTrip) {
+  auto redirector = std::make_shared<Redirector>();
+  redirector->registerServer(makeServer("w1", {10, 11}));
+  redirector->registerServer(makeServer("w2", {20, 21}));
+  XrdClient client(redirector);
+
+  std::string query = "SELECT COUNT(*) FROM Object_20;";
+  auto serverId = client.writeQuery(20, query);
+  ASSERT_TRUE(serverId.isOk()) << serverId.status().toString();
+  EXPECT_EQ(*serverId, "w2");
+
+  auto result = client.readResult(*serverId, util::Md5::hex(query));
+  ASSERT_TRUE(result.isOk()) << result.status().toString();
+  EXPECT_EQ(*result, "echo:" + query);
+}
+
+TEST(Client, WriteToMissingChunkFails) {
+  auto redirector = std::make_shared<Redirector>();
+  redirector->registerServer(makeServer("w1", {1}));
+  XrdClient client(redirector);
+  EXPECT_FALSE(client.writeQuery(999, "q").isOk());
+}
+
+TEST(Client, ReadFromUnknownServerFails) {
+  auto redirector = std::make_shared<Redirector>();
+  XrdClient client(redirector);
+  EXPECT_EQ(client.readResult("ghost", std::string(32, 'a')).status().code(),
+            util::ErrorCode::kNotFound);
+}
+
+TEST(Client, ConcurrentWritesAcrossWorkers) {
+  auto redirector = std::make_shared<Redirector>();
+  for (int w = 0; w < 8; ++w) {
+    std::vector<std::int32_t> chunks;
+    for (int c = w * 10; c < w * 10 + 10; ++c) chunks.push_back(c);
+    redirector->registerServer(makeServer("w" + std::to_string(w), chunks));
+  }
+  XrdClient client(redirector);
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = t * 10; c < t * 10 + 10; ++c) {
+        std::string q = "SELECT " + std::to_string(c);
+        auto sid = client.writeQuery(c, q);
+        if (!sid.isOk()) continue;
+        auto res = client.readResult(*sid, util::Md5::hex(q));
+        if (res.isOk() && *res == "echo:" + q) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 80);
+}
+
+}  // namespace
+}  // namespace qserv::xrd
