@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hv1.dir/bench/bench_hv1.cc.o"
+  "CMakeFiles/bench_hv1.dir/bench/bench_hv1.cc.o.d"
+  "bench/bench_hv1"
+  "bench/bench_hv1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hv1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

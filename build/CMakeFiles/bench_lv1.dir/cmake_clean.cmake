@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lv1.dir/bench/bench_lv1.cc.o"
+  "CMakeFiles/bench_lv1.dir/bench/bench_lv1.cc.o.d"
+  "bench/bench_lv1"
+  "bench/bench_lv1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lv1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_hv.dir/bench/bench_scaling_hv.cc.o"
+  "CMakeFiles/bench_scaling_hv.dir/bench/bench_scaling_hv.cc.o.d"
+  "bench/bench_scaling_hv"
+  "bench/bench_scaling_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

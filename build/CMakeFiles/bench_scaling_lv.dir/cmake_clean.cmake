@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_lv.dir/bench/bench_scaling_lv.cc.o"
+  "CMakeFiles/bench_scaling_lv.dir/bench/bench_scaling_lv.cc.o.d"
+  "bench/bench_scaling_lv"
+  "bench/bench_scaling_lv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_lv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_shv.dir/bench/bench_scaling_shv.cc.o"
+  "CMakeFiles/bench_scaling_shv.dir/bench/bench_scaling_shv.cc.o.d"
+  "bench/bench_scaling_shv"
+  "bench/bench_scaling_shv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_shv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

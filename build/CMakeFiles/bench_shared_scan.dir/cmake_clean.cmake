@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shared_scan.dir/bench/bench_shared_scan.cc.o"
+  "CMakeFiles/bench_shared_scan.dir/bench/bench_shared_scan.cc.o.d"
+  "bench/bench_shared_scan"
+  "bench/bench_shared_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shared_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

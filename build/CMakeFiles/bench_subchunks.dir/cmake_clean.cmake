@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_subchunks.dir/bench/bench_subchunks.cc.o"
+  "CMakeFiles/bench_subchunks.dir/bench/bench_subchunks.cc.o.d"
+  "bench/bench_subchunks"
+  "bench/bench_subchunks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_subchunks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/near_neighbor.dir/near_neighbor.cpp.o"
+  "CMakeFiles/near_neighbor.dir/near_neighbor.cpp.o.d"
+  "near_neighbor"
+  "near_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/near_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

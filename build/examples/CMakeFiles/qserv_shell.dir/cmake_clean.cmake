@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_shell.dir/qserv_shell.cpp.o"
+  "CMakeFiles/qserv_shell.dir/qserv_shell.cpp.o.d"
+  "qserv_shell"
+  "qserv_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

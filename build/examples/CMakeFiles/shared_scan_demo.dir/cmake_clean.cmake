@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_scan_demo.dir/shared_scan_demo.cpp.o"
+  "CMakeFiles/shared_scan_demo.dir/shared_scan_demo.cpp.o.d"
+  "shared_scan_demo"
+  "shared_scan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_scan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_series.dir/time_series.cpp.o"
+  "CMakeFiles/time_series.dir/time_series.cpp.o.d"
+  "time_series"
+  "time_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

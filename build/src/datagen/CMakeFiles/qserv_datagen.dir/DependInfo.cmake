@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/catalog_gen.cc" "src/datagen/CMakeFiles/qserv_datagen.dir/catalog_gen.cc.o" "gcc" "src/datagen/CMakeFiles/qserv_datagen.dir/catalog_gen.cc.o.d"
+  "/root/repo/src/datagen/partitioner.cc" "src/datagen/CMakeFiles/qserv_datagen.dir/partitioner.cc.o" "gcc" "src/datagen/CMakeFiles/qserv_datagen.dir/partitioner.cc.o.d"
+  "/root/repo/src/datagen/schemas.cc" "src/datagen/CMakeFiles/qserv_datagen.dir/schemas.cc.o" "gcc" "src/datagen/CMakeFiles/qserv_datagen.dir/schemas.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/qserv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphgeom/CMakeFiles/qserv_sphgeom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

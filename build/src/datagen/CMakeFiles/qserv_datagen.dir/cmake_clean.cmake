@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_datagen.dir/catalog_gen.cc.o"
+  "CMakeFiles/qserv_datagen.dir/catalog_gen.cc.o.d"
+  "CMakeFiles/qserv_datagen.dir/partitioner.cc.o"
+  "CMakeFiles/qserv_datagen.dir/partitioner.cc.o.d"
+  "CMakeFiles/qserv_datagen.dir/schemas.cc.o"
+  "CMakeFiles/qserv_datagen.dir/schemas.cc.o.d"
+  "libqserv_datagen.a"
+  "libqserv_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qserv/catalog_config.cc" "src/qserv/CMakeFiles/qserv_core.dir/catalog_config.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/catalog_config.cc.o.d"
+  "/root/repo/src/qserv/cluster.cc" "src/qserv/CMakeFiles/qserv_core.dir/cluster.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/cluster.cc.o.d"
+  "/root/repo/src/qserv/czar.cc" "src/qserv/CMakeFiles/qserv_core.dir/czar.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/czar.cc.o.d"
+  "/root/repo/src/qserv/dispatcher.cc" "src/qserv/CMakeFiles/qserv_core.dir/dispatcher.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/dispatcher.cc.o.d"
+  "/root/repo/src/qserv/merger.cc" "src/qserv/CMakeFiles/qserv_core.dir/merger.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/merger.cc.o.d"
+  "/root/repo/src/qserv/observables_codec.cc" "src/qserv/CMakeFiles/qserv_core.dir/observables_codec.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/observables_codec.cc.o.d"
+  "/root/repo/src/qserv/query_analysis.cc" "src/qserv/CMakeFiles/qserv_core.dir/query_analysis.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/query_analysis.cc.o.d"
+  "/root/repo/src/qserv/query_rewriter.cc" "src/qserv/CMakeFiles/qserv_core.dir/query_rewriter.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/query_rewriter.cc.o.d"
+  "/root/repo/src/qserv/secondary_index.cc" "src/qserv/CMakeFiles/qserv_core.dir/secondary_index.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/secondary_index.cc.o.d"
+  "/root/repo/src/qserv/worker.cc" "src/qserv/CMakeFiles/qserv_core.dir/worker.cc.o" "gcc" "src/qserv/CMakeFiles/qserv_core.dir/worker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/datagen/CMakeFiles/qserv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrd/CMakeFiles/qserv_xrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/simio/CMakeFiles/qserv_simio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qserv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphgeom/CMakeFiles/qserv_sphgeom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_core.dir/catalog_config.cc.o"
+  "CMakeFiles/qserv_core.dir/catalog_config.cc.o.d"
+  "CMakeFiles/qserv_core.dir/cluster.cc.o"
+  "CMakeFiles/qserv_core.dir/cluster.cc.o.d"
+  "CMakeFiles/qserv_core.dir/czar.cc.o"
+  "CMakeFiles/qserv_core.dir/czar.cc.o.d"
+  "CMakeFiles/qserv_core.dir/dispatcher.cc.o"
+  "CMakeFiles/qserv_core.dir/dispatcher.cc.o.d"
+  "CMakeFiles/qserv_core.dir/merger.cc.o"
+  "CMakeFiles/qserv_core.dir/merger.cc.o.d"
+  "CMakeFiles/qserv_core.dir/observables_codec.cc.o"
+  "CMakeFiles/qserv_core.dir/observables_codec.cc.o.d"
+  "CMakeFiles/qserv_core.dir/query_analysis.cc.o"
+  "CMakeFiles/qserv_core.dir/query_analysis.cc.o.d"
+  "CMakeFiles/qserv_core.dir/query_rewriter.cc.o"
+  "CMakeFiles/qserv_core.dir/query_rewriter.cc.o.d"
+  "CMakeFiles/qserv_core.dir/secondary_index.cc.o"
+  "CMakeFiles/qserv_core.dir/secondary_index.cc.o.d"
+  "CMakeFiles/qserv_core.dir/worker.cc.o"
+  "CMakeFiles/qserv_core.dir/worker.cc.o.d"
+  "libqserv_core.a"
+  "libqserv_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

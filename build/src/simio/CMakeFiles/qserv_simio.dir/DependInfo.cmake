@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simio/cost_model.cc" "src/simio/CMakeFiles/qserv_simio.dir/cost_model.cc.o" "gcc" "src/simio/CMakeFiles/qserv_simio.dir/cost_model.cc.o.d"
+  "/root/repo/src/simio/queue_sim.cc" "src/simio/CMakeFiles/qserv_simio.dir/queue_sim.cc.o" "gcc" "src/simio/CMakeFiles/qserv_simio.dir/queue_sim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_simio.dir/cost_model.cc.o"
+  "CMakeFiles/qserv_simio.dir/cost_model.cc.o.d"
+  "CMakeFiles/qserv_simio.dir/queue_sim.cc.o"
+  "CMakeFiles/qserv_simio.dir/queue_sim.cc.o.d"
+  "libqserv_simio.a"
+  "libqserv_simio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_simio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqserv_simio.a"
+)

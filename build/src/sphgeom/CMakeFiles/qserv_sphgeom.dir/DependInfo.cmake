@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sphgeom/chunker.cc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/chunker.cc.o" "gcc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/chunker.cc.o.d"
+  "/root/repo/src/sphgeom/coords.cc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/coords.cc.o" "gcc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/coords.cc.o.d"
+  "/root/repo/src/sphgeom/htm.cc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/htm.cc.o" "gcc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/htm.cc.o.d"
+  "/root/repo/src/sphgeom/spherical_box.cc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/spherical_box.cc.o" "gcc" "src/sphgeom/CMakeFiles/qserv_sphgeom.dir/spherical_box.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

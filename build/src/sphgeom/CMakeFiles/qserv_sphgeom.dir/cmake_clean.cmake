@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_sphgeom.dir/chunker.cc.o"
+  "CMakeFiles/qserv_sphgeom.dir/chunker.cc.o.d"
+  "CMakeFiles/qserv_sphgeom.dir/coords.cc.o"
+  "CMakeFiles/qserv_sphgeom.dir/coords.cc.o.d"
+  "CMakeFiles/qserv_sphgeom.dir/htm.cc.o"
+  "CMakeFiles/qserv_sphgeom.dir/htm.cc.o.d"
+  "CMakeFiles/qserv_sphgeom.dir/spherical_box.cc.o"
+  "CMakeFiles/qserv_sphgeom.dir/spherical_box.cc.o.d"
+  "libqserv_sphgeom.a"
+  "libqserv_sphgeom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_sphgeom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

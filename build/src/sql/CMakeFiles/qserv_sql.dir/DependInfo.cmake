@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/qserv_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/sql/CMakeFiles/qserv_sql.dir/database.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/database.cc.o.d"
+  "/root/repo/src/sql/dump.cc" "src/sql/CMakeFiles/qserv_sql.dir/dump.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/dump.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/qserv_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/expr_eval.cc" "src/sql/CMakeFiles/qserv_sql.dir/expr_eval.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/expr_eval.cc.o.d"
+  "/root/repo/src/sql/functions.cc" "src/sql/CMakeFiles/qserv_sql.dir/functions.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/functions.cc.o.d"
+  "/root/repo/src/sql/index.cc" "src/sql/CMakeFiles/qserv_sql.dir/index.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/index.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/qserv_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/qserv_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/rowcodec.cc" "src/sql/CMakeFiles/qserv_sql.dir/rowcodec.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/rowcodec.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/qserv_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/qserv_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/qserv_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/qserv_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sphgeom/CMakeFiles/qserv_sphgeom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_sql.dir/ast.cc.o"
+  "CMakeFiles/qserv_sql.dir/ast.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/database.cc.o"
+  "CMakeFiles/qserv_sql.dir/database.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/dump.cc.o"
+  "CMakeFiles/qserv_sql.dir/dump.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/executor.cc.o"
+  "CMakeFiles/qserv_sql.dir/executor.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/expr_eval.cc.o"
+  "CMakeFiles/qserv_sql.dir/expr_eval.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/functions.cc.o"
+  "CMakeFiles/qserv_sql.dir/functions.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/index.cc.o"
+  "CMakeFiles/qserv_sql.dir/index.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/lexer.cc.o"
+  "CMakeFiles/qserv_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/parser.cc.o"
+  "CMakeFiles/qserv_sql.dir/parser.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/rowcodec.cc.o"
+  "CMakeFiles/qserv_sql.dir/rowcodec.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/schema.cc.o"
+  "CMakeFiles/qserv_sql.dir/schema.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/table.cc.o"
+  "CMakeFiles/qserv_sql.dir/table.cc.o.d"
+  "CMakeFiles/qserv_sql.dir/value.cc.o"
+  "CMakeFiles/qserv_sql.dir/value.cc.o.d"
+  "libqserv_sql.a"
+  "libqserv_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

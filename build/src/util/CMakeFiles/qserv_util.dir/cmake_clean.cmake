@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_util.dir/logging.cc.o"
+  "CMakeFiles/qserv_util.dir/logging.cc.o.d"
+  "CMakeFiles/qserv_util.dir/md5.cc.o"
+  "CMakeFiles/qserv_util.dir/md5.cc.o.d"
+  "CMakeFiles/qserv_util.dir/stats.cc.o"
+  "CMakeFiles/qserv_util.dir/stats.cc.o.d"
+  "CMakeFiles/qserv_util.dir/strings.cc.o"
+  "CMakeFiles/qserv_util.dir/strings.cc.o.d"
+  "CMakeFiles/qserv_util.dir/thread_pool.cc.o"
+  "CMakeFiles/qserv_util.dir/thread_pool.cc.o.d"
+  "libqserv_util.a"
+  "libqserv_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xrd/client.cc" "src/xrd/CMakeFiles/qserv_xrd.dir/client.cc.o" "gcc" "src/xrd/CMakeFiles/qserv_xrd.dir/client.cc.o.d"
+  "/root/repo/src/xrd/data_server.cc" "src/xrd/CMakeFiles/qserv_xrd.dir/data_server.cc.o" "gcc" "src/xrd/CMakeFiles/qserv_xrd.dir/data_server.cc.o.d"
+  "/root/repo/src/xrd/file_store.cc" "src/xrd/CMakeFiles/qserv_xrd.dir/file_store.cc.o" "gcc" "src/xrd/CMakeFiles/qserv_xrd.dir/file_store.cc.o.d"
+  "/root/repo/src/xrd/paths.cc" "src/xrd/CMakeFiles/qserv_xrd.dir/paths.cc.o" "gcc" "src/xrd/CMakeFiles/qserv_xrd.dir/paths.cc.o.d"
+  "/root/repo/src/xrd/redirector.cc" "src/xrd/CMakeFiles/qserv_xrd.dir/redirector.cc.o" "gcc" "src/xrd/CMakeFiles/qserv_xrd.dir/redirector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qserv_xrd.dir/client.cc.o"
+  "CMakeFiles/qserv_xrd.dir/client.cc.o.d"
+  "CMakeFiles/qserv_xrd.dir/data_server.cc.o"
+  "CMakeFiles/qserv_xrd.dir/data_server.cc.o.d"
+  "CMakeFiles/qserv_xrd.dir/file_store.cc.o"
+  "CMakeFiles/qserv_xrd.dir/file_store.cc.o.d"
+  "CMakeFiles/qserv_xrd.dir/paths.cc.o"
+  "CMakeFiles/qserv_xrd.dir/paths.cc.o.d"
+  "CMakeFiles/qserv_xrd.dir/redirector.cc.o"
+  "CMakeFiles/qserv_xrd.dir/redirector.cc.o.d"
+  "libqserv_xrd.a"
+  "libqserv_xrd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qserv_xrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qserv_xrd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qserv.dir/qserv/analysis_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/analysis_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/cluster_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/cluster_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/czar_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/czar_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/merger_dispatcher_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/merger_dispatcher_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/rewriter_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/rewriter_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/secondary_index_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/secondary_index_test.cc.o.d"
+  "CMakeFiles/test_qserv.dir/qserv/worker_test.cc.o"
+  "CMakeFiles/test_qserv.dir/qserv/worker_test.cc.o.d"
+  "test_qserv"
+  "test_qserv.pdb"
+  "test_qserv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qserv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simio.dir/simio/cost_model_test.cc.o"
+  "CMakeFiles/test_simio.dir/simio/cost_model_test.cc.o.d"
+  "CMakeFiles/test_simio.dir/simio/queue_sim_test.cc.o"
+  "CMakeFiles/test_simio.dir/simio/queue_sim_test.cc.o.d"
+  "test_simio"
+  "test_simio.pdb"
+  "test_simio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

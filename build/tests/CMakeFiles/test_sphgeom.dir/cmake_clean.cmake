@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sphgeom.dir/sphgeom/chunker_test.cc.o"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/chunker_test.cc.o.d"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/coords_test.cc.o"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/coords_test.cc.o.d"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/htm_test.cc.o"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/htm_test.cc.o.d"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/spherical_box_test.cc.o"
+  "CMakeFiles/test_sphgeom.dir/sphgeom/spherical_box_test.cc.o.d"
+  "test_sphgeom"
+  "test_sphgeom.pdb"
+  "test_sphgeom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sphgeom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql.dir/sql/executor_property_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/executor_property_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/executor_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/executor_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/expr_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/expr_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/lexer_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/lexer_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/parser_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/parser_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/rowcodec_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/rowcodec_test.cc.o.d"
+  "CMakeFiles/test_sql.dir/sql/value_test.cc.o"
+  "CMakeFiles/test_sql.dir/sql/value_test.cc.o.d"
+  "test_sql"
+  "test_sql.pdb"
+  "test_sql[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

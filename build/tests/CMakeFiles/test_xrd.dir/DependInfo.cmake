@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/xrd/xrd_test.cc" "tests/CMakeFiles/test_xrd.dir/xrd/xrd_test.cc.o" "gcc" "tests/CMakeFiles/test_xrd.dir/xrd/xrd_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qserv/CMakeFiles/qserv_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/qserv_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/xrd/CMakeFiles/qserv_xrd.dir/DependInfo.cmake"
+  "/root/repo/build/src/simio/CMakeFiles/qserv_simio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/qserv_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/sphgeom/CMakeFiles/qserv_sphgeom.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/qserv_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xrd.dir/xrd/xrd_test.cc.o"
+  "CMakeFiles/test_xrd.dir/xrd/xrd_test.cc.o.d"
+  "test_xrd"
+  "test_xrd.pdb"
+  "test_xrd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xrd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
