@@ -5,8 +5,31 @@
 #include <cstdlib>
 
 #include "sphgeom/angle.h"
+#include "util/metrics.h"
 
 namespace qserv::bench {
+
+void emitMetricsSnapshotAtExit() {
+  static bool registered = false;
+  if (registered) return;
+  const char* path = std::getenv("QSERV_METRICS_JSON");
+  if (path == nullptr || *path == '\0') return;
+  registered = true;
+  std::atexit([] {
+    const char* p = std::getenv("QSERV_METRICS_JSON");
+    if (p == nullptr) return;
+    std::FILE* f = std::fopen(p, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write metrics snapshot to %s\n", p);
+      return;
+    }
+    std::string json = util::MetricsRegistry::instance().snapshot().toJson();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::fprintf(stderr, "metrics snapshot written to %s\n", p);
+  });
+}
 
 int PaperSetup::chunkPosition(std::int32_t chunkId) const {
   auto it = std::lower_bound(sortedChunks.begin(), sortedChunks.end(), chunkId);
@@ -15,6 +38,7 @@ int PaperSetup::chunkPosition(std::int32_t chunkId) const {
 }
 
 PaperSetup makePaperSetup(const PaperSetupOptions& options) {
+  emitMetricsSnapshotAtExit();
   util::Stopwatch watch;
   PaperSetup setup;
   setup.catalog = core::CatalogConfig::lsst(options.numStripes,

@@ -116,4 +116,11 @@ void printExecution(int index, double wallMs, double virtualSec);
 
 void printKeyValue(const std::string& key, const std::string& value);
 
+/// When the environment variable QSERV_METRICS_JSON names a file, arrange
+/// for a metrics-registry snapshot to be written there as JSON when the
+/// bench exits — so a BENCH_*.json regression can be attributed to the
+/// layer (dispatch, worker queue, xrd, merge) that moved. Called by
+/// makePaperSetup; safe to call repeatedly.
+void emitMetricsSnapshotAtExit();
+
 }  // namespace qserv::bench

@@ -1,18 +1,21 @@
 /// \file qserv_shell.cpp
 /// \brief Interactive SQL shell against an in-process Qserv cluster — the
 /// experience the paper's astronomers get through the MySQL proxy (§5.4),
-/// here with per-query execution diagnostics.
+/// here with per-query execution diagnostics and live observability.
 ///
 /// Usage: qserv_shell [numWorkers] [basePatchObjects]
 /// Then type SQL (single line, `;` optional). Commands: \chunks, \workers,
-/// \quit.
+/// \metrics, \processlist, \trace <file>, \quit.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "example_util.h"
 #include "qserv/cluster.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 int main(int argc, char** argv) {
   using namespace qserv;
@@ -42,9 +45,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("qserv ready: %d workers, %zu chunks. Tables: Object, Source. "
-              "UDFs: qserv_areaspec_box, qserv_angSep, fluxToAbMag, ...\n",
+              "UDFs: qserv_areaspec_box, qserv_angSep, fluxToAbMag, ...\n"
+              "commands: \\chunks \\workers \\metrics \\processlist "
+              "\\trace <file> \\quit\n",
               numWorkers, (*cluster)->chunkIds().size());
 
+  util::TracePtr lastTrace;
   std::string line;
   while (true) {
     std::printf("qserv> ");
@@ -67,16 +73,60 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (trimmed == "\\metrics") {
+      std::printf("%s",
+                  util::MetricsRegistry::instance().snapshot().toText().c_str());
+      continue;
+    }
+    if (trimmed == "\\processlist" || trimmed == "\\pl") {
+      auto list = (*cluster)->frontend().processList();
+      if (list.empty()) {
+        std::printf("no queries yet\n");
+        continue;
+      }
+      std::printf("  %-4s %-12s %9s %7s  %s\n", "id", "state", "chunks",
+                  "sec", "sql");
+      for (const auto& q : list) {
+        std::printf("  %-4llu %-12s %4zu/%-4zu %7.3f  %s\n",
+                    static_cast<unsigned long long>(q.id),
+                    q.state.c_str(), q.chunksCompleted, q.chunksTotal,
+                    q.elapsedSeconds, q.sql.c_str());
+      }
+      continue;
+    }
+    if (util::startsWith(trimmed, "\\trace")) {
+      if (!lastTrace) {
+        std::printf("no traced query yet — run a query first\n");
+        continue;
+      }
+      std::string path(util::trim(trimmed.substr(6)));
+      if (path.empty()) path = "qserv_trace.json";
+      std::ofstream out(path, std::ios::trunc);
+      if (!out) {
+        std::printf("cannot open %s for writing\n", path.c_str());
+        continue;
+      }
+      out << lastTrace->toChromeJson();
+      std::printf("wrote %zu spans of query %llu to %s "
+                  "(open in chrome://tracing or ui.perfetto.dev)\n",
+                  lastTrace->spanCount(),
+                  static_cast<unsigned long long>(lastTrace->id()),
+                  path.c_str());
+      continue;
+    }
     auto result = (*cluster)->frontend().query(std::string(trimmed));
     if (!result.isOk()) {
       std::printf("ERROR: %s\n", result.status().toString().c_str());
       continue;
     }
+    lastTrace = result->trace;
     printTable(*result->result, 20);
     std::printf("(%zu rows; %zu chunk queries; %.1f ms; ~%.2f s on the "
-                "paper's 150-node cluster)\n",
+                "paper's 150-node cluster; query id %llu, %zu trace spans)\n",
                 result->result->numRows(), result->chunksDispatched,
-                result->wallSeconds * 1e3, result->soloTiming.elapsedSec());
+                result->wallSeconds * 1e3, result->soloTiming.elapsedSec(),
+                static_cast<unsigned long long>(result->queryId),
+                result->trace ? result->trace->spanCount() : 0);
   }
   return 0;
 }

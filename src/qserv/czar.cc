@@ -6,6 +6,7 @@
 #include "sql/executor.h"
 #include "sql/parser.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -13,6 +14,28 @@ namespace qserv::core {
 
 using util::Result;
 using util::Status;
+
+namespace {
+struct CzarMetrics {
+  util::Counter& queries;
+  util::Counter& queriesFailed;
+  util::Counter& chunksDispatched;
+  util::Gauge& inflight;
+  util::Histogram& querySeconds;
+
+  static CzarMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static CzarMetrics* m = new CzarMetrics{
+        reg.counter("czar.queries"),
+        reg.counter("czar.queries_failed"),
+        reg.counter("czar.chunks_dispatched"),
+        reg.gauge("czar.inflight_queries"),
+        reg.histogram("czar.query_seconds"),
+    };
+    return *m;
+  }
+};
+}  // namespace
 
 QservFrontend::QservFrontend(FrontendConfig config,
                              xrd::RedirectorPtr redirector,
@@ -82,43 +105,159 @@ Result<std::vector<std::int32_t>> QservFrontend::chunksFor(
   return resolveChunks(analyzed);
 }
 
+std::shared_ptr<QservFrontend::LiveQuery> QservFrontend::beginQuery(
+    std::uint64_t id, const std::string& sql) {
+  auto live = std::make_shared<LiveQuery>();
+  live->id = id;
+  live->sql = sql;
+  {
+    std::lock_guard lock(processMutex_);
+    inflight_.emplace(id, live);
+  }
+  CzarMetrics::instance().inflight.add(1);
+  return live;
+}
+
+void QservFrontend::endQuery(const std::shared_ptr<LiveQuery>& live,
+                             const Status& status) {
+  QueryInfo info;
+  info.id = live->id;
+  info.sql = live->sql;
+  info.state = status.isOk() ? "done" : "failed: " + status.toString();
+  info.chunksTotal = live->chunksTotal.load(std::memory_order_relaxed);
+  info.chunksCompleted = live->chunksCompleted.load(std::memory_order_relaxed);
+  info.elapsedSeconds = live->watch.elapsedSeconds();
+  info.finished = true;
+  {
+    std::lock_guard lock(processMutex_);
+    inflight_.erase(live->id);
+    recent_.push_front(std::move(info));
+    while (recent_.size() > kRecentQueries) recent_.pop_back();
+  }
+  CzarMetrics::instance().inflight.add(-1);
+}
+
+std::vector<QservFrontend::QueryInfo> QservFrontend::processList() const {
+  std::vector<QueryInfo> out;
+  std::lock_guard lock(processMutex_);
+  out.reserve(inflight_.size() + recent_.size());
+  for (const auto& [id, live] : inflight_) {
+    QueryInfo info;
+    info.id = id;
+    info.sql = live->sql;
+    {
+      std::lock_guard stateLock(live->stateMutex);
+      info.state = live->state;
+    }
+    info.chunksTotal = live->chunksTotal.load(std::memory_order_relaxed);
+    info.chunksCompleted =
+        live->chunksCompleted.load(std::memory_order_relaxed);
+    info.elapsedSeconds = live->watch.elapsedSeconds();
+    out.push_back(std::move(info));
+  }
+  out.insert(out.end(), recent_.begin(), recent_.end());
+  return out;
+}
+
 Result<QservFrontend::Execution> QservFrontend::query(const std::string& sql) {
+  auto& metrics = CzarMetrics::instance();
+  metrics.queries.add();
   util::Stopwatch wall;
+  // The trace id doubles as the process-unique query id; workers resolve it
+  // through the registry while the query is in flight.
+  util::TracePtr trace = util::TraceRegistry::instance().create(sql);
+  auto live = beginQuery(trace->id(), sql);
+
+  Result<Execution> result = runQuery(sql, *live, trace);
+  util::TraceRegistry::instance().release(trace->id());
+  endQuery(live, result.status());
+  metrics.querySeconds.observe(wall.elapsedSeconds());
+  if (!result.isOk()) {
+    metrics.queriesFailed.add();
+    return result;
+  }
+  result->queryId = trace->id();
+  result->trace = std::move(trace);
+  result->wallSeconds = wall.elapsedSeconds();
+  return result;
+}
+
+Result<QservFrontend::Execution> QservFrontend::runQuery(
+    const std::string& sql, LiveQuery& live, const util::TracePtr& trace) {
   Execution exec;
 
-  QSERV_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
-                         analyzeQuery(sql, config_.catalog));
+  live.setState("analyzing");
+  sql::SelectStmt stmt;
+  {
+    util::ScopedSpan span(trace, "czar", "parse");
+    QSERV_ASSIGN_OR_RETURN(stmt, sql::parseSelect(sql));
+  }
+  AnalyzedQuery analyzed;
+  {
+    util::ScopedSpan span(trace, "czar", "analyze");
+    QSERV_ASSIGN_OR_RETURN(analyzed, analyzeQuery(stmt, config_.catalog));
+  }
 
   // Queries that touch no partitioned table run on the frontend directly.
   if (!analyzed.touchesPartitioned()) {
+    live.setState("executing on frontend");
+    util::ScopedSpan span(trace, "czar", "frontend-execute");
     sql::ExecStats stats;
     QSERV_ASSIGN_OR_RETURN(
         exec.result, sql::executeSelect(metadata_, analyzed.stmt, stats));
     exec.soloTiming = simio::simulateQuery({}, config_.cost);
-    exec.wallSeconds = wall.elapsedSeconds();
     return exec;
   }
 
-  std::vector<std::int32_t> chunks = resolveChunks(analyzed);
+  live.setState("rewriting");
+  std::vector<std::int32_t> chunks;
+  {
+    util::ScopedSpan span(trace, "czar", "chunk-prune");
+    chunks = resolveChunks(analyzed);
+    span.attr("chunks", static_cast<std::int64_t>(chunks.size()));
+  }
   std::string mergeTable =
       util::format("qm_%llu", static_cast<unsigned long long>(
                                   nextQueryId_.fetch_add(1)));
   QueryRewriter rewriter(config_.catalog, chunker_);
-  QSERV_ASSIGN_OR_RETURN(RewriteResult rewrite,
-                         rewriter.rewrite(analyzed, chunks, mergeTable));
+  RewriteResult rewrite;
+  {
+    util::ScopedSpan span(trace, "czar", "rewrite");
+    QSERV_ASSIGN_OR_RETURN(rewrite,
+                           rewriter.rewrite(analyzed, chunks, mergeTable));
+    span.attr("chunkQueries",
+              static_cast<std::int64_t>(rewrite.chunkQueries.size()));
+  }
 
+  live.chunksTotal.store(rewrite.chunkQueries.size(),
+                         std::memory_order_relaxed);
+  live.setState("dispatching");
   QLOG(kInfo, "czar") << "dispatching " << rewrite.chunkQueries.size()
                       << " chunk queries for: " << sql;
-  QSERV_ASSIGN_OR_RETURN(std::vector<ChunkResult> results,
-                         dispatcher_.run(rewrite.chunkQueries));
-  exec.chunksDispatched = results.size();
-
-  ResultMerger merger(mergeTable);
-  for (const auto& r : results) {
-    QSERV_RETURN_IF_ERROR(merger.mergeDump(r.dump));
+  std::vector<ChunkResult> results;
+  {
+    util::ScopedSpan span(trace, "czar", "dispatch");
+    QSERV_ASSIGN_OR_RETURN(
+        results,
+        dispatcher_.run(rewrite.chunkQueries, trace, &live.chunksCompleted));
   }
-  QSERV_ASSIGN_OR_RETURN(exec.result,
-                         merger.finalize(rewrite.merge.finalSelectSql));
+  exec.chunksDispatched = results.size();
+  CzarMetrics::instance().chunksDispatched.add(results.size());
+
+  live.setState("merging");
+  ResultMerger merger(mergeTable, trace);
+  {
+    util::ScopedSpan span(trace, "czar", "merge");
+    for (const auto& r : results) {
+      QSERV_RETURN_IF_ERROR(merger.mergeDump(r.dump));
+    }
+  }
+  live.setState("finalizing");
+  {
+    util::ScopedSpan span(trace, "czar", "final-aggregation");
+    QSERV_ASSIGN_OR_RETURN(exec.result,
+                           merger.finalize(rewrite.merge.finalSelectSql));
+  }
   exec.rowsMerged = merger.rowsMerged();
 
   // Virtual-time accounting.
@@ -134,7 +273,6 @@ Result<QservFrontend::Execution> QservFrontend::query(const std::string& sql) {
         ChunkAccounting{r.chunkId, r.workerId, r.observables});
   }
   exec.soloTiming = simio::simulateQuery(exec.simTasks, config_.cost);
-  exec.wallSeconds = wall.elapsedSeconds();
   return exec;
 }
 

@@ -11,7 +11,10 @@
 #pragma once
 
 #include <atomic>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -22,6 +25,8 @@
 #include "qserv/secondary_index.h"
 #include "simio/queue_sim.h"
 #include "sql/database.h"
+#include "util/stopwatch.h"
+#include "util/trace.h"
 #include "xrd/redirector.h"
 
 namespace qserv::core {
@@ -60,10 +65,32 @@ class QservFrontend {
     /// This query simulated alone on an idle cluster.
     simio::SimQueryResult soloTiming;
     double wallSeconds = 0.0;  ///< real elapsed time of this execution
+    std::uint64_t queryId = 0;  ///< process-unique id (also the trace id)
+    /// Spans from every component this query touched; export with
+    /// trace->toChromeJson(). Always set after query() returns OK.
+    util::TracePtr trace;
+  };
+
+  /// One row of the SHOW PROCESSLIST-style view: an in-flight or recently
+  /// finished query.
+  struct QueryInfo {
+    std::uint64_t id = 0;
+    std::string sql;
+    /// analyzing | rewriting | dispatching | merging | finalizing | done |
+    /// failed: <status>
+    std::string state;
+    std::size_t chunksTotal = 0;      ///< chunk queries planned
+    std::size_t chunksCompleted = 0;  ///< chunk queries finished so far
+    double elapsedSeconds = 0.0;      ///< so far (live) or total (finished)
+    bool finished = false;
   };
 
   /// Execute \p sql end to end.
   util::Result<Execution> query(const std::string& sql);
+
+  /// Live in-flight queries (dispatch order) followed by the most recent
+  /// finished ones, newest first (bounded history).
+  std::vector<QueryInfo> processList() const;
 
   /// The chunk set \p sql would be dispatched to, without executing
   /// (analysis/pruning introspection for tests and benches).
@@ -83,8 +110,32 @@ class QservFrontend {
   }
 
  private:
+  /// Live bookkeeping for one executing query (backs processList()).
+  struct LiveQuery {
+    std::uint64_t id = 0;
+    std::string sql;
+    util::Stopwatch watch;
+    std::atomic<std::size_t> chunksTotal{0};
+    std::atomic<std::size_t> chunksCompleted{0};
+    std::mutex stateMutex;
+    std::string state = "queued";
+
+    void setState(const std::string& s) {
+      std::lock_guard lock(stateMutex);
+      state = s;
+    }
+  };
+
   std::vector<std::int32_t> resolveChunks(const AnalyzedQuery& analyzed);
   int workerIndexOf(const std::string& workerId);
+
+  /// The body of query(); \p live and \p trace are registered by query().
+  util::Result<Execution> runQuery(const std::string& sql, LiveQuery& live,
+                                   const util::TracePtr& trace);
+  std::shared_ptr<LiveQuery> beginQuery(std::uint64_t id,
+                                        const std::string& sql);
+  void endQuery(const std::shared_ptr<LiveQuery>& live,
+                const util::Status& status);
 
   FrontendConfig config_;
   xrd::RedirectorPtr redirector_;
@@ -97,6 +148,11 @@ class QservFrontend {
 
   std::mutex workerIndexMutex_;
   std::map<std::string, int> workerIndexes_;
+
+  static constexpr std::size_t kRecentQueries = 32;
+  mutable std::mutex processMutex_;
+  std::map<std::uint64_t, std::shared_ptr<LiveQuery>> inflight_;
+  std::deque<QueryInfo> recent_;  ///< finished queries, newest first
 };
 
 }  // namespace qserv::core

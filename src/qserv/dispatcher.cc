@@ -3,6 +3,8 @@
 #include "qserv/observables_codec.h"
 #include "util/logging.h"
 #include "util/md5.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace qserv::core {
@@ -10,30 +12,74 @@ namespace qserv::core {
 using util::Result;
 using util::Status;
 
+namespace {
+struct DispatchMetrics {
+  util::Counter& chunksOk;
+  util::Counter& chunksFailed;
+  util::Counter& retries;
+  util::Histogram& chunkSeconds;
+
+  static DispatchMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static DispatchMetrics* m = new DispatchMetrics{
+        reg.counter("dispatch.chunks_ok"),
+        reg.counter("dispatch.chunks_failed"),
+        reg.counter("dispatch.retries"),
+        reg.histogram("dispatch.chunk_seconds"),
+    };
+    return *m;
+  }
+};
+}  // namespace
+
 Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, int parallelism,
                        int maxAttempts)
     : redirector_(std::move(redirector)),
       parallelism_(std::max(1, parallelism)),
       maxAttempts_(std::max(1, maxAttempts)) {}
 
-Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec) {
+Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
+                                       const util::TracePtr& trace) {
+  auto& metrics = DispatchMetrics::instance();
+  util::Stopwatch watch;
+  util::ScopedSpan span(trace, "dispatcher",
+                        util::format("chunk %d", spec.chunkId));
   xrd::XrdClient client(redirector_);
-  std::string hash = util::Md5::hex(spec.text);
+  // The payload carries the trace id as a header comment so the worker —
+  // which only ever sees the payload — can attach its spans to this query.
+  std::string payload = trace ? util::traceHeaderLine(trace->id()) + spec.text
+                              : spec.text;
+  std::string hash = util::Md5::hex(payload);
   Status last = Status::internal("no attempt made");
   for (int attempt = 0; attempt < maxAttempts_; ++attempt) {
-    auto workerId = client.writeQuery(spec.chunkId, spec.text);
+    if (attempt > 0) metrics.retries.add();
+    Result<std::string> workerId = Status::internal("unreached");
+    {
+      util::ScopedSpan xrdSpan(trace, "xrd",
+                               util::format("write /query2/%d", spec.chunkId));
+      workerId = client.writeQuery(spec.chunkId, payload);
+    }
     if (!workerId.isOk()) {
       last = workerId.status();
       if (last.code() == util::ErrorCode::kUnavailable) continue;
+      metrics.chunksFailed.add();
       return last;  // non-transient: bad path, chunk unknown, ...
     }
-    auto dump = client.readResult(*workerId, hash);
+    Result<std::string> dump = Status::internal("unreached");
+    {
+      util::ScopedSpan xrdSpan(
+          trace, "xrd",
+          util::format("read /result/%s", hash.substr(0, 8).c_str()));
+      xrdSpan.attr("worker", *workerId);
+      dump = client.readResult(*workerId, hash);
+    }
     if (!dump.isOk()) {
       last = dump.status();
       QLOG(kWarn, "dispatch")
           << "chunk " << spec.chunkId << " on " << *workerId
           << " failed (attempt " << attempt + 1 << "): " << last.toString();
       if (last.code() == util::ErrorCode::kUnavailable) continue;
+      metrics.chunksFailed.add();
       return last;
     }
     ChunkResult out;
@@ -42,18 +88,33 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec) {
     out.hash = std::move(hash);
     if (auto obs = decodeObservables(*dump)) out.observables = *obs;
     out.dump = std::move(*dump);
+    span.attr("worker", out.workerId)
+        .attr("attempts", static_cast<std::int64_t>(attempt + 1))
+        .attr("dumpBytes", static_cast<std::int64_t>(out.dump.size()));
+    metrics.chunksOk.add();
+    metrics.chunkSeconds.observe(watch.elapsedSeconds());
     return out;
   }
+  metrics.chunksFailed.add();
+  span.attr("attempts", static_cast<std::int64_t>(maxAttempts_))
+      .attr("error", last.toString());
   return last;
 }
 
 Result<std::vector<ChunkResult>> Dispatcher::run(
-    const std::vector<ChunkQuerySpec>& specs) {
+    const std::vector<ChunkQuerySpec>& specs, const util::TracePtr& trace,
+    std::atomic<std::size_t>* completed) {
   util::ThreadPool pool(static_cast<std::size_t>(parallelism_));
   std::vector<std::future<Result<ChunkResult>>> futures;
   futures.reserve(specs.size());
   for (const auto& spec : specs) {
-    futures.push_back(pool.submit([this, &spec] { return runOne(spec); }));
+    futures.push_back(pool.submit([this, &spec, &trace, completed] {
+      auto r = runOne(spec, trace);
+      if (completed != nullptr) {
+        completed->fetch_add(1, std::memory_order_relaxed);
+      }
+      return r;
+    }));
   }
   std::vector<ChunkResult> out;
   out.reserve(specs.size());

@@ -10,12 +10,14 @@
 /// virtual-time simulation.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "qserv/query_rewriter.h"
 #include "simio/cost_model.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 #include "xrd/client.h"
 
 namespace qserv::core {
@@ -36,11 +38,19 @@ class Dispatcher {
 
   /// Dispatch all of \p specs and collect every result. Fails if any chunk
   /// query cannot be completed after retries.
+  ///
+  /// When \p trace is set, its id is stamped into each payload (so workers
+  /// attach their spans to the same trace) and per-chunk dispatcher/xrd
+  /// spans are recorded. When \p completed is set it is incremented as each
+  /// chunk query finishes (live progress for SHOW PROCESSLIST).
   util::Result<std::vector<ChunkResult>> run(
-      const std::vector<ChunkQuerySpec>& specs);
+      const std::vector<ChunkQuerySpec>& specs,
+      const util::TracePtr& trace = nullptr,
+      std::atomic<std::size_t>* completed = nullptr);
 
  private:
-  util::Result<ChunkResult> runOne(const ChunkQuerySpec& spec);
+  util::Result<ChunkResult> runOne(const ChunkQuerySpec& spec,
+                                   const util::TracePtr& trace);
 
   xrd::RedirectorPtr redirector_;
   int parallelism_;

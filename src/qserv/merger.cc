@@ -2,18 +2,43 @@
 
 #include "sql/dump.h"
 #include "sql/rowcodec.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
 
 namespace qserv::core {
 
-ResultMerger::ResultMerger(std::string mergeTable)
-    : db_("merge"), mergeTable_(std::move(mergeTable)) {}
+namespace {
+struct MergerMetrics {
+  util::Counter& rowsMerged;
+  util::Counter& dumpsReplayed;
+  util::Histogram& dumpReplaySeconds;
+
+  static MergerMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static MergerMetrics* m = new MergerMetrics{
+        reg.counter("merger.rows_merged"),
+        reg.counter("merger.dumps_replayed"),
+        reg.histogram("merger.dump_replay_seconds"),
+    };
+    return *m;
+  }
+};
+}  // namespace
+
+ResultMerger::ResultMerger(std::string mergeTable, util::TracePtr trace)
+    : db_("merge"), mergeTable_(std::move(mergeTable)),
+      trace_(std::move(trace)) {}
 
 ResultMerger::~ResultMerger() {
   (void)db_.execute("DROP TABLE IF EXISTS " + mergeTable_);
 }
 
 util::Status ResultMerger::mergeDump(const std::string& dump) {
+  auto& metrics = MergerMetrics::instance();
+  util::Stopwatch watch;
+  util::ScopedSpan span(trace_, "merger", "replay dump");
+  span.attr("dumpBytes", static_cast<std::int64_t>(dump.size()));
   // Workers may ship either the paper's SQL-dump stream or the §7.1 binary
   // codec; the magic prefix disambiguates.
   sql::TablePtr loaded;
@@ -35,13 +60,20 @@ util::Status ResultMerger::mergeDump(const std::string& dump) {
                                       mergeTable_.c_str(), tmp.c_str()));
     status = r.status();
   }
-  if (status.isOk()) rowsMerged_ += loaded->numRows();
+  if (status.isOk()) {
+    rowsMerged_ += loaded->numRows();
+    metrics.rowsMerged.add(loaded->numRows());
+  }
   (void)db_.execute("DROP TABLE IF EXISTS " + tmp);
+  metrics.dumpsReplayed.add();
+  metrics.dumpReplaySeconds.observe(watch.elapsedSeconds());
+  span.attr("rows", static_cast<std::int64_t>(loaded->numRows()));
   return status;
 }
 
 util::Result<sql::TablePtr> ResultMerger::finalize(
     const std::string& finalSelectSql) {
+  util::ScopedSpan span(trace_, "merger", "finalize");
   if (!created_) {
     // No chunk produced anything (e.g. zero chunks dispatched): an empty
     // result with no schema.

@@ -13,14 +13,18 @@
 #include <string>
 
 #include "sql/database.h"
+#include "util/trace.h"
 
 namespace qserv::core {
 
 class ResultMerger {
  public:
   /// Merges into table \p mergeTable of a private per-query database (so
-  /// concurrent user queries never collide on temp table names).
-  explicit ResultMerger(std::string mergeTable);
+  /// concurrent user queries never collide on temp table names). When
+  /// \p trace is set, per-dump replay and finalize spans are recorded under
+  /// the "merger" component.
+  explicit ResultMerger(std::string mergeTable,
+                        util::TracePtr trace = nullptr);
   ~ResultMerger();
 
   ResultMerger(const ResultMerger&) = delete;
@@ -39,6 +43,7 @@ class ResultMerger {
  private:
   sql::Database db_;
   std::string mergeTable_;
+  util::TracePtr trace_;
   bool created_ = false;
   std::uint64_t rowsMerged_ = 0;
 };

@@ -9,13 +9,52 @@
 #include "sql/rowcodec.h"
 #include "util/logging.h"
 #include "util/md5.h"
+#include "util/metrics.h"
+#include "util/stopwatch.h"
 #include "util/strings.h"
+#include "util/trace.h"
 #include "xrd/paths.h"
 
 namespace qserv::core {
 
 using util::Result;
 using util::Status;
+
+namespace {
+/// Process-wide worker instruments (all in-process workers share them, the
+/// way one mysqld's counters aggregate over its connections).
+struct WorkerMetrics {
+  util::Counter& tasksEnqueued;
+  util::Counter& tasksExecuted;
+  util::Counter& taskFailures;
+  util::Counter& subchunkBuilds;
+  util::Counter& subchunkDrops;
+  util::Gauge& queueDepth;
+  util::Gauge& busySlots;
+  util::Histogram& queueWaitSeconds;
+  util::Histogram& executeSeconds;
+  util::Histogram& subchunkBuildSeconds;
+  util::Histogram& subchunkDropSeconds;
+
+  static WorkerMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static WorkerMetrics* m = new WorkerMetrics{
+        reg.counter("worker.tasks_enqueued"),
+        reg.counter("worker.tasks_executed"),
+        reg.counter("worker.task_failures"),
+        reg.counter("worker.subchunk_builds"),
+        reg.counter("worker.subchunk_drops"),
+        reg.gauge("worker.queue_depth"),
+        reg.gauge("worker.busy_slots"),
+        reg.histogram("worker.queue_wait_seconds"),
+        reg.histogram("worker.execute_seconds"),
+        reg.histogram("worker.subchunk_build_seconds"),
+        reg.histogram("worker.subchunk_drop_seconds"),
+    };
+    return *m;
+  }
+};
+}  // namespace
 
 Worker::Worker(std::string id, std::shared_ptr<sql::Database> database,
                const CatalogConfig& catalog,
@@ -73,14 +112,19 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
   Task task;
   task.chunkId = *chunkId;
   task.hash = util::Md5::hex(payload);
+  if (auto traceId = util::parseTraceHeader(payload)) task.traceId = *traceId;
+  task.enqueuedUs = util::Trace::nowUs();
   task.payload = std::move(payload);
+  auto& metrics = WorkerMetrics::instance();
   {
     std::lock_guard lock(queueMutex_);
     if (shuttingDown_) {
       return Status::unavailable("worker " + id_ + " is shutting down");
     }
     queue_.push_back(std::move(task));
+    metrics.queueDepth.add(1);
   }
+  metrics.tasksEnqueued.add();
   queueCv_.notify_one();
   return Status::ok();
 }
@@ -110,14 +154,33 @@ std::size_t Worker::queuedTasks() const {
 }
 
 void Worker::executorLoop() {
+  auto& metrics = WorkerMetrics::instance();
   while (true) {
     std::vector<Task> tasks = claimTasks();
     if (tasks.empty()) return;  // shutdown and drained
+    std::int64_t claimedUs = util::Trace::nowUs();
+    metrics.busySlots.add(1);
     for (std::size_t i = 0; i < tasks.size(); ++i) {
+      const Task& task = tasks[i];
+      double waitSec =
+          static_cast<double>(claimedUs - task.enqueuedUs) * 1e-6;
+      metrics.queueWaitSeconds.observe(waitSec);
+      if (util::TracePtr trace =
+              util::TraceRegistry::instance().find(task.traceId)) {
+        util::TraceSpan wait;
+        wait.component = "worker";
+        wait.name = util::format("queue-wait %d", task.chunkId);
+        wait.startUs = task.enqueuedUs;
+        wait.endUs = claimedUs;
+        wait.threadId = util::threadId();
+        wait.attrs.emplace_back("worker", id_);
+        trace->addSpan(std::move(wait));
+      }
       // In a shared-scan group only the first task pays the chunk read; the
       // others ride along on the same in-memory pass (§4.3).
-      executeTask(tasks[i], /*chargeScanIo=*/i == 0);
+      executeTask(task, /*chargeScanIo=*/i == 0);
     }
+    metrics.busySlots.add(-1);
   }
 }
 
@@ -142,6 +205,8 @@ std::vector<Worker::Task> Worker::claimTasks() {
       }
     }
   }
+  WorkerMetrics::instance().queueDepth.add(
+      -static_cast<std::int64_t>(out.size()));
   return out;
 }
 
@@ -149,16 +214,26 @@ std::vector<std::int32_t> Worker::parseSubchunksHeader(
     const std::string& payload) {
   std::vector<std::int32_t> out;
   constexpr std::string_view kHeader = "-- SUBCHUNKS:";
-  if (!util::startsWith(payload, kHeader)) return out;
-  std::size_t eol = payload.find('\n');
-  std::string line = payload.substr(kHeader.size(),
-                                    eol == std::string::npos
-                                        ? std::string::npos
-                                        : eol - kHeader.size());
-  for (const auto& part : util::split(line, ',')) {
-    auto token = util::trim(part);
-    if (token.empty()) continue;
-    out.push_back(static_cast<std::int32_t>(std::stol(std::string(token))));
+  // The header block is the run of leading `--` comment lines; other
+  // headers (e.g. -- QSERV-TRACE) may precede the SUBCHUNKS line.
+  std::size_t pos = 0;
+  while (pos + 2 <= payload.size() && payload[pos] == '-' &&
+         payload[pos + 1] == '-') {
+    std::size_t eol = payload.find('\n', pos);
+    std::size_t len =
+        eol == std::string::npos ? payload.size() - pos : eol - pos;
+    std::string_view line(payload.data() + pos, len);
+    if (util::startsWith(line, kHeader)) {
+      for (const auto& part : util::split(line.substr(kHeader.size()), ',')) {
+        auto token = util::trim(part);
+        if (token.empty()) continue;
+        out.push_back(
+            static_cast<std::int32_t>(std::stol(std::string(token))));
+      }
+      return out;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
   }
   return out;
 }
@@ -246,6 +321,7 @@ Result<sql::ExecStats> Worker::acquireSubchunks(
         if (built.isOk()) {
           state.built = true;
           ++state.refs;
+          WorkerMetrics::instance().subchunkBuilds.add();
         } else {
           subchunks_.erase(key);
         }
@@ -280,27 +356,54 @@ void Worker::releaseSubchunks(std::int32_t chunkId,
         (void)db_->execute(
             "DROP TABLE IF EXISTS " +
             datagen::subChunkTableName(table.name + "FullOverlap", chunkId, sc));
+        WorkerMetrics::instance().subchunkDrops.add();
       }
     }
   }
 }
 
 void Worker::executeTask(const Task& task, bool chargeScanIo) {
+  auto& metrics = WorkerMetrics::instance();
+  util::TracePtr trace = util::TraceRegistry::instance().find(task.traceId);
+  util::ScopedSpan execSpan(trace, "worker",
+                            util::format("exec %d", task.chunkId));
+  execSpan.attr("worker", id_);
+  util::Stopwatch execWatch;
   std::string resultPath = xrd::makeResultPath(task.hash);
   std::vector<std::int32_t> subChunks = parseSubchunksHeader(task.payload);
 
-  auto buildStats = acquireSubchunks(task.chunkId, subChunks);
+  util::Result<sql::ExecStats> buildStats = sql::ExecStats{};
+  {
+    util::ScopedSpan buildSpan(
+        subChunks.empty() ? util::TracePtr() : trace, "worker",
+        util::format("subchunks %d", task.chunkId));
+    util::Stopwatch buildWatch;
+    buildStats = acquireSubchunks(task.chunkId, subChunks);
+    if (!subChunks.empty()) {
+      metrics.subchunkBuildSeconds.observe(buildWatch.elapsedSeconds());
+      buildSpan.attr("subchunks",
+                     static_cast<std::int64_t>(subChunks.size()));
+    }
+  }
   if (!buildStats.isOk()) {
+    metrics.taskFailures.add();
     results_.publishError(resultPath, buildStats.status());
     return;
   }
 
   sql::ExecStats stats;
   auto result = db_->executeScript(task.payload, &stats);
-  releaseSubchunks(task.chunkId, subChunks);
+  {
+    util::Stopwatch dropWatch;
+    releaseSubchunks(task.chunkId, subChunks);
+    if (!subChunks.empty()) {
+      metrics.subchunkDropSeconds.observe(dropWatch.elapsedSeconds());
+    }
+  }
   if (!result.isOk()) {
     QLOG(kWarn, "worker") << id_ << " chunk " << task.chunkId
                           << " failed: " << result.status().toString();
+    metrics.taskFailures.add();
     results_.publishError(resultPath, result.status());
     return;
   }
@@ -354,6 +457,11 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
     observables_[task.hash] = obs;
   }
   tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+  metrics.tasksExecuted.add();
+  metrics.executeSeconds.observe(execWatch.elapsedSeconds());
+  execSpan.attr("resultRows",
+                static_cast<std::int64_t>((*result)->numRows()))
+      .attr("dumpBytes", static_cast<std::int64_t>(dump.size()));
   results_.publish(resultPath, std::move(dump));
 }
 

@@ -100,6 +100,8 @@ class Worker : public xrd::OfsPlugin {
     std::int32_t chunkId = 0;
     std::string payload;
     std::string hash;
+    std::uint64_t traceId = 0;     ///< from the -- QSERV-TRACE header; 0 = none
+    std::int64_t enqueuedUs = 0;   ///< trace-clock time of arrival
   };
 
   void executorLoop();
@@ -107,7 +109,8 @@ class Worker : public xrd::OfsPlugin {
   std::vector<Task> claimTasks();
   void executeTask(const Task& task, bool chargeScanIo);
 
-  /// Parse the `-- SUBCHUNKS:` header; empty when absent.
+  /// Parse the `-- SUBCHUNKS:` header from the payload's leading comment
+  /// lines; empty when absent.
   static std::vector<std::int32_t> parseSubchunksHeader(
       const std::string& payload);
 

@@ -1,7 +1,9 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
 
 namespace qserv::util {
@@ -21,7 +23,25 @@ const char* levelName(LogLevel level) {
   }
   return "?";
 }
+
+/// "2026-08-06T12:34:56.789Z" (UTC, millisecond precision).
+void formatTimestamp(char* buf, std::size_t size) {
+  using namespace std::chrono;
+  auto now = system_clock::now();
+  std::time_t secs = system_clock::to_time_t(now);
+  auto millis = duration_cast<milliseconds>(now.time_since_epoch()) % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  std::size_t n = std::strftime(buf, size, "%FT%T", &tm);
+  std::snprintf(buf + n, size - n, ".%03dZ", static_cast<int>(millis.count()));
+}
 }  // namespace
+
+std::uint64_t threadId() {
+  static std::atomic<std::uint64_t> next{1};
+  thread_local std::uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 void setLogLevel(LogLevel level) {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
@@ -34,8 +54,11 @@ LogLevel logLevel() {
 void logMessage(LogLevel level, const std::string& component,
                 const std::string& message) {
   if (level < logLevel()) return;
+  char ts[40];
+  formatTimestamp(ts, sizeof(ts));
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "%-5s %s: %s\n", levelName(level), component.c_str(),
+  std::fprintf(stderr, "%s %-5s [tid %llu] %s: %s\n", ts, levelName(level),
+               static_cast<unsigned long long>(threadId()), component.c_str(),
                message.c_str());
 }
 

@@ -5,6 +5,7 @@
 /// it to INFO to narrate the distributed flow.
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -16,9 +17,14 @@ enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// Emit one line ("LEVEL component: message") to stderr, thread-safely.
+/// Emit one line ("<ISO-8601 UTC> LEVEL [tid N] component: message") to
+/// stderr, thread-safely.
 void logMessage(LogLevel level, const std::string& component,
                 const std::string& message);
+
+/// Small dense id for the calling thread (1, 2, 3, ... in first-use order) —
+/// far more readable in interleaved multi-worker logs than pthread handles.
+std::uint64_t threadId();
 
 /// Stream-style log statement builder used by the QLOG macro.
 class LogLine {

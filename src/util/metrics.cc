@@ -1,0 +1,129 @@
+#include "util/metrics.h"
+
+#include "util/strings.h"
+
+namespace qserv::util {
+
+void Histogram::observe(double x) {
+  std::lock_guard lock(mutex_);
+  stats_.add(x);
+  percentiles_.add(x);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot s;
+  s.count = stats_.count();
+  if (s.count == 0) return s;
+  s.sum = stats_.sum();
+  s.mean = stats_.mean();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  s.p50 = percentiles_.percentile(50);
+  s.p90 = percentiles_.percentile(90);
+  s.p99 = percentiles_.percentile(99);
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  stats_ = RunningStats();
+  percentiles_ = Percentiles();
+}
+
+std::string MetricsSnapshot::toText() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += format("%-44s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    out += format("%-44s %lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : histograms) {
+    out += format(
+        "%-44s n=%lld mean=%.4g min=%.4g max=%.4g p50=%.4g p90=%.4g "
+        "p99=%.4g\n",
+        name.c_str(), static_cast<long long>(h.count), h.mean, h.min, h.max,
+        h.p50, h.p90, h.p99);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::toJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) out += ",";
+    first = false;
+    out += format("\"%s\":%llu", jsonEscape(name).c_str(),
+                  static_cast<unsigned long long>(v));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += format("\"%s\":%lld", jsonEscape(name).c_str(),
+                  static_cast<long long>(v));
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += format(
+        "\"%s\":{\"count\":%lld,\"sum\":%.17g,\"mean\":%.17g,\"min\":%.17g,"
+        "\"max\":%.17g,\"p50\":%.17g,\"p90\":%.17g,\"p99\":%.17g}",
+        jsonEscape(name).c_str(), static_cast<long long>(h.count), h.sum,
+        h.mean, h.min, h.max, h.p50, h.p90, h.p99);
+  }
+  out += "}}";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) out.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) out.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    out.histograms[name] = h->snapshot();
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->set(0);
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace qserv::util

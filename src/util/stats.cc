@@ -29,7 +29,7 @@ std::string RunningStats::toString() const {
                 static_cast<long long>(count_), mean_, min_, max_, stddev());
 }
 
-double Percentiles::percentile(double p) {
+double Percentiles::percentile(double p) const {
   if (values_.empty()) return std::nan("");
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

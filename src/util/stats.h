@@ -34,16 +34,22 @@ class RunningStats {
 };
 
 /// Exact percentile over a stored sample set (fine for bench-sized data).
+/// Queries use linear interpolation between adjacent ranks.
 class Percentiles {
  public:
-  void add(double x) { values_.push_back(x); }
-  /// \p p in [0,100]. Returns NaN when empty. Sorts lazily.
-  double percentile(double p);
+  void add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  /// \p p in [0,100]. Returns NaN when empty. Sorts lazily; const-safe so
+  /// snapshot paths (e.g. metrics histograms) need no mutable copy. Not
+  /// safe against concurrent add() — callers synchronize externally.
+  double percentile(double p) const;
   std::size_t size() const { return values_.size(); }
 
  private:
-  std::vector<double> values_;
-  bool sorted_ = false;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
 };
 
 }  // namespace qserv::util

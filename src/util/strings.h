@@ -34,4 +34,8 @@ std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 /// Render a byte count as a human-readable string ("1.82 TB").
 std::string humanBytes(double bytes);
 
+/// Escape \p s for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(std::string_view s);
+
 }  // namespace qserv::util

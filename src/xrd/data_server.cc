@@ -1,25 +1,69 @@
 #include "xrd/data_server.h"
 
+#include "util/metrics.h"
+
 namespace qserv::xrd {
+
+namespace {
+/// Process-wide transaction counters over all data servers (paper §5.4's
+/// open/write/close and open/read/close file transactions).
+struct XrdMetrics {
+  util::Counter& writeTransactions;
+  util::Counter& readTransactions;
+  util::Counter& bytesWritten;
+  util::Counter& bytesRead;
+  util::Counter& refusedDown;
+  util::Counter& failures;
+
+  static XrdMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static XrdMetrics* m = new XrdMetrics{
+        reg.counter("xrd.write_transactions"),
+        reg.counter("xrd.read_transactions"),
+        reg.counter("xrd.bytes_written"),
+        reg.counter("xrd.bytes_read"),
+        reg.counter("xrd.refused_down"),
+        reg.counter("xrd.failed_transactions"),
+    };
+    return *m;
+  }
+};
+}  // namespace
 
 DataServer::DataServer(std::string id, std::shared_ptr<OfsPlugin> plugin)
     : id_(std::move(id)), plugin_(std::move(plugin)) {}
 
 util::Status DataServer::write(const std::string& path, std::string payload) {
+  auto& metrics = XrdMetrics::instance();
+  metrics.writeTransactions.add();
   if (!isUp()) {
+    metrics.refusedDown.add();
     return util::Status::unavailable("data server " + id_ + " is down");
   }
-  bytesWritten_.fetch_add(payload.size(), std::memory_order_relaxed);
-  return plugin_->writeFile(path, std::move(payload));
+  std::size_t size = payload.size();
+  util::Status status = plugin_->writeFile(path, std::move(payload));
+  if (status.isOk()) {
+    bytesWritten_.fetch_add(size, std::memory_order_relaxed);
+    metrics.bytesWritten.add(size);
+  } else {
+    metrics.failures.add();
+  }
+  return status;
 }
 
 util::Result<std::string> DataServer::read(const std::string& path) {
+  auto& metrics = XrdMetrics::instance();
+  metrics.readTransactions.add();
   if (!isUp()) {
+    metrics.refusedDown.add();
     return util::Status::unavailable("data server " + id_ + " is down");
   }
   auto result = plugin_->readFile(path);
   if (result.isOk()) {
     bytesRead_.fetch_add(result->size(), std::memory_order_relaxed);
+    metrics.bytesRead.add(result->size());
+  } else {
+    metrics.failures.add();
   }
   return result;
 }

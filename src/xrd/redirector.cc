@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "xrd/paths.h"
 
@@ -42,16 +43,26 @@ util::Result<DataServerPtr> Redirector::locate(const std::string& path) {
     return util::Status::invalidArgument(
         "redirector only resolves /query2/<chunkId> paths: " + path);
   }
+  auto& reg = util::MetricsRegistry::instance();
+  static util::Counter& lookupCounter =
+      reg.counter("xrd.redirector.lookups");
+  static util::Counter& hitCounter =
+      reg.counter("xrd.redirector.cache_hits");
+  static util::Counter& missCounter =
+      reg.counter("xrd.redirector.cache_misses");
   std::lock_guard lock(mutex_);
   ++lookups_;
+  lookupCounter.add();
   auto cached = cache_.find(*chunkId);
   if (cached != cache_.end()) {
     if (cached->second->isUp()) {
       ++cacheHits_;
+      hitCounter.add();
       return cached->second;
     }
     cache_.erase(cached);  // evict the dead replica
   }
+  missCounter.add();
   auto it = chunkMap_.find(*chunkId);
   if (it == chunkMap_.end() || it->second.empty()) {
     return util::Status::notFound(

@@ -4,12 +4,15 @@
 /// the same SQL run on a single monolithic database holding all rows.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "datagen/schemas.h"
 #include "qserv/cluster.h"
 #include "sphgeom/coords.h"
+#include "util/metrics.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace qserv::core {
 namespace {
@@ -354,6 +357,142 @@ TEST_F(IntegrationTest, OrderByLimitAcrossChunks) {
   for (std::size_t r = 0; r < oracle->numRows(); ++r) {
     EXPECT_EQ(exec.result->cell(r, 0).asInt(), oracle->cell(r, 0).asInt());
   }
+}
+
+// ------------------------------------------------------------- observability
+
+TEST_F(IntegrationTest, QueryTraceSpansEveryLayer) {
+  auto exec = distQuery("SELECT COUNT(*) FROM Object");
+  ASSERT_TRUE(exec.trace);
+  EXPECT_EQ(exec.trace->id(), exec.queryId);
+  EXPECT_GT(exec.chunksDispatched, 1u);
+
+  // The trace crosses every layer of the stack.
+  auto components = exec.trace->components();
+  for (const char* want : {"czar", "dispatcher", "xrd", "worker", "merger"}) {
+    EXPECT_NE(std::find(components.begin(), components.end(), want),
+              components.end())
+        << "missing component: " << want;
+  }
+
+  auto spans = exec.trace->spans();
+  std::size_t dispatchChunkSpans = 0;
+  std::size_t workerExecSpans = 0;
+  std::size_t workerQueueWaitSpans = 0;
+  std::vector<std::string> czarPhases;
+  for (const auto& s : spans) {
+    EXPECT_GE(s.endUs, s.startUs) << s.component << "/" << s.name;
+    if (s.component == "dispatcher" && s.name.rfind("chunk ", 0) == 0) {
+      ++dispatchChunkSpans;
+    }
+    if (s.component == "worker" && s.name.rfind("exec ", 0) == 0) {
+      ++workerExecSpans;
+    }
+    if (s.component == "worker" && s.name.rfind("queue-wait ", 0) == 0) {
+      ++workerQueueWaitSpans;
+    }
+    if (s.component == "czar") czarPhases.push_back(s.name);
+  }
+  // One dispatcher span (and one worker execution) per dispatched chunk.
+  EXPECT_EQ(dispatchChunkSpans, exec.chunksDispatched);
+  EXPECT_EQ(workerExecSpans, exec.chunksDispatched);
+  EXPECT_EQ(workerQueueWaitSpans, exec.chunksDispatched);
+  // The czar phases of §4's pipeline all appear.
+  for (const char* phase : {"parse", "analyze", "chunk-prune", "rewrite",
+                            "dispatch", "merge", "final-aggregation"}) {
+    EXPECT_NE(std::find(czarPhases.begin(), czarPhases.end(), phase),
+              czarPhases.end())
+        << "missing czar phase: " << phase;
+  }
+
+  // The export is loadable Chrome trace_event JSON.
+  std::string json = exec.trace->toChromeJson();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+
+  // The czar released the registry entry once the query finished.
+  EXPECT_EQ(util::TraceRegistry::instance().find(exec.queryId), nullptr);
+}
+
+TEST_F(IntegrationTest, SingleChunkQueryTraceIsPruned) {
+  std::int64_t id = someObjectId(5);
+  auto exec = distQuery("SELECT * FROM Object WHERE objectId = " +
+                        std::to_string(id));
+  ASSERT_TRUE(exec.trace);
+  std::size_t chunkSpans = 0;
+  for (const auto& s : exec.trace->spans()) {
+    if (s.component == "dispatcher" && s.name.rfind("chunk ", 0) == 0) {
+      ++chunkSpans;
+    }
+  }
+  EXPECT_EQ(chunkSpans, 1u);
+}
+
+TEST_F(IntegrationTest, WorkerQueueMetricsPopulated) {
+  auto& reg = util::MetricsRegistry::instance();
+  auto before = reg.snapshot();
+  auto exec = distQuery("SELECT COUNT(*) FROM Object");
+  auto after = reg.snapshot();
+
+  // Every dispatched chunk passed through a worker queue and recorded its
+  // wait and execution time.
+  auto delta = [&](const char* name) {
+    auto b = before.counters.count(name) ? before.counters.at(name) : 0;
+    return after.counters.at(name) - b;
+  };
+  EXPECT_GE(delta("worker.tasks_enqueued"), exec.chunksDispatched);
+  EXPECT_GE(delta("worker.tasks_executed"), exec.chunksDispatched);
+  auto waitBefore = before.histograms.count("worker.queue_wait_seconds")
+                        ? before.histograms.at("worker.queue_wait_seconds").count
+                        : 0;
+  const auto& wait = after.histograms.at("worker.queue_wait_seconds");
+  EXPECT_GE(wait.count - waitBefore,
+            static_cast<std::int64_t>(exec.chunksDispatched));
+  EXPECT_GE(wait.max, 0.0);
+  const auto& execHist = after.histograms.at("worker.execute_seconds");
+  EXPECT_GT(execHist.count, 0);
+  EXPECT_GT(execHist.max, 0.0);
+
+  // Queue-depth and busy-slot gauges are back to idle after the query.
+  EXPECT_EQ(after.gauges.at("worker.queue_depth"), 0);
+  EXPECT_EQ(after.gauges.at("worker.busy_slots"), 0);
+
+  // The dispatch and merge layers kept pace with the chunk count.
+  EXPECT_GE(delta("dispatch.chunks_ok"), exec.chunksDispatched);
+  EXPECT_GE(delta("merger.dumps_replayed"), exec.chunksDispatched);
+  EXPECT_GE(delta("xrd.write_transactions"), exec.chunksDispatched);
+}
+
+TEST_F(IntegrationTest, ProcessListShowsFinishedQuery) {
+  std::string sql = "SELECT COUNT(*) FROM Object";
+  auto exec = distQuery(sql);
+  auto list = frontend().processList();
+  auto it = std::find_if(list.begin(), list.end(), [&](const auto& q) {
+    return q.id == exec.queryId;
+  });
+  ASSERT_NE(it, list.end());
+  EXPECT_TRUE(it->finished);
+  EXPECT_EQ(it->state, "done");
+  EXPECT_EQ(it->sql, sql);
+  EXPECT_EQ(it->chunksTotal, exec.chunksDispatched);
+  EXPECT_EQ(it->chunksCompleted, it->chunksTotal);
+  EXPECT_GT(it->elapsedSeconds, 0.0);
+}
+
+TEST_F(IntegrationTest, ProcessListRecordsFailedQuery) {
+  auto before = frontend().processList().size();
+  EXPECT_FALSE(frontend().query("SELECT * FROM NoSuch").isOk());
+  auto list = frontend().processList();
+  EXPECT_EQ(list.size(), std::min(before + 1, std::size_t{32}));
+  // Newest finished entry first.
+  auto it = std::find_if(list.begin(), list.end(),
+                         [](const auto& q) { return q.finished; });
+  ASSERT_NE(it, list.end());
+  EXPECT_EQ(it->state.rfind("failed: ", 0), 0u) << it->state;
 }
 
 // ------------------------------------------------------------ fault handling

@@ -1,0 +1,167 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace qserv::util {
+namespace {
+
+// Tests use their own registry instances (not MetricsRegistry::instance())
+// so parallel test shards and the instrumented production code never skew
+// each other's counts.
+
+TEST(Metrics, CounterGaugeBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name -> same instrument.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+
+  Gauge& g = reg.gauge("test.gauge");
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(Metrics, HistogramSnapshotStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("test.hist");
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.mean, 50.5, 1e-9);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);  // interpolated between ranks 50 and 51
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_NEAR(s.sum, 5050.0, 1e-6);
+}
+
+TEST(Metrics, EmptyHistogramSnapshotIsZero) {
+  MetricsRegistry reg;
+  auto s = reg.histogram("test.empty").snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(Metrics, ConcurrentIncrementsLoseNoUpdates) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  Counter& c = reg.counter("test.concurrent");
+  Gauge& g = reg.gauge("test.concurrent_gauge");
+  Histogram& h = reg.histogram("test.concurrent_hist");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1);
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(g.value(), kThreads * kPerThread);
+  EXPECT_EQ(h.snapshot().count, kThreads * kPerThread);
+}
+
+TEST(Metrics, SnapshotConsistentWhileHammered) {
+  // Readers snapshotting mid-flight must see internally consistent
+  // histograms (no torn stats) and monotonically growing counters.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("test.hammered");
+  Histogram& h = reg.histogram("test.hammered_hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        h.observe(2.5);
+      }
+    });
+  }
+  std::uint64_t lastCount = 0;
+  for (int i = 0; i < 200; ++i) {
+    auto snap = reg.snapshot();
+    std::uint64_t count = snap.counters.at("test.hammered");
+    EXPECT_GE(count, lastCount);
+    lastCount = count;
+    const auto& hs = snap.histograms.at("test.hammered_hist");
+    if (hs.count > 0) {
+      // All observations are 2.5: every derived stat must agree.
+      EXPECT_DOUBLE_EQ(hs.min, 2.5);
+      EXPECT_DOUBLE_EQ(hs.max, 2.5);
+      EXPECT_DOUBLE_EQ(hs.mean, 2.5);
+      EXPECT_DOUBLE_EQ(hs.p50, 2.5);
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+}
+
+TEST(Metrics, ConcurrentInstrumentCreation) {
+  // First-use creation of the same names from many threads must yield one
+  // instrument per name and no lost increments.
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("test.created").add();
+        reg.histogram("test.created_hist").observe(1.0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(reg.counter("test.created").value(), 8000u);
+  EXPECT_EQ(reg.histogram("test.created_hist").snapshot().count, 8000);
+}
+
+TEST(Metrics, TextAndJsonExport) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("b.level").set(-2);
+  reg.histogram("c.lat").observe(0.5);
+  auto snap = reg.snapshot();
+
+  std::string text = snap.toText();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("3"), std::string::npos);
+  EXPECT_NE(text.find("b.level"), std::string::npos);
+
+  std::string json = snap.toJson();
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"b.level\":-2"), std::string::npos);
+  EXPECT_NE(json.find("\"c.lat\":{\"count\":1"), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, ResetZeroesEverythingButKeepsHandles) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("r.count");
+  c.add(7);
+  reg.histogram("r.hist").observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(reg.histogram("r.hist").snapshot().count, 0);
+  c.add();  // handle still valid
+  EXPECT_EQ(reg.counter("r.count").value(), 1u);
+}
+
+TEST(Metrics, ProcessWideInstanceIsSingleton) {
+  EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+}  // namespace
+}  // namespace qserv::util

@@ -53,16 +53,37 @@ TEST(Percentiles, EmptyReturnsNan) {
   EXPECT_TRUE(std::isnan(p.percentile(50)));
 }
 
-TEST(Percentiles, AddAfterQueryStillSorted) {
+TEST(Percentiles, AddAfterQuerySeesNewSamples) {
   Percentiles p;
   p.add(3.0);
   p.add(1.0);
   EXPECT_DOUBLE_EQ(p.percentile(100), 3.0);
+  // A later add must invalidate the lazy sort: both new extremes and
+  // mid-range values land in the right rank on the next query.
   p.add(0.5);
-  // Sorting is lazy; but correctness after further adds is not guaranteed by
-  // the contract. Re-query returns a value from the stored set regardless.
-  double v = p.percentile(0);
-  EXPECT_GE(v, 0.0);
+  EXPECT_DOUBLE_EQ(p.percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(p.percentile(50), 1.0);
+  p.add(9.0);
+  EXPECT_DOUBLE_EQ(p.percentile(100), 9.0);
+}
+
+TEST(Percentiles, QueryThroughConstReference) {
+  // Snapshot paths (metrics histograms) query through const& — the lazy
+  // sort must still work.
+  Percentiles p;
+  p.add(2.0);
+  p.add(1.0);
+  const Percentiles& cp = p;
+  EXPECT_DOUBLE_EQ(cp.percentile(50), 1.5);
+  EXPECT_EQ(cp.size(), 2u);
+}
+
+TEST(Percentiles, ClampsOutOfRangeP) {
+  Percentiles p;
+  p.add(1.0);
+  p.add(2.0);
+  EXPECT_DOUBLE_EQ(p.percentile(-5), 1.0);
+  EXPECT_DOUBLE_EQ(p.percentile(200), 2.0);
 }
 
 }  // namespace
