@@ -4,6 +4,7 @@
 /// (simio::CostParams) and the frontend's per-chunk overhead estimate.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "datagen/catalog_gen.h"
 #include "datagen/partitioner.h"
 #include "qserv/query_analysis.h"
@@ -155,6 +156,11 @@ void BM_DumpAndReplay1kRows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DumpAndReplay1kRows);
+
+// Writes the metrics snapshot at exit when QSERV_METRICS_JSON is set
+// (perf-smoke's BENCH_micro.json baseline).
+const bool kMetricsSnapshotHook =
+    (qserv::bench::emitMetricsSnapshotAtExit(), true);
 
 }  // namespace
 

@@ -31,3 +31,30 @@ qserv_add_bench(bench_htm)
 qserv_add_bench(bench_dispatch)
 qserv_add_bench(bench_transfer)
 qserv_add_bench(bench_micro)
+qserv_add_bench(bench_filter)
+
+# perf-smoke: a fast benchmark pass (micro primitives + scan-filter kernels)
+# whose metrics snapshots land in the build dir as BENCH_*.json baselines.
+# Run with `ctest -R ^perf_smoke_` or the perf-smoke target; bench_filter
+# additionally self-checks scalar/vector parity, the >=3x non-selective scan
+# speedup, and zero-rows-scanned zone pruning (it aborts on violation).
+# The perf CONFIGURATIONS keeps these out of the default `ctest` pass (timing
+# gates do not belong in the correctness tier); `ctest -C perf` runs them.
+add_test(NAME perf_smoke_micro
+  CONFIGURATIONS perf
+  COMMAND bench_micro --benchmark_min_time=0.02)
+set_tests_properties(perf_smoke_micro PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_micro.json")
+add_test(NAME perf_smoke_filter
+  CONFIGURATIONS perf
+  COMMAND bench_filter --benchmark_min_time=0.02)
+set_tests_properties(perf_smoke_filter PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_filter.json")
+add_custom_target(perf-smoke
+  COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
+          --output-on-failure
+  DEPENDS bench_micro bench_filter
+  WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
+  COMMENT "perf-smoke: bench_micro + bench_filter with metrics snapshots")

@@ -50,20 +50,26 @@ util::Status ResultMerger::mergeDump(const std::string& dump) {
   std::string tmp = loaded->name();
   util::Status status = util::Status::ok();
   if (!created_) {
-    auto r = db_.execute(
-        util::format("CREATE TABLE %s AS SELECT * FROM %s",
-                     mergeTable_.c_str(), tmp.c_str()));
-    status = r.status();
+    // Adopt the first dump's table as the merge table: a rename in the
+    // catalog, not a row copy.
+    status = db_.renameTable(tmp, mergeTable_);
     created_ = status.isOk();
   } else {
-    auto r = db_.execute(util::format("INSERT INTO %s SELECT * FROM %s",
-                                      mergeTable_.c_str(), tmp.c_str()));
-    status = r.status();
+    sql::TablePtr merge = db_.findTable(mergeTable_);
+    if (!merge) {
+      status = util::Status::internal(
+          util::format("merge table %s disappeared", mergeTable_.c_str()));
+    } else {
+      // Typed column-to-column append; rejects mismatched schemas exactly
+      // like the old INSERT ... SELECT did.
+      status = merge->appendFrom(*loaded);
+    }
   }
   if (status.isOk()) {
     rowsMerged_ += loaded->numRows();
     metrics.rowsMerged.add(loaded->numRows());
   }
+  // No-op after a successful adopt (tmp was renamed away).
   (void)db_.execute("DROP TABLE IF EXISTS " + tmp);
   metrics.dumpsReplayed.add();
   metrics.dumpReplaySeconds.observe(watch.elapsedSeconds());

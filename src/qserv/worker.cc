@@ -29,6 +29,11 @@ struct WorkerMetrics {
   util::Counter& taskFailures;
   util::Counter& subchunkBuilds;
   util::Counter& subchunkDrops;
+  util::Counter& vectorizedScans;
+  util::Counter& vectorRowsIn;
+  util::Counter& vectorRowsOut;
+  util::Counter& zoneMapPrunes;
+  util::Counter& zoneMapRowsSkipped;
   util::Gauge& queueDepth;
   util::Gauge& busySlots;
   util::Histogram& queueWaitSeconds;
@@ -44,6 +49,11 @@ struct WorkerMetrics {
         reg.counter("worker.task_failures"),
         reg.counter("worker.subchunk_builds"),
         reg.counter("worker.subchunk_drops"),
+        reg.counter("worker.vectorized_scans"),
+        reg.counter("worker.vector_rows_in"),
+        reg.counter("worker.vector_rows_out"),
+        reg.counter("worker.zone_map_prunes"),
+        reg.counter("worker.zone_map_rows_skipped"),
         reg.gauge("worker.queue_depth"),
         reg.gauge("worker.busy_slots"),
         reg.histogram("worker.queue_wait_seconds"),
@@ -459,6 +469,26 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
   tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
   metrics.tasksExecuted.add();
   metrics.executeSeconds.observe(execWatch.elapsedSeconds());
+  // Vectorized-scan / zone-map observability (counters are unscaled local
+  // work; see README "Metrics" for the registry names).
+  if (stats.vectorizedScans > 0) {
+    metrics.vectorizedScans.add(stats.vectorizedScans);
+    metrics.vectorRowsIn.add(stats.vectorRowsIn);
+    metrics.vectorRowsOut.add(stats.vectorRowsOut);
+    execSpan.attr("vectorizedScans",
+                  static_cast<std::int64_t>(stats.vectorizedScans))
+        .attr("vectorRowsIn", static_cast<std::int64_t>(stats.vectorRowsIn))
+        .attr("vectorRowsOut",
+              static_cast<std::int64_t>(stats.vectorRowsOut));
+  }
+  if (stats.zoneMapPrunes > 0) {
+    metrics.zoneMapPrunes.add(stats.zoneMapPrunes);
+    metrics.zoneMapRowsSkipped.add(stats.zoneMapRowsSkipped);
+    execSpan.attr("zoneMapPrunes",
+                  static_cast<std::int64_t>(stats.zoneMapPrunes))
+        .attr("zoneMapRowsSkipped",
+              static_cast<std::int64_t>(stats.zoneMapRowsSkipped));
+  }
   execSpan.attr("resultRows",
                 static_cast<std::int64_t>((*result)->numRows()))
       .attr("dumpBytes", static_cast<std::int64_t>(dump.size()));

@@ -14,6 +14,12 @@ void ExecStats::add(const ExecStats& o) {
   rowsInserted += o.rowsInserted;
   indexLookups += o.indexLookups;
   statements += o.statements;
+  vectorizedScans += o.vectorizedScans;
+  vectorRowsIn += o.vectorRowsIn;
+  vectorRowsOut += o.vectorRowsOut;
+  fallbackRows += o.fallbackRows;
+  zoneMapPrunes += o.zoneMapPrunes;
+  zoneMapRowsSkipped += o.zoneMapRowsSkipped;
   for (const auto& [table, rows] : o.rowsScannedByTable) {
     rowsScannedByTable[table] += rows;
   }
@@ -42,6 +48,31 @@ util::Status Database::dropTable(const std::string& table, bool ifExists) {
   }
   tables_.erase(it);
   indexes_.erase(table);
+  return util::Status::ok();
+}
+
+util::Status Database::renameTable(const std::string& from,
+                                   const std::string& to) {
+  std::unique_lock lock(mutex_);
+  auto it = tables_.find(from);
+  if (it == tables_.end()) {
+    return util::Status::notFound(
+        util::format("unknown table %s", from.c_str()));
+  }
+  if (tables_.count(to) != 0) {
+    return util::Status::alreadyExists(
+        util::format("table %s already exists", to.c_str()));
+  }
+  TablePtr table = std::move(it->second);
+  tables_.erase(it);
+  table->rename(to);
+  tables_.emplace(to, std::move(table));
+  auto idx = indexes_.find(from);
+  if (idx != indexes_.end()) {
+    auto moved = std::move(idx->second);
+    indexes_.erase(idx);
+    indexes_.emplace(to, std::move(moved));
+  }
   return util::Status::ok();
 }
 
@@ -128,9 +159,7 @@ util::Result<TablePtr> Database::executeScript(std::string_view sql,
       return util::Status::invalidArgument(
           "script SELECTs produce different column counts");
     }
-    for (std::size_t r = 0; r < result->numRows(); ++r) {
-      QSERV_RETURN_IF_ERROR(combined->appendRow(result->row(r)));
-    }
+    QSERV_RETURN_IF_ERROR(combined->appendFrom(*result));
   }
   if (stats != nullptr) stats->add(local);
   if (!combined) combined = std::make_shared<Table>("result", Schema{});

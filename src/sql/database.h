@@ -34,6 +34,13 @@ struct ExecStats {
   std::uint64_t rowsInserted = 0;   ///< rows written by INSERT/CTAS
   std::uint64_t indexLookups = 0;   ///< executions served by an index probe
   std::uint64_t statements = 0;     ///< statements executed
+  // Vectorized scan path (sql/vector_eval.h):
+  std::uint64_t vectorizedScans = 0;   ///< full scans run through kernels
+  std::uint64_t vectorRowsIn = 0;      ///< rows entering the kernel pipeline
+  std::uint64_t vectorRowsOut = 0;     ///< rows surviving all kernels
+  std::uint64_t fallbackRows = 0;      ///< survivors re-checked row-at-a-time
+  std::uint64_t zoneMapPrunes = 0;     ///< scans skipped via zone maps
+  std::uint64_t zoneMapRowsSkipped = 0;  ///< rows those scans never touched
   /// Base-table rows read, broken down by table name — the cost model
   /// charges different paper-scale row widths per table.
   std::map<std::string, std::uint64_t> rowsScannedByTable;
@@ -53,6 +60,12 @@ class Database {
 
   /// Remove a table and its indexes.
   util::Status dropTable(const std::string& table, bool ifExists = false);
+
+  /// Rename a table in place, carrying its indexes along. Fails with
+  /// kNotFound when \p from is absent and kAlreadyExists when \p to is
+  /// taken. The merger uses this to adopt the first chunk dump's table as
+  /// the merge table instead of copying it row by row.
+  util::Status renameTable(const std::string& from, const std::string& to);
 
   /// Find a table; nullptr when absent. Lookup is exact (case-sensitive),
   /// like MySQL table names on Unix.

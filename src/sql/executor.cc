@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "sql/expr_eval.h"
+#include "sql/vector_eval.h"
 #include "util/strings.h"
 
 namespace qserv::sql {
@@ -369,44 +370,6 @@ ExprPtr cloneWithColumnsAsNull(const Expr& expr) {
   }
 }
 
-/// True when \p expr references no columns (safe for evalConstExpr).
-bool isConstExpr(const Expr& expr) {
-  switch (expr.kind()) {
-    case ExprKind::kColumnRef:
-    case ExprKind::kStar:
-      return false;
-    case ExprKind::kUnary:
-      return isConstExpr(*static_cast<const UnaryExpr&>(expr).operand);
-    case ExprKind::kBinary: {
-      const auto& b = static_cast<const BinaryExpr&>(expr);
-      return isConstExpr(*b.lhs) && isConstExpr(*b.rhs);
-    }
-    case ExprKind::kFuncCall: {
-      const auto& f = static_cast<const FuncCall&>(expr);
-      for (const auto& a : f.args) {
-        if (!isConstExpr(*a)) return false;
-      }
-      return true;
-    }
-    case ExprKind::kBetween: {
-      const auto& b = static_cast<const BetweenExpr&>(expr);
-      return isConstExpr(*b.expr) && isConstExpr(*b.lo) && isConstExpr(*b.hi);
-    }
-    case ExprKind::kIn: {
-      const auto& i = static_cast<const InExpr&>(expr);
-      if (!isConstExpr(*i.expr)) return false;
-      for (const auto& e : i.list) {
-        if (!isConstExpr(*e)) return false;
-      }
-      return true;
-    }
-    case ExprKind::kIsNull:
-      return isConstExpr(*static_cast<const IsNullExpr&>(expr).expr);
-    default:
-      return true;
-  }
-}
-
 // --------------------------------------------------------------- executor
 
 class SelectExec {
@@ -507,6 +470,21 @@ class SelectExec {
           {Value(static_cast<std::int64_t>(tablesRaw_[0]->numRows()))});
       QSERV_RETURN_IF_ERROR(orderAndLimit());
       return buildResultTable();
+    }
+    // Filtered COUNT(*) over one table with a fully kernelizable WHERE:
+    // count survivors straight off the selection vectors, skipping tuple
+    // materialization and the aggregate hash (the scan-heavy paper queries
+    // are mostly of this shape).
+    if (isAggregateQuery_ && scope_.size() == 1 && sel_.where &&
+        sel_.groupBy.empty() && aggs_.size() == 1 &&
+        aggs_[0].kind == AggKind::kCountStar && items_.size() == 1 &&
+        items_[0].expr->kind() == ExprKind::kSlotRef &&
+        vectorizedFilterEnabled()) {
+      QSERV_ASSIGN_OR_RETURN(bool done, tryCountPushdown());
+      if (done) {
+        QSERV_RETURN_IF_ERROR(orderAndLimit());
+        return buildResultTable();
+      }
     }
     QSERV_RETURN_IF_ERROR(enumerateTuples());
     QSERV_RETURN_IF_ERROR(isAggregateQuery_ ? consumeAggregate()
@@ -650,6 +628,42 @@ class SelectExec {
     return Status::ok();
   }
 
+  /// COUNT(*) pushdown attempt: true when the result row was produced.
+  /// Applies only when every conjunct is a single-table kernel shape and no
+  /// ordered index could serve one of the kernel columns (an index probe
+  /// reads fewer rows than even a vectorized scan).
+  Result<bool> tryCountPushdown() {
+    std::vector<const Expr*> mine;
+    for (const auto& c : conjuncts_) {
+      if (c.tables.size() != 1 || c.tables[0] != 0) return false;
+      mine.push_back(c.expr);
+    }
+    if (mine.empty()) return false;
+    QSERV_ASSIGN_OR_RETURN(
+        ScanFilter sf, compileScanFilter(mine, scope_, 0, registry_));
+    if (!sf.hasKernels() || !sf.residuals().empty()) return false;
+    const Table& table = *tablesRaw_[0];
+    for (std::size_t col : sf.kernelColumns()) {
+      if (db_.findIndex(tableKeys_[0], table.schema().column(col).name)) {
+        return false;
+      }
+    }
+    std::int64_t count = 0;
+    if (sf.prunes(table)) {
+      ++stats_.zoneMapPrunes;
+      stats_.zoneMapRowsSkipped += table.numRows();
+    } else {
+      stats_.rowsScanned += table.numRows();
+      stats_.rowsScannedByTable[tableKeys_[0]] += table.numRows();
+      ++stats_.vectorizedScans;
+      stats_.vectorRowsIn += table.numRows();
+      count = static_cast<std::int64_t>(sf.count(table));
+      stats_.vectorRowsOut += static_cast<std::uint64_t>(count);
+    }
+    resultRows_.push_back({Value(count)});
+    return true;
+  }
+
   /// Candidate row list for table \p t: applies its single-table conjuncts,
   /// using an ordered index for equality / IN / BETWEEN when available.
   Result<std::vector<std::size_t>> candidateRows(std::size_t t) {
@@ -660,6 +674,22 @@ class SelectExec {
       if (c.tables.size() == 1 && c.tables[0] == static_cast<int>(t)) {
         mine.push_back(c.expr);
       }
+    }
+
+    // Vectorized pre-pass: compile the kernelizable conjuncts. A zone-map
+    // contradiction (predicate range outside the column's [min,max], or a
+    // NULL test the null counts rule out) skips the scan — and the index
+    // probe — without touching a row.
+    std::optional<ScanFilter> scanFilter;
+    if (vectorizedFilterEnabled()) {
+      QSERV_ASSIGN_OR_RETURN(ScanFilter sf,
+                             compileScanFilter(mine, scope_, t, registry_));
+      if (sf.hasKernels() && sf.prunes(table)) {
+        ++stats_.zoneMapPrunes;
+        stats_.zoneMapRowsSkipped += table.numRows();
+        return std::vector<std::size_t>{};
+      }
+      scanFilter = std::move(sf);
     }
 
     // Try an index probe: col = const | col IN (consts) | col BETWEEN.
@@ -736,18 +766,10 @@ class SelectExec {
       ++stats_.indexLookups;
     }
 
-    // Compile the residual filter for this table.
-    std::vector<CompiledExprPtr> filters;
-    for (std::size_t ci = 0; ci < mine.size(); ++ci) {
-      if (indexed && ci == indexConjunct) continue;
-      QSERV_ASSIGN_OR_RETURN(auto compiled,
-                             bindExpr(*mine[ci], scope_, registry_));
-      filters.push_back(std::move(compiled));
-    }
-
     std::vector<std::size_t> out;
     std::vector<std::size_t> rowCursor(scope_.size(), 0);
     EvalCtx ctx{tablesRaw_, rowCursor, {}};
+    std::vector<CompiledExprPtr> filters;
     auto keep = [&](std::size_t r) {
       rowCursor[t] = r;
       for (const auto& f : filters) {
@@ -759,18 +781,54 @@ class SelectExec {
       // Index-probed rows are point reads, not part of a sequential scan;
       // they are charged through indexLookups in the cost model and are
       // deliberately absent from rowsScannedByTable (which feeds
-      // density-scaled scan-bandwidth accounting).
+      // density-scaled scan-bandwidth accounting). The probe already
+      // applied its conjunct; the rest run row-at-a-time (probes return
+      // few rows, not worth vectorizing).
+      for (std::size_t ci = 0; ci < mine.size(); ++ci) {
+        if (ci == indexConjunct) continue;
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*mine[ci], scope_, registry_));
+        filters.push_back(std::move(compiled));
+      }
       stats_.rowsScanned += rows.size();
       for (std::size_t r : rows) {
         if (keep(r)) out.push_back(r);
       }
-    } else {
-      stats_.rowsScanned += table.numRows();
-      stats_.rowsScannedByTable[tableKeys_[t]] += table.numRows();
-      out.reserve(table.numRows());
-      for (std::size_t r = 0; r < table.numRows(); ++r) {
+      return out;
+    }
+
+    stats_.rowsScanned += table.numRows();
+    stats_.rowsScannedByTable[tableKeys_[t]] += table.numRows();
+    if (scanFilter && scanFilter->hasKernels()) {
+      // Batch path: kernels compact a selection vector over the typed
+      // columns; conjuncts outside the kernel shapes run per surviving row
+      // through the scalar path (identical semantics, see vector_eval.h).
+      ++stats_.vectorizedScans;
+      stats_.vectorRowsIn += table.numRows();
+      std::vector<std::size_t> survivors;
+      scanFilter->run(table, survivors);
+      stats_.vectorRowsOut += survivors.size();
+      if (scanFilter->residuals().empty()) return survivors;
+      for (std::size_t ci : scanFilter->residuals()) {
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*mine[ci], scope_, registry_));
+        filters.push_back(std::move(compiled));
+      }
+      stats_.fallbackRows += survivors.size();
+      for (std::size_t r : survivors) {
         if (keep(r)) out.push_back(r);
       }
+      return out;
+    }
+
+    // Row-at-a-time scan (vectorization disabled or nothing kernelized).
+    for (const Expr* e : mine) {
+      QSERV_ASSIGN_OR_RETURN(auto compiled, bindExpr(*e, scope_, registry_));
+      filters.push_back(std::move(compiled));
+    }
+    out.reserve(table.numRows());
+    for (std::size_t r = 0; r < table.numRows(); ++r) {
+      if (keep(r)) out.push_back(r);
     }
     return out;
   }
@@ -1187,9 +1245,7 @@ Result<TablePtr> executeStatement(Database& db, const Statement& stmt,
       stats.add(inner);
       stats.rowsInserted += result->numRows();
       auto table = std::make_shared<Table>(create->table, result->schema());
-      for (std::size_t r = 0; r < result->numRows(); ++r) {
-        QSERV_RETURN_IF_ERROR(table->appendRow(result->row(r)));
-      }
+      QSERV_RETURN_IF_ERROR(table->appendFrom(*result));
       QSERV_RETURN_IF_ERROR(db.registerTable(std::move(table)));
       return emptyResult();
     }
@@ -1216,14 +1272,12 @@ Result<TablePtr> executeStatement(Database& db, const Statement& stmt,
             "INSERT ... SELECT: %zu columns into %zu-column table",
             result->numColumns(), table->numColumns()));
       }
-      for (std::size_t r = 0; r < result->numRows(); ++r) {
-        QSERV_RETURN_IF_ERROR(table->appendRow(result->row(r)));
-      }
+      QSERV_RETURN_IF_ERROR(table->appendFrom(*result));
       stats.rowsInserted += result->numRows();
     } else {
-      for (const auto& row : insert->rows) {
-        QSERV_RETURN_IF_ERROR(table->appendRow(row));
-      }
+      // Bulk append: one validate+reserve pass over the whole VALUES list
+      // (this is the dump-replay hot path, see sql/dump.cc).
+      QSERV_RETURN_IF_ERROR(table->appendRows(insert->rows));
       stats.rowsInserted += insert->rows.size();
     }
     db.refreshIndexes(insert->table);

@@ -366,4 +366,41 @@ Result<Value> evalConstExpr(const Expr& expr,
   return compiled->eval(ctx);
 }
 
+bool isConstExpr(const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kStar:
+      return false;
+    case ExprKind::kUnary:
+      return isConstExpr(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      return isConstExpr(*b.lhs) && isConstExpr(*b.rhs);
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      for (const auto& a : f.args) {
+        if (!isConstExpr(*a)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      return isConstExpr(*b.expr) && isConstExpr(*b.lo) && isConstExpr(*b.hi);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      if (!isConstExpr(*i.expr)) return false;
+      for (const auto& e : i.list) {
+        if (!isConstExpr(*e)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return isConstExpr(*static_cast<const IsNullExpr&>(expr).expr);
+    default:
+      return true;
+  }
+}
+
 }  // namespace qserv::sql

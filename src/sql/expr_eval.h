@@ -56,6 +56,11 @@ util::Result<CompiledExprPtr> bindExpr(const Expr& expr,
 util::Result<Value> evalConstExpr(const Expr& expr,
                                   const FunctionRegistry& registry);
 
+/// True when \p expr references no columns (safe for evalConstExpr).
+/// Shared by the executor's index-probe planning and the vectorized
+/// scan-filter compiler (sql/vector_eval.h).
+bool isConstExpr(const Expr& expr);
+
 /// Resolved column slot, exposed for executor planning (index lookups,
 /// hash-join key extraction).
 struct ColumnSlot {

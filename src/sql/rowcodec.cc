@@ -152,6 +152,12 @@ util::Result<TablePtr> loadBinaryTable(Database& db,
   if (!reader.u64(nrows)) return corrupt();
 
   auto table = std::make_shared<Table>(name, schema);
+  // Decode into batches and bulk-append: one type-check + reserve pass per
+  // batch instead of per-row appendRow overhead.
+  constexpr std::size_t kBatchRows = 4096;
+  std::vector<std::vector<Value>> batch;
+  batch.reserve(static_cast<std::size_t>(std::min<std::uint64_t>(
+      nrows, kBatchRows)));
   std::vector<Value> row(schema.numColumns());
   for (std::uint64_t r = 0; r < nrows; ++r) {
     for (std::size_t c = 0; c < schema.numColumns(); ++c) {
@@ -185,8 +191,14 @@ util::Result<TablePtr> loadBinaryTable(Database& db,
         }
       }
     }
-    QSERV_RETURN_IF_ERROR(table->appendRow(row));
+    batch.push_back(std::move(row));
+    row.assign(schema.numColumns(), Value());
+    if (batch.size() == kBatchRows) {
+      QSERV_RETURN_IF_ERROR(table->appendRows(batch));
+      batch.clear();
+    }
   }
+  if (!batch.empty()) QSERV_RETURN_IF_ERROR(table->appendRows(batch));
   QSERV_RETURN_IF_ERROR(db.dropTable(name, /*ifExists=*/true));
   QSERV_RETURN_IF_ERROR(db.registerTable(table));
   return table;

@@ -4,8 +4,14 @@
 /// Columns are stored as typed vectors with a null mask — a decomposition
 /// storage model in the spirit of the columnar organization the paper
 /// contemplates in §7.4, chosen here for scan speed on wide tables.
+///
+/// Every append also maintains a per-column *zone map* (min/max over non-null
+/// values plus a null count): a scan whose predicate range cannot intersect a
+/// column's zone is skipped without touching a row (see sql/vector_eval.h and
+/// DESIGN.md "Scan pipeline").
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -15,6 +21,20 @@
 #include "util/status.h"
 
 namespace qserv::sql {
+
+/// Append-maintained summary of one column, for scan pruning. `intMin/Max`
+/// are meaningful for INT columns, `dblMin/Max` for DOUBLE columns; both are
+/// valid only when `hasValue` is set. `hasNaN` disables range-based pruning
+/// for DOUBLE columns (NaN never enters min/max, so the range would lie).
+struct ZoneMap {
+  bool hasValue = false;     ///< at least one non-null value appended
+  bool hasNaN = false;       ///< a DOUBLE column saw a NaN value
+  std::int64_t intMin = 0;
+  std::int64_t intMax = 0;
+  double dblMin = 0.0;
+  double dblMax = 0.0;
+  std::size_t nullCount = 0;
+};
 
 class Table {
  public:
@@ -28,6 +48,16 @@ class Table {
   /// Append a row; values must match the schema's declared types
   /// (ints are accepted into DOUBLE columns and widened).
   util::Status appendRow(std::span<const Value> values);
+
+  /// Bulk append: every row is type-checked up front, column storage is
+  /// reserved once, and nothing is appended unless all rows validate
+  /// (all-or-nothing, unlike a loop of appendRow which stops mid-way).
+  util::Status appendRows(std::span<const std::vector<Value>> rows);
+
+  /// Append every row of \p src by typed column-to-column copy (no Value
+  /// boxing). Column counts must match; an INT source column widens into a
+  /// DOUBLE destination, and an all-NULL source column feeds any type.
+  util::Status appendFrom(const Table& src);
 
   /// Value of a cell. Preconditions: row < numRows(), col < numColumns().
   Value cell(std::size_t row, std::size_t col) const;
@@ -43,6 +73,16 @@ class Table {
   const std::vector<std::string>& stringColumn(std::size_t col) const;
   bool isNull(std::size_t row, std::size_t col) const;
 
+  /// Raw null mask of a column (1 = NULL), for vectorized kernels.
+  const std::vector<std::uint8_t>& nullMask(std::size_t col) const;
+
+  /// Append-maintained min/max/null summary of a column.
+  const ZoneMap& zoneMap(std::size_t col) const;
+
+  /// Rename in place (Database::renameTable; the merger adopts the first
+  /// chunk dump's table as its merge table instead of copying it).
+  void rename(std::string newName) { name_ = std::move(newName); }
+
   /// In-memory payload bytes (column data only, no metadata).
   std::size_t payloadBytes() const;
 
@@ -53,6 +93,10 @@ class Table {
     std::vector<double> doubles;
     std::vector<std::string> strings;
     std::vector<std::uint8_t> nulls;  // 1 = NULL
+    ZoneMap zone;
+
+    void append(const Value& v);  // no type check; updates the zone map
+    void reserveMore(std::size_t n);
   };
 
   std::string name_;

@@ -1,0 +1,588 @@
+#include "sql/vector_eval.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+namespace qserv::sql {
+
+namespace {
+
+std::atomic<bool> g_vectorEnabled{true};
+
+/// Value::compare's numeric formula, reproduced exactly: NaN compares equal
+/// to everything (both <' and >' are false), which makes `x = NaN` true for
+/// every non-null row. Kernels must not "fix" this — parity with the scalar
+/// path is the contract.
+inline int dcmp(double a, double b) { return (a < b) ? -1 : (a > b) ? 1 : 0; }
+
+inline bool dEq(double a, double b) { return !(a < b) && !(a > b); }
+
+NumBound makeBound(const Value& v) {
+  NumBound b;
+  if (v.isInt()) {
+    b.isInt = true;
+    b.i = v.asInt();
+    b.d = static_cast<double>(v.asInt());
+  } else {
+    b.d = v.asDouble();
+  }
+  return b;
+}
+
+}  // namespace
+
+void setVectorizedFilterEnabled(bool enabled) {
+  g_vectorEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool vectorizedFilterEnabled() {
+  return g_vectorEnabled.load(std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- compilation
+
+namespace {
+
+/// Strip NOT wrappers, tracking parity. NULL operands make NOT yield NULL,
+/// which drops the row exactly like the un-negated NULL would, so flipping
+/// the inner predicate preserves filter semantics.
+const Expr* stripNot(const Expr* e, bool& negated) {
+  while (e->kind() == ExprKind::kUnary) {
+    const auto* u = static_cast<const UnaryExpr*>(e);
+    if (u->op != UnOp::kNot) break;
+    negated = !negated;
+    e = u->operand.get();
+  }
+  return e;
+}
+
+}  // namespace
+
+util::Result<ScanFilter> compileScanFilter(
+    std::span<const Expr* const> conjuncts, std::span<const ScopeTable> scope,
+    std::size_t tableIdx, const FunctionRegistry& registry) {
+  ScanFilter sf;
+  using Kind = ScanFilter::Kind;
+  using CmpOp = ScanFilter::CmpOp;
+  using Kernel = ScanFilter::Kernel;
+
+  const Table& table = *scope[tableIdx].table;
+
+  // Resolve a ColumnRef belonging to our table; nullopt → residual.
+  auto ownColumn = [&](const Expr& e) -> std::optional<std::size_t> {
+    if (e.kind() != ExprKind::kColumnRef) return std::nullopt;
+    auto slot = resolveColumn(static_cast<const ColumnRef&>(e), scope);
+    if (!slot.isOk() || slot->tableIdx != tableIdx) return std::nullopt;
+    return slot->columnIdx;
+  };
+  auto constValue = [&](const Expr& e) -> std::optional<Value> {
+    if (!isConstExpr(e)) return std::nullopt;
+    auto v = evalConstExpr(e, registry);
+    if (!v.isOk()) return std::nullopt;  // scalar path will surface the error
+    return std::move(*v);
+  };
+  auto pushIsNull = [&](std::size_t col, bool negated) {
+    Kernel k;
+    k.kind = Kind::kIsNull;
+    k.col = col;
+    k.colType = table.schema().column(col).type;
+    k.negated = negated;
+    sf.kernels_.push_back(std::move(k));
+  };
+  auto pushNever = [&] {
+    sf.kernels_.push_back(Kernel{});  // default kind is kNever
+  };
+  // A predicate whose truth is the same for every non-null row collapses to
+  // IS NOT NULL (truth) or to a never-true kernel.
+  auto pushConstTruth = [&](std::size_t col, bool truth) {
+    if (truth) {
+      pushIsNull(col, /*negated=*/true);
+    } else {
+      pushNever();
+    }
+  };
+
+  for (std::size_t ci = 0; ci < conjuncts.size(); ++ci) {
+    bool negated = false;
+    const Expr* e = stripNot(conjuncts[ci], negated);
+    bool compiled = false;
+
+    if (e->kind() == ExprKind::kBinary) {
+      const auto* b = static_cast<const BinaryExpr*>(e);
+      CmpOp op;
+      bool isCmp = true;
+      switch (b->op) {
+        case BinOp::kEq: op = CmpOp::kEq; break;
+        case BinOp::kNe: op = CmpOp::kNe; break;
+        case BinOp::kLt: op = CmpOp::kLt; break;
+        case BinOp::kLe: op = CmpOp::kLe; break;
+        case BinOp::kGt: op = CmpOp::kGt; break;
+        case BinOp::kGe: op = CmpOp::kGe; break;
+        default: isCmp = false; break;
+      }
+      if (isCmp) {
+        std::optional<std::size_t> col = ownColumn(*b->lhs);
+        const Expr* constSide = b->rhs.get();
+        if (!col) {
+          col = ownColumn(*b->rhs);
+          constSide = b->lhs.get();
+          // Flip the operator when the column sits on the right-hand side.
+          switch (op) {
+            case CmpOp::kLt: op = CmpOp::kGt; break;
+            case CmpOp::kLe: op = CmpOp::kGe; break;
+            case CmpOp::kGt: op = CmpOp::kLt; break;
+            case CmpOp::kGe: op = CmpOp::kLe; break;
+            default: break;
+          }
+        }
+        if (negated) {
+          switch (op) {
+            case CmpOp::kEq: op = CmpOp::kNe; break;
+            case CmpOp::kNe: op = CmpOp::kEq; break;
+            case CmpOp::kLt: op = CmpOp::kGe; break;
+            case CmpOp::kLe: op = CmpOp::kGt; break;
+            case CmpOp::kGt: op = CmpOp::kLe; break;
+            case CmpOp::kGe: op = CmpOp::kLt; break;
+          }
+        }
+        std::optional<Value> v;
+        if (col) v = constValue(*constSide);
+        ColumnType ct = col ? table.schema().column(*col).type
+                            : ColumnType::kString;
+        if (col && v && ct != ColumnType::kString) {
+          auto holds = [](CmpOp o, int c) {
+            switch (o) {
+              case CmpOp::kEq: return c == 0;
+              case CmpOp::kNe: return c != 0;
+              case CmpOp::kLt: return c < 0;
+              case CmpOp::kLe: return c <= 0;
+              case CmpOp::kGt: return c > 0;
+              case CmpOp::kGe: return c >= 0;
+            }
+            return false;
+          };
+          if (v->isNull()) {
+            pushNever();  // col <op> NULL is NULL for every row
+          } else if (v->isString()) {
+            // Numeric vs string compares by type rank: numeric < string,
+            // constantly, for every non-null row.
+            pushConstTruth(*col, holds(op, -1));
+          } else if (v->isDouble() && std::isnan(v->asDouble())) {
+            // compare() yields 0 against NaN for every value.
+            pushConstTruth(*col, holds(op, 0));
+          } else {
+            Kernel k;
+            k.kind = Kind::kCmp;
+            k.col = *col;
+            k.colType = ct;
+            k.op = op;
+            k.lo = makeBound(*v);
+            sf.kernels_.push_back(std::move(k));
+          }
+          compiled = true;
+        }
+      }
+    } else if (e->kind() == ExprKind::kBetween) {
+      const auto* bt = static_cast<const BetweenExpr*>(e);
+      bool neg = negated != bt->negated;
+      auto col = ownColumn(*bt->expr);
+      ColumnType ct = col ? table.schema().column(*col).type
+                          : ColumnType::kString;
+      std::optional<Value> lo, hi;
+      if (col && ct != ColumnType::kString) {
+        lo = constValue(*bt->lo);
+        hi = constValue(*bt->hi);
+      }
+      if (lo && hi) {
+        if (lo->isNull() || hi->isNull()) {
+          pushNever();  // any NULL bound makes BETWEEN NULL, negated or not
+        } else {
+          // Reduce each side to: constant truth, or a real numeric bound.
+          // `v >= lo` with a string lo is constantly false (numeric < string);
+          // with a NaN lo it is constantly true (compare yields 0).
+          auto sideTruth = [](const Value& bound,
+                              bool isLow) -> std::optional<bool> {
+            if (bound.isString()) return isLow ? false : true;
+            if (bound.isDouble() && std::isnan(bound.asDouble())) return true;
+            return std::nullopt;
+          };
+          std::optional<bool> loT = sideTruth(*lo, true);
+          std::optional<bool> hiT = sideTruth(*hi, false);
+          if ((loT && !*loT) || (hiT && !*hiT)) {
+            pushConstTruth(*col, neg);  // `in` is constantly false
+          } else if (loT && hiT) {
+            pushConstTruth(*col, !neg);  // `in` is constantly true
+          } else if (loT || hiT) {
+            // One real side remains: v >= lo  or  v <= hi.
+            Kernel k;
+            k.kind = Kind::kCmp;
+            k.col = *col;
+            k.colType = ct;
+            if (hiT) {
+              k.op = neg ? CmpOp::kLt : CmpOp::kGe;
+              k.lo = makeBound(*lo);
+            } else {
+              k.op = neg ? CmpOp::kGt : CmpOp::kLe;
+              k.lo = makeBound(*hi);
+            }
+            sf.kernels_.push_back(std::move(k));
+          } else if (lo->compare(*hi) > 0) {
+            pushConstTruth(*col, neg);  // empty range: `in` constantly false
+          } else {
+            Kernel k;
+            k.kind = Kind::kBetween;
+            k.col = *col;
+            k.colType = ct;
+            k.negated = neg;
+            k.lo = makeBound(*lo);
+            k.hi = makeBound(*hi);
+            sf.kernels_.push_back(std::move(k));
+          }
+        }
+        compiled = true;
+      }
+    } else if (e->kind() == ExprKind::kIn) {
+      const auto* in = static_cast<const InExpr*>(e);
+      bool neg = negated != in->negated;
+      auto col = ownColumn(*in->expr);
+      ColumnType ct = col ? table.schema().column(*col).type
+                          : ColumnType::kString;
+      if (col && ct != ColumnType::kString) {
+        std::vector<Value> items;
+        bool allConst = true;
+        for (const auto& item : in->list) {
+          auto v = constValue(*item);
+          if (!v) {
+            allConst = false;
+            break;
+          }
+          items.push_back(std::move(*v));
+        }
+        if (allConst) {
+          bool sawNull = false, sawNaN = false;
+          std::vector<NumBound> set;
+          for (const Value& v : items) {
+            if (v.isNull()) {
+              sawNull = true;
+            } else if (v.isDouble() && std::isnan(v.asDouble())) {
+              sawNaN = true;  // compare() matches NaN against everything
+            } else if (v.isNumeric()) {
+              set.push_back(makeBound(v));
+            }
+            // String items never match a numeric column value.
+          }
+          if (sawNaN) {
+            // Every non-null row "matches" the NaN item.
+            pushConstTruth(*col, !neg);
+          } else if (neg && sawNull) {
+            // NOT IN with a NULL item is never true: a non-match yields NULL.
+            pushNever();
+          } else if (set.empty()) {
+            // No numeric item can match. IN: non-match is false (or NULL
+            // with a NULL item) — never keeps. NOT IN: a NULL item was
+            // handled above, so a non-match is plainly true.
+            pushConstTruth(*col, neg);
+          } else {
+            Kernel k;
+            k.kind = Kind::kIn;
+            k.col = *col;
+            k.colType = ct;
+            k.negated = neg;
+            k.set = std::move(set);
+            sf.kernels_.push_back(std::move(k));
+          }
+          compiled = true;
+        }
+      }
+    } else if (e->kind() == ExprKind::kIsNull) {
+      const auto* n = static_cast<const IsNullExpr*>(e);
+      auto col = ownColumn(*n->expr);
+      if (col) {
+        pushIsNull(*col, negated != n->negated);
+        compiled = true;
+      }
+    }
+
+    if (!compiled) sf.residuals_.push_back(ci);
+  }
+
+  sf.order_.resize(sf.kernels_.size());
+  for (std::size_t i = 0; i < sf.order_.size(); ++i) sf.order_[i] = i;
+  for (const auto& k : sf.kernels_) {
+    if (k.kind == Kind::kNever) continue;
+    if (std::find(sf.columns_.begin(), sf.columns_.end(), k.col) ==
+        sf.columns_.end()) {
+      sf.columns_.push_back(k.col);
+    }
+  }
+  return sf;
+}
+
+// -------------------------------------------------------------- evaluation
+
+namespace {
+
+template <typename Pred>
+std::size_t filterWith(const std::vector<std::uint8_t>& nulls,
+                       std::uint32_t* sel, std::size_t n, Pred pred) {
+  std::size_t m = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t r = sel[i];
+    sel[m] = r;
+    m += (!nulls[r] && pred(r)) ? 1 : 0;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::size_t ScanFilter::filterBlock(const Table& table, const Kernel& k,
+                                    std::uint32_t* sel, std::size_t n) const {
+  const auto& nulls = table.nullMask(k.col);
+  switch (k.kind) {
+    case Kind::kNever:
+      return 0;
+    case Kind::kIsNull: {
+      bool wantNull = !k.negated;
+      std::size_t m = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t r = sel[i];
+        sel[m] = r;
+        m += ((nulls[r] != 0) == wantNull) ? 1 : 0;
+      }
+      return m;
+    }
+    case Kind::kCmp: {
+      if (k.colType == ColumnType::kInt && k.lo.isInt) {
+        const auto& v = table.intColumn(k.col);
+        const std::int64_t c = k.lo.i;
+        switch (k.op) {
+          case CmpOp::kEq:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] == c; });
+          case CmpOp::kNe:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] != c; });
+          case CmpOp::kLt:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] < c; });
+          case CmpOp::kLe:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] <= c; });
+          case CmpOp::kGt:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] > c; });
+          case CmpOp::kGe:
+            return filterWith(nulls, sel, n, [&](auto r) { return v[r] >= c; });
+        }
+        return 0;
+      }
+      // Any double involved: compare through doubles exactly as
+      // Value::compare does (note the !(a<b)&&!(a>b) equality form — NaN
+      // column values compare equal to everything, by design).
+      const double c = k.lo.d;
+      auto value = [&](std::uint32_t r) -> double {
+        return k.colType == ColumnType::kInt
+                   ? static_cast<double>(table.intColumn(k.col)[r])
+                   : table.doubleColumn(k.col)[r];
+      };
+      switch (k.op) {
+        case CmpOp::kEq:
+          return filterWith(nulls, sel, n, [&](auto r) {
+            double a = value(r);
+            return !(a < c) && !(a > c);
+          });
+        case CmpOp::kNe:
+          return filterWith(nulls, sel, n, [&](auto r) {
+            double a = value(r);
+            return (a < c) || (a > c);
+          });
+        case CmpOp::kLt:
+          return filterWith(nulls, sel, n,
+                            [&](auto r) { return value(r) < c; });
+        case CmpOp::kLe:
+          return filterWith(nulls, sel, n,
+                            [&](auto r) { return !(value(r) > c); });
+        case CmpOp::kGt:
+          return filterWith(nulls, sel, n,
+                            [&](auto r) { return value(r) > c; });
+        case CmpOp::kGe:
+          return filterWith(nulls, sel, n,
+                            [&](auto r) { return !(value(r) < c); });
+      }
+      return 0;
+    }
+    case Kind::kBetween: {
+      auto inRange = [&](std::uint32_t r) {
+        bool ge, le;
+        if (k.colType == ColumnType::kInt) {
+          std::int64_t v = table.intColumn(k.col)[r];
+          ge = k.lo.isInt ? (v >= k.lo.i)
+                          : !(static_cast<double>(v) < k.lo.d);
+          le = k.hi.isInt ? (v <= k.hi.i)
+                          : !(static_cast<double>(v) > k.hi.d);
+        } else {
+          double v = table.doubleColumn(k.col)[r];
+          ge = !(v < k.lo.d);
+          le = !(v > k.hi.d);
+        }
+        return ge && le;
+      };
+      if (k.negated) {
+        return filterWith(nulls, sel, n,
+                          [&](auto r) { return !inRange(r); });
+      }
+      return filterWith(nulls, sel, n, inRange);
+    }
+    case Kind::kIn: {
+      auto matches = [&](std::uint32_t r) {
+        if (k.colType == ColumnType::kInt) {
+          std::int64_t v = table.intColumn(k.col)[r];
+          for (const NumBound& b : k.set) {
+            if (b.isInt ? (v == b.i) : dEq(static_cast<double>(v), b.d)) {
+              return true;
+            }
+          }
+        } else {
+          double v = table.doubleColumn(k.col)[r];
+          for (const NumBound& b : k.set) {
+            if (dEq(v, b.d)) return true;
+          }
+        }
+        return false;
+      };
+      if (k.negated) {
+        return filterWith(nulls, sel, n,
+                          [&](auto r) { return !matches(r); });
+      }
+      return filterWith(nulls, sel, n, matches);
+    }
+  }
+  return 0;
+}
+
+bool ScanFilter::kernelPrunes(const Table& table, const Kernel& k) const {
+  if (k.kind == Kind::kNever) return true;
+  const ZoneMap& z = table.zoneMap(k.col);
+  const std::size_t numRows = table.numRows();
+  if (k.kind == Kind::kIsNull) {
+    return k.negated ? (z.nullCount == numRows) : (z.nullCount == 0);
+  }
+  // Value kernels: all-NULL columns never satisfy them.
+  if (z.nullCount == numRows) return true;
+  // Range reasoning needs a trustworthy [min,max]: NaN values never enter it
+  // (and compare equal to everything), so their presence disables pruning.
+  if (!z.hasValue) return false;
+  if (k.colType == ColumnType::kDouble && z.hasNaN) return false;
+
+  const bool intDomain = k.colType == ColumnType::kInt;
+  const std::int64_t iMin = z.intMin, iMax = z.intMax;
+  const double dMin = intDomain ? static_cast<double>(z.intMin) : z.dblMin;
+  const double dMax = intDomain ? static_cast<double>(z.intMax) : z.dblMax;
+  // Per-side checks in the same numeric domain the row comparison uses:
+  // exact int64 when both column and bound are ints, doubles otherwise.
+  auto allBelow = [&](const NumBound& b) {  // zoneMax < b
+    return (intDomain && b.isInt) ? (iMax < b.i) : (dMax < b.d);
+  };
+  auto allAbove = [&](const NumBound& b) {  // zoneMin > b
+    return (intDomain && b.isInt) ? (iMin > b.i) : (dMin > b.d);
+  };
+  auto allAtLeast = [&](const NumBound& b) {  // zoneMin >= b
+    return (intDomain && b.isInt) ? (iMin >= b.i) : !(dMin < b.d);
+  };
+  auto allAtMost = [&](const NumBound& b) {  // zoneMax <= b
+    return (intDomain && b.isInt) ? (iMax <= b.i) : !(dMax > b.d);
+  };
+  auto singleValueEquals = [&](const NumBound& b) {
+    if (intDomain) {
+      if (iMin != iMax) return false;
+      return b.isInt ? (iMin == b.i) : dEq(static_cast<double>(iMin), b.d);
+    }
+    return dEq(dMin, dMax) && dEq(dMin, b.d);
+  };
+
+  switch (k.kind) {
+    case Kind::kCmp:
+      switch (k.op) {
+        case CmpOp::kEq: return allBelow(k.lo) || allAbove(k.lo);
+        case CmpOp::kNe: return singleValueEquals(k.lo);
+        case CmpOp::kLt: return allAtLeast(k.lo);
+        case CmpOp::kLe: return allAbove(k.lo);
+        case CmpOp::kGt: return allAtMost(k.lo);
+        case CmpOp::kGe: return allBelow(k.lo);
+      }
+      return false;
+    case Kind::kBetween:
+      if (k.negated) {
+        // Rows pass when outside [lo,hi]; a zone fully inside never does.
+        return allAtLeast(k.lo) && allAtMost(k.hi);
+      }
+      return allBelow(k.lo) || allAbove(k.hi);
+    case Kind::kIn: {
+      if (k.negated) {
+        for (const NumBound& b : k.set) {
+          if (singleValueEquals(b)) return true;
+        }
+        return false;
+      }
+      for (const NumBound& b : k.set) {
+        if (!(allBelow(b) || allAbove(b))) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool ScanFilter::prunes(const Table& table) const {
+  if (table.numRows() == 0) return false;
+  for (const Kernel& k : kernels_) {
+    if (kernelPrunes(table, k)) return true;
+  }
+  return false;
+}
+
+std::size_t ScanFilter::runBlocks(const Table& table,
+                                  std::vector<std::size_t>* out) {
+  constexpr std::size_t kBlock = 4096;
+  const std::size_t numRows = table.numRows();
+  std::size_t total = 0;
+  sel_.resize(kBlock);
+  for (std::size_t base = 0; base < numRows; base += kBlock) {
+    std::size_t n = std::min(kBlock, numRows - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      sel_[i] = static_cast<std::uint32_t>(base + i);
+    }
+    for (std::size_t idx : order_) {
+      Kernel& k = kernels_[idx];
+      k.seen += n;
+      n = filterBlock(table, k, sel_.data(), n);
+      k.passed += n;
+      if (n == 0) break;
+    }
+    if (out != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) out->push_back(sel_[i]);
+    }
+    total += n;
+    // Adaptive ordering: run the most selective kernel (lowest observed pass
+    // rate) first on the next block.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const Kernel& ka = kernels_[a];
+                       const Kernel& kb = kernels_[b];
+                       double ra = static_cast<double>(ka.passed + 1) /
+                                   static_cast<double>(ka.seen + 1);
+                       double rb = static_cast<double>(kb.passed + 1) /
+                                   static_cast<double>(kb.seen + 1);
+                       return ra < rb;
+                     });
+  }
+  return total;
+}
+
+void ScanFilter::run(const Table& table, std::vector<std::size_t>& out) {
+  runBlocks(table, &out);
+}
+
+std::size_t ScanFilter::count(const Table& table) {
+  return runBlocks(table, nullptr);
+}
+
+}  // namespace qserv::sql

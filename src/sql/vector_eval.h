@@ -1,0 +1,132 @@
+/// \file vector_eval.h
+/// \brief Vectorized scan-filter kernels with zone-map pruning.
+///
+/// The row-at-a-time executor evaluates each WHERE conjunct through a virtual
+/// CompiledExpr::eval per row over boxed Values. For the predicate shapes that
+/// dominate the paper's scan workload — `col <op> const`, `col BETWEEN a AND
+/// b`, `col IN (...)`, `col IS [NOT] NULL` over INT/DOUBLE columns, and ANDs
+/// of these — compileScanFilter() instead builds typed kernels that run
+/// directly over Table::intColumn()/doubleColumn() storage with the column
+/// null mask, compacting a selection vector block by block. Kernels are
+/// reordered between blocks by observed selectivity so the cheapest-to-fail
+/// predicate runs first. Conjuncts outside these shapes (strings, UDFs,
+/// cross-column comparisons) are reported as *residuals* and must be applied
+/// by the caller per surviving row through the scalar path — semantics are
+/// identical by construction (see the parity tests in
+/// tests/sql/vector_eval_test.cc).
+///
+/// Each kernel can also test the table's append-maintained zone map
+/// (Table::zoneMap): when a predicate's value range cannot intersect the
+/// column's [min,max] (or needs NULLs a column does not have), the whole scan
+/// is skipped without touching a row. NaN handling is conservative: a DOUBLE
+/// column that ever saw NaN disables range-based pruning for that column.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/expr_eval.h"
+#include "sql/functions.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// Process-wide switch for the vectorized scan path (default on). Benches
+/// and parity tests flip it to compare against the row-at-a-time baseline.
+void setVectorizedFilterEnabled(bool enabled);
+bool vectorizedFilterEnabled();
+
+/// A numeric constant that remembers whether it was an integer, so an
+/// INT-column comparison against an INT constant stays exact 64-bit while
+/// anything involving a double compares through Value::compare's widening.
+struct NumBound {
+  bool isInt = false;
+  std::int64_t i = 0;
+  double d = 0.0;
+};
+
+/// Compiled conjunction of typed filter kernels over one table.
+class ScanFilter {
+ public:
+  /// True when at least one conjunct compiled into a kernel.
+  bool hasKernels() const { return !kernels_.empty(); }
+  std::size_t numKernels() const { return kernels_.size(); }
+
+  /// Indices (into the conjunct span given to compileScanFilter) of the
+  /// conjuncts that did NOT compile into kernels; the caller must apply them
+  /// per surviving row through the scalar expression path.
+  const std::vector<std::size_t>& residuals() const { return residuals_; }
+
+  /// Schema column indices referenced by the kernels (deduplicated). The
+  /// executor uses these to detect an applicable ordered index, which wins
+  /// over a vectorized scan.
+  const std::vector<std::size_t>& kernelColumns() const { return columns_; }
+
+  /// True when the table's zone maps prove no row can satisfy every kernel:
+  /// the scan can be skipped entirely. Never true for an empty table (an
+  /// empty scan is already free, and stats stay comparable).
+  bool prunes(const Table& table) const;
+
+  /// Run the kernels over all rows of \p table, appending surviving row ids
+  /// to \p out in ascending order. Updates per-kernel selectivity counters
+  /// and reorders kernels between blocks (cheapest-to-fail first).
+  void run(const Table& table, std::vector<std::size_t>& out);
+
+  /// Count surviving rows without materializing row ids (COUNT(*) pushdown;
+  /// only meaningful when residuals() is empty).
+  std::size_t count(const Table& table);
+
+ private:
+  friend util::Result<ScanFilter> compileScanFilter(
+      std::span<const Expr* const> conjuncts,
+      std::span<const ScopeTable> scope, std::size_t tableIdx,
+      const FunctionRegistry& registry);
+
+  enum class Kind : std::uint8_t {
+    kNever,    ///< statically false/NULL for every row (e.g. col < NULL)
+    kCmp,      ///< col <op> numeric-const
+    kBetween,  ///< col [NOT] BETWEEN numeric consts (lo <= hi)
+    kIn,       ///< col [NOT] IN (numeric consts)
+    kIsNull,   ///< col IS [NOT] NULL (any column type)
+  };
+  enum class CmpOp : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+  struct Kernel {
+    Kind kind = Kind::kNever;
+    std::size_t col = 0;
+    ColumnType colType = ColumnType::kInt;
+    CmpOp op = CmpOp::kEq;
+    bool negated = false;        // kBetween / kIn / kIsNull
+    NumBound lo, hi;             // kCmp uses lo; kBetween uses both
+    std::vector<NumBound> set;   // kIn
+    // Adaptive ordering state: fraction passed/seen so far.
+    std::uint64_t seen = 0;
+    std::uint64_t passed = 0;
+  };
+
+  std::size_t filterBlock(const Table& table, const Kernel& k,
+                          std::uint32_t* sel, std::size_t n) const;
+  bool kernelPrunes(const Table& table, const Kernel& k) const;
+  std::size_t runBlocks(const Table& table, std::vector<std::size_t>* out);
+
+  std::vector<Kernel> kernels_;
+  std::vector<std::size_t> order_;      // kernel evaluation order
+  std::vector<std::size_t> residuals_;
+  std::vector<std::size_t> columns_;
+  std::vector<std::uint32_t> sel_;      // block selection scratch
+};
+
+/// Compile the subset of \p conjuncts (all referencing only scope table
+/// \p tableIdx) that match the supported kernel shapes; the rest come back
+/// as residuals. Compilation never fails on an unsupported shape — only on
+/// internal errors (a constant subexpression that cannot be bound is treated
+/// as residual so the scalar path surfaces its error).
+util::Result<ScanFilter> compileScanFilter(
+    std::span<const Expr* const> conjuncts, std::span<const ScopeTable> scope,
+    std::size_t tableIdx, const FunctionRegistry& registry);
+
+}  // namespace qserv::sql

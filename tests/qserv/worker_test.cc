@@ -262,10 +262,12 @@ TEST_F(WorkerTest, FifoChargesEveryScan) {
   auto w = makeWorker(wc);
   std::int32_t chunk = populatedChunk_;
   std::vector<std::string> queries;
+  // Predicates must intersect the chunk's declination range: a scan whose
+  // range misses it entirely is zone-map pruned and pays no I/O at all.
   for (int i = 0; i < 3; ++i) {
     queries.push_back("SELECT COUNT(*) AS c FROM Object_" +
                       std::to_string(chunk) + " WHERE decl_PS > " +
-                      std::to_string(i * 100) + ";");
+                      std::to_string(-100 - i * 100) + ";");
   }
   for (const auto& q : queries) {
     ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
