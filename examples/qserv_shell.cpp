@@ -6,7 +6,16 @@
 /// Usage: qserv_shell [numWorkers] [basePatchObjects]
 /// Then type SQL (single line, `;` optional). Commands: \chunks, \workers,
 /// \metrics, \processlist, \trace <file>, \quit.
+///
+/// Fault injection: set QSERV_FAULTS to a fault-plan spec (see
+/// xrd/fault_injector.h) to wrap every worker in an injector, e.g.
+///   QSERV_FAULTS='seed=7; read:p=0.05,fail' qserv_shell 4
+/// and QSERV_REPLICATION / QSERV_DEADLINE_SECONDS to see failover and
+/// per-query deadlines in action. Injected-fault totals show under
+/// `faultinj.*` in \metrics.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -39,6 +48,24 @@ int main(int argc, char** argv) {
   core::ClusterOptions opts;
   opts.numWorkers = numWorkers;
   opts.frontend.catalog = catalog;
+  if (const char* rep = std::getenv("QSERV_REPLICATION")) {
+    opts.replication = std::max(1, std::atoi(rep));
+  }
+  if (const char* deadline = std::getenv("QSERV_DEADLINE_SECONDS")) {
+    opts.frontend.queryDeadlineSeconds = std::atof(deadline);
+  }
+  if (const char* spec = std::getenv("QSERV_FAULTS")) {
+    auto plan = xrd::FaultPlan::parse(spec);
+    if (!plan.isOk()) {
+      std::fprintf(stderr, "bad QSERV_FAULTS: %s\n",
+                   plan.status().toString().c_str());
+      return 1;
+    }
+    opts.faults = std::move(*plan);
+    std::printf("fault injection armed: %s (%zu rules, seed %llu)\n", spec,
+                opts.faults.rules.size(),
+                static_cast<unsigned long long>(opts.faults.seed));
+  }
   auto cluster = core::MiniCluster::create(opts, *sky);
   if (!cluster.isOk()) {
     std::fprintf(stderr, "%s\n", cluster.status().toString().c_str());

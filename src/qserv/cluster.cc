@@ -140,15 +140,30 @@ Result<std::unique_ptr<MiniCluster>> MiniCluster::create(
     }
   }
 
-  cluster->redirector_ = std::make_shared<xrd::Redirector>();
+  cluster->redirector_ = std::make_shared<xrd::Redirector>(options.breaker);
   for (int w = 0; w < n; ++w) {
     auto worker = std::make_shared<Worker>(
         util::format("w%d", w), cluster->databases_[static_cast<std::size_t>(w)],
         cluster->options_.frontend.catalog,
         exported[static_cast<std::size_t>(w)], options.worker);
-    auto server = std::make_shared<xrd::DataServer>(worker->id(), worker);
+    // Optionally decorate the worker with a fault injector (per-worker plan
+    // overrides the cluster-wide one; an empty plan leaves the worker bare).
+    std::shared_ptr<xrd::OfsPlugin> plugin = worker;
+    std::shared_ptr<xrd::FaultyOfsPlugin> injector;
+    const xrd::FaultPlan* plan = &options.faults;
+    if (auto it = options.workerFaults.find(w);
+        it != options.workerFaults.end()) {
+      plan = &it->second;
+    }
+    if (!plan->empty()) {
+      injector =
+          std::make_shared<xrd::FaultyOfsPlugin>(worker, *plan, worker->id());
+      plugin = injector;
+    }
+    auto server = std::make_shared<xrd::DataServer>(worker->id(), plugin);
     cluster->redirector_->registerServer(server);
     cluster->workers_.push_back(std::move(worker));
+    cluster->injectors_.push_back(std::move(injector));
     cluster->servers_.push_back(std::move(server));
   }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <optional>
 #include <span>
@@ -15,6 +16,7 @@
 #include "qserv/czar.h"
 #include "qserv/worker.h"
 #include "xrd/data_server.h"
+#include "xrd/fault_injector.h"
 #include "xrd/redirector.h"
 
 namespace qserv::core {
@@ -42,6 +44,15 @@ struct ClusterOptions {
   int replication = 1;  ///< copies of each chunk across distinct workers
   WorkerConfig worker;
   FrontendConfig frontend;
+  /// Fault plan injected into every worker's ofs plugin (empty = no
+  /// injection, workers run bare). Per-server RNG streams are decorrelated
+  /// from the plan seed, so one plan exercises different faults per worker.
+  xrd::FaultPlan faults;
+  /// Per-worker overrides by worker index; a worker listed here gets this
+  /// plan instead of `faults` (use an empty plan to exempt a worker).
+  std::map<int, xrd::FaultPlan> workerFaults;
+  /// Circuit-breaker tuning for the redirector's per-server breakers.
+  util::CircuitBreakerPolicy breaker;
 };
 
 /// §7.6 "Distributed management": "One way to distribute the management
@@ -90,6 +101,11 @@ class MiniCluster {
   std::size_t numWorkers() const { return workers_.size(); }
   Worker& worker(std::size_t i) { return *workers_[i]; }
   xrd::DataServer& server(std::size_t i) { return *servers_[i]; }
+  /// Worker \p i's fault injector, or nullptr when it runs without one
+  /// (tests poke injected-fault counters and isDown()/revive() through it).
+  xrd::FaultyOfsPlugin* injector(std::size_t i) {
+    return injectors_[i].get();
+  }
 
   /// All chunk ids holding data, ascending.
   const std::vector<std::int32_t>& chunkIds() const { return chunkIds_; }
@@ -109,6 +125,7 @@ class MiniCluster {
   ClusterOptions options_;
   std::vector<std::shared_ptr<sql::Database>> databases_;
   std::vector<std::shared_ptr<Worker>> workers_;
+  std::vector<std::shared_ptr<xrd::FaultyOfsPlugin>> injectors_;
   std::vector<xrd::DataServerPtr> servers_;
   xrd::RedirectorPtr redirector_;
   std::unique_ptr<QservFrontend> frontend_;

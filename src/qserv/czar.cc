@@ -46,7 +46,14 @@ QservFrontend::QservFrontend(FrontendConfig config,
       metadata_("qservMeta"),
       index_(metadata_),
       chunker_(config_.catalog.makeChunker()),
-      dispatcher_(redirector_, config_.dispatchParallelism) {
+      // Real workers always append the dump integrity trailer, so the czar
+      // requires it: a dump that lost its trailer is treated as damaged.
+      dispatcher_(redirector_,
+                  DispatcherConfig{config_.dispatchParallelism,
+                                   config_.dispatchMaxAttempts,
+                                   config_.dispatchBackoff,
+                                   /*retrySeed=*/0x5eedULL,
+                                   /*requireDumpChecksum=*/true}) {
   std::sort(availableChunks_.begin(), availableChunks_.end());
 }
 
@@ -237,9 +244,14 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
   std::vector<ChunkResult> results;
   {
     util::ScopedSpan span(trace, "czar", "dispatch");
+    DispatchOptions options;
+    if (config_.queryDeadlineSeconds > 0.0) {
+      options.deadline = util::Deadline::afterSeconds(
+          config_.queryDeadlineSeconds);
+    }
     QSERV_ASSIGN_OR_RETURN(
-        results,
-        dispatcher_.run(rewrite.chunkQueries, trace, &live.chunksCompleted));
+        results, dispatcher_.run(rewrite.chunkQueries, trace,
+                                 &live.chunksCompleted, options));
   }
   exec.chunksDispatched = results.size();
   CzarMetrics::instance().chunksDispatched.add(results.size());

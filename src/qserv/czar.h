@@ -35,6 +35,12 @@ struct FrontendConfig {
   CatalogConfig catalog;
   simio::CostParams cost;
   int dispatchParallelism = 16;
+  int dispatchMaxAttempts = 3;  ///< per chunk query, across replicas
+  util::BackoffPolicy dispatchBackoff;  ///< retry sleep schedule
+  /// Per-query wall-clock budget in seconds; <= 0 means unlimited. When the
+  /// budget runs out, in-flight chunk attempts stop and the query fails
+  /// with DEADLINE_EXCEEDED instead of hanging on a dead replica.
+  double queryDeadlineSeconds = 0.0;
 };
 
 class QservFrontend {

@@ -1,9 +1,13 @@
 #include "qserv/dispatcher.h"
 
+#include <algorithm>
+
+#include "qserv/dump_integrity.h"
 #include "qserv/observables_codec.h"
 #include "util/logging.h"
 #include "util/md5.h"
 #include "util/metrics.h"
+#include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -16,30 +20,54 @@ namespace {
 struct DispatchMetrics {
   util::Counter& chunksOk;
   util::Counter& chunksFailed;
+  util::Counter& chunksCancelled;
   util::Counter& retries;
+  util::Counter& replicaExclusions;
+  util::Counter& checksumMismatches;
+  util::Counter& deadlineExceeded;
   util::Histogram& chunkSeconds;
+  util::Histogram& backoffSeconds;
 
   static DispatchMetrics& instance() {
     auto& reg = util::MetricsRegistry::instance();
     static DispatchMetrics* m = new DispatchMetrics{
         reg.counter("dispatch.chunks_ok"),
         reg.counter("dispatch.chunks_failed"),
+        reg.counter("dispatch.chunks_cancelled"),
         reg.counter("dispatch.retries"),
+        reg.counter("dispatch.replica_exclusions"),
+        reg.counter("dispatch.checksum_mismatches"),
+        reg.counter("dispatch.deadline_exceeded"),
         reg.histogram("dispatch.chunk_seconds"),
+        reg.histogram("dispatch.backoff_seconds"),
     };
     return *m;
   }
 };
+
+/// Is a failed attempt worth retrying on another replica?
+bool isRetryable(const Status& s) {
+  return s.code() == util::ErrorCode::kUnavailable ||
+         s.code() == util::ErrorCode::kDataLoss;
+}
 }  // namespace
+
+Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, DispatcherConfig config)
+    : redirector_(std::move(redirector)), config_(config) {
+  config_.parallelism = std::max(1, config_.parallelism);
+  config_.maxAttempts = std::max(1, config_.maxAttempts);
+}
 
 Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, int parallelism,
                        int maxAttempts)
-    : redirector_(std::move(redirector)),
-      parallelism_(std::max(1, parallelism)),
-      maxAttempts_(std::max(1, maxAttempts)) {}
+    : Dispatcher(std::move(redirector),
+                 DispatcherConfig{parallelism, maxAttempts,
+                                  util::BackoffPolicy{}, 0x5eedULL, false}) {}
 
 Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
-                                       const util::TracePtr& trace) {
+                                       const util::TracePtr& trace,
+                                       const DispatchOptions& options,
+                                       int& attemptsOut) {
   auto& metrics = DispatchMetrics::instance();
   util::Stopwatch watch;
   util::ScopedSpan span(trace, "dispatcher",
@@ -50,44 +78,120 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
   std::string payload = trace ? util::traceHeaderLine(trace->id()) + spec.text
                               : spec.text;
   std::string hash = util::Md5::hex(payload);
+  // Deterministic, per-chunk-decorrelated backoff stream.
+  std::uint64_t backoffSeed =
+      config_.retrySeed + 0x9e3779b97f4a7c15ULL *
+                              static_cast<std::uint64_t>(spec.chunkId + 1);
+  util::Backoff backoff(config_.backoff, util::splitmix64(backoffSeed));
+  std::vector<std::string> exclude;  ///< replicas that failed this chunk query
   Status last = Status::internal("no attempt made");
-  for (int attempt = 0; attempt < maxAttempts_; ++attempt) {
-    if (attempt > 0) metrics.retries.add();
+  int attempt = 0;
+  for (; attempt < config_.maxAttempts; ++attempt) {
+    if (options.cancel.cancelled()) {
+      last = Status::aborted("chunk query cancelled: " +
+                             options.cancel.reason().message());
+      break;
+    }
+    if (options.deadline.expired()) {
+      metrics.deadlineExceeded.add();
+      last = Status::deadlineExceeded(util::format(
+          "chunk %d: query deadline expired after %d attempt(s)",
+          spec.chunkId, attempt));
+      break;
+    }
+    if (attempt > 0) {
+      metrics.retries.add();
+      auto sleep = backoff.next();
+      if (options.deadline.isLimited()) {
+        sleep = std::min(sleep, options.deadline.remaining());
+      }
+      metrics.backoffSeconds.observe(
+          static_cast<double>(sleep.count()) * 1e-6);
+      if (!options.cancel.sleepFor(sleep)) {
+        last = Status::aborted("chunk query cancelled during backoff: " +
+                               options.cancel.reason().message());
+        break;
+      }
+      if (options.deadline.expired()) {
+        metrics.deadlineExceeded.add();
+        last = Status::deadlineExceeded(util::format(
+            "chunk %d: query deadline expired after %d attempt(s)",
+            spec.chunkId, attempt));
+        break;
+      }
+    }
+    // Named "attempt N ..." (not "chunk ...") so trace consumers keep seeing
+    // exactly one "chunk <id>" dispatcher span per dispatched chunk.
+    util::ScopedSpan attemptSpan(
+        trace, "dispatcher",
+        util::format("attempt %d chunk %d", attempt + 1, spec.chunkId));
+    std::string attempted;
     Result<std::string> workerId = Status::internal("unreached");
     {
       util::ScopedSpan xrdSpan(trace, "xrd",
                                util::format("write /query2/%d", spec.chunkId));
-      workerId = client.writeQuery(spec.chunkId, payload);
+      workerId = client.writeQuery(spec.chunkId, payload, exclude, &attempted);
+      if (!workerId.isOk() &&
+          workerId.status().code() == util::ErrorCode::kUnavailable &&
+          attempted.empty() && !exclude.empty()) {
+        // Every live replica already failed once this chunk query. Retrying
+        // a previously failed replica (it may have recovered) beats giving
+        // up while attempts remain.
+        exclude.clear();
+        workerId = client.writeQuery(spec.chunkId, payload, {}, &attempted);
+      }
     }
     if (!workerId.isOk()) {
       last = workerId.status();
-      if (last.code() == util::ErrorCode::kUnavailable) continue;
-      metrics.chunksFailed.add();
-      return last;  // non-transient: bad path, chunk unknown, ...
+      attemptSpan.attr("error", last.toString());
+      if (!attempted.empty()) {
+        redirector_->reportFailure(spec.chunkId, attempted);
+        exclude.push_back(attempted);
+        metrics.replicaExclusions.add();
+      }
+      if (isRetryable(last)) continue;
+      break;  // non-transient: bad path, chunk unknown, ...
     }
+    attemptSpan.attr("worker", *workerId);
     Result<std::string> dump = Status::internal("unreached");
     {
       util::ScopedSpan xrdSpan(
           trace, "xrd",
           util::format("read /result/%s", hash.substr(0, 8).c_str()));
       xrdSpan.attr("worker", *workerId);
-      dump = client.readResult(*workerId, hash);
+      dump = client.readResult(*workerId, hash, options.deadline);
     }
-    if (!dump.isOk()) {
-      last = dump.status();
+    Status integrity = Status::ok();
+    if (dump.isOk()) {
+      integrity = verifyDumpChecksum(*dump);
+      if (integrity.isOk() && config_.requireDumpChecksum &&
+          !hasDumpChecksum(*dump)) {
+        integrity = Status::dataLoss(util::format(
+            "chunk %d: dump from %s carries no integrity checksum",
+            spec.chunkId, workerId->c_str()));
+      }
+      if (!integrity.isOk()) metrics.checksumMismatches.add();
+    }
+    if (!dump.isOk() || !integrity.isOk()) {
+      last = dump.isOk() ? integrity : dump.status();
       QLOG(kWarn, "dispatch")
           << "chunk " << spec.chunkId << " on " << *workerId
           << " failed (attempt " << attempt + 1 << "): " << last.toString();
-      if (last.code() == util::ErrorCode::kUnavailable) continue;
-      metrics.chunksFailed.add();
-      return last;
+      attemptSpan.attr("error", last.toString());
+      redirector_->reportFailure(spec.chunkId, *workerId);
+      exclude.push_back(*workerId);
+      metrics.replicaExclusions.add();
+      if (isRetryable(last)) continue;
+      break;
     }
+    redirector_->reportSuccess(*workerId);
     ChunkResult out;
     out.chunkId = spec.chunkId;
     out.workerId = std::move(*workerId);
     out.hash = std::move(hash);
     if (auto obs = decodeObservables(*dump)) out.observables = *obs;
     out.dump = std::move(*dump);
+    attemptsOut = attempt + 1;
     span.attr("worker", out.workerId)
         .attr("attempts", static_cast<std::int64_t>(attempt + 1))
         .attr("dumpBytes", static_cast<std::int64_t>(out.dump.size()));
@@ -95,40 +199,103 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
     metrics.chunkSeconds.observe(watch.elapsedSeconds());
     return out;
   }
-  metrics.chunksFailed.add();
-  span.attr("attempts", static_cast<std::int64_t>(maxAttempts_))
+  attemptsOut = std::min(attempt + 1, config_.maxAttempts);
+  if (last.code() == util::ErrorCode::kAborted) {
+    metrics.chunksCancelled.add();
+  } else {
+    metrics.chunksFailed.add();
+  }
+  span.attr("attempts", static_cast<std::int64_t>(attemptsOut))
       .attr("error", last.toString());
   return last;
 }
 
 Result<std::vector<ChunkResult>> Dispatcher::run(
     const std::vector<ChunkQuerySpec>& specs, const util::TracePtr& trace,
-    std::atomic<std::size_t>* completed) {
-  util::ThreadPool pool(static_cast<std::size_t>(parallelism_));
-  std::vector<std::future<Result<ChunkResult>>> futures;
+    std::atomic<std::size_t>* completed, const DispatchOptions& options) {
+  auto& metrics = DispatchMetrics::instance();
+  util::ThreadPool pool(static_cast<std::size_t>(config_.parallelism));
+  struct ChunkOutcome {
+    Result<ChunkResult> result = Status::internal("not dispatched");
+    int attempts = 0;
+    bool skipped = false;  ///< cancelled before its first attempt
+  };
+  std::vector<std::future<ChunkOutcome>> futures;
   futures.reserve(specs.size());
   for (const auto& spec : specs) {
-    futures.push_back(pool.submit([this, &spec, &trace, completed] {
-      auto r = runOne(spec, trace);
+    futures.push_back(pool.submit([this, &spec, &trace, &options, completed] {
+      ChunkOutcome outcome;
+      if (options.cancel.cancelled()) {
+        // A sibling already failed hard: don't even start.
+        outcome.skipped = true;
+        outcome.result = Status::aborted(
+            util::format("chunk %d cancelled: %s", spec.chunkId,
+                         options.cancel.reason().message().c_str()));
+        DispatchMetrics::instance().chunksCancelled.add();
+      } else {
+        outcome.result = runOne(spec, trace, options, outcome.attempts);
+        if (!outcome.result.isOk() &&
+            outcome.result.status().code() != util::ErrorCode::kAborted) {
+          // This query can no longer succeed: stop siblings now.
+          options.cancel.cancel(outcome.result.status());
+        }
+      }
       if (completed != nullptr) {
         completed->fetch_add(1, std::memory_order_relaxed);
       }
-      return r;
+      return outcome;
     }));
   }
   std::vector<ChunkResult> out;
   out.reserve(specs.size());
-  Status firstError = Status::ok();
-  for (auto& f : futures) {
-    auto r = f.get();
-    if (!r.isOk()) {
-      if (firstError.isOk()) firstError = r.status();
+  struct Failure {
+    std::int32_t chunkId;
+    int attempts;
+    Status status;
+  };
+  std::vector<Failure> failures;
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ChunkOutcome outcome = futures[i].get();
+    if (outcome.result.isOk()) {
+      out.push_back(std::move(outcome.result).value());
       continue;
     }
-    out.push_back(std::move(r).value());
+    if (outcome.skipped ||
+        outcome.result.status().code() == util::ErrorCode::kAborted) {
+      ++cancelled;
+      continue;
+    }
+    failures.push_back(Failure{specs[i].chunkId, outcome.attempts,
+                               outcome.result.status()});
   }
-  if (!firstError.isOk()) return firstError;
-  return out;
+  if (failures.empty() && cancelled == 0) return out;
+  if (failures.empty()) {
+    // Only possible when the caller cancelled externally.
+    Status reason = options.cancel.reason();
+    return Status::aborted(util::format(
+        "%zu of %zu chunk queries cancelled: %s", cancelled, specs.size(),
+        reason.message().c_str()));
+  }
+  // Aggregate: name the failed chunks with their attempt counts, most
+  // severe first (the non-transient / deadline failures callers act on).
+  std::string detail;
+  constexpr std::size_t kMaxListed = 4;
+  for (std::size_t i = 0; i < failures.size() && i < kMaxListed; ++i) {
+    if (i > 0) detail += "; ";
+    detail += util::format("chunk %d after %d attempt(s): %s",
+                           failures[i].chunkId, failures[i].attempts,
+                           failures[i].status.toString().c_str());
+  }
+  if (failures.size() > kMaxListed) {
+    detail += util::format("; and %zu more", failures.size() - kMaxListed);
+  }
+  std::string summary = util::format(
+      "%zu of %zu chunk queries failed (%zu cancelled early, %zu "
+      "succeeded): %s",
+      failures.size(), specs.size(), cancelled, out.size(), detail.c_str());
+  (void)metrics;
+  return Status(failures.front().status.code(), std::move(summary));
 }
 
 }  // namespace qserv::core

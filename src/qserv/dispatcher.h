@@ -4,10 +4,24 @@
 /// For each chunk query, the dispatcher performs the two Xrootd file
 /// transactions: write the query text to /query2/<CC> (the redirector picks
 /// a live replica), then read the dump back from /result/<md5> on the worker
-/// that accepted it. Transient failures (a worker dying mid-query) retry on
-/// another replica. Dispatch fans out over a thread pool; per-chunk results
+/// that accepted it. Dispatch fans out over a thread pool; per-chunk results
 /// carry the worker id and the paper-scale work observables used by the
 /// virtual-time simulation.
+///
+/// Failure handling (the czar "manages transient errors", §5.2):
+/// - transient failures retry with exponential backoff + decorrelated
+///   jitter, never on a replica that already failed this chunk query
+///   (exclude set; failures also evict the redirector cache and feed the
+///   per-worker circuit breakers);
+/// - a per-query Deadline bounds every attempt, including the blocking
+///   result read, and retries stop with kDeadlineExceeded when the budget
+///   runs out;
+/// - the first chunk failure cancels still-queued sibling chunk queries via
+///   the shared CancelToken instead of letting them run to completion, and
+///   run() returns an aggregated error naming the failed chunks and their
+///   attempt counts;
+/// - result dumps carry an MD5 integrity trailer; a mismatch is a retryable
+///   fault (re-fetched from another replica), never merged.
 #pragma once
 
 #include <atomic>
@@ -16,6 +30,8 @@
 
 #include "qserv/query_rewriter.h"
 #include "simio/cost_model.h"
+#include "util/backoff.h"
+#include "util/deadline.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "xrd/client.h"
@@ -30,14 +46,37 @@ struct ChunkResult {
   simio::WorkObservables observables;
 };
 
+struct DispatcherConfig {
+  int parallelism = 16;  ///< concurrent in-flight chunk queries on the master
+  int maxAttempts = 3;   ///< per chunk query, across replicas
+  util::BackoffPolicy backoff;  ///< sleep schedule between attempts
+  /// Seed for the deterministic backoff jitter (per-chunk streams are
+  /// decorrelated from it).
+  std::uint64_t retrySeed = 0x5eedULL;
+  /// Require every dump to carry the MD5 integrity trailer; a dump without
+  /// one is treated as damaged (the czar enables this — real workers always
+  /// append the trailer — while bare-bones test plugins leave it off).
+  bool requireDumpChecksum = false;
+};
+
+/// Per-run failure-handling context shared by all chunk queries of one user
+/// query.
+struct DispatchOptions {
+  util::Deadline deadline;   ///< default: unlimited
+  util::CancelToken cancel;  ///< cancel externally to abort the whole run
+};
+
 class Dispatcher {
  public:
-  /// \param parallelism concurrent in-flight chunk queries on the master.
-  Dispatcher(xrd::RedirectorPtr redirector, int parallelism = 16,
-             int maxAttempts = 3);
+  Dispatcher(xrd::RedirectorPtr redirector, DispatcherConfig config);
+  /// Convenience: default config with \p parallelism / \p maxAttempts.
+  explicit Dispatcher(xrd::RedirectorPtr redirector, int parallelism = 16,
+                      int maxAttempts = 3);
 
   /// Dispatch all of \p specs and collect every result. Fails if any chunk
-  /// query cannot be completed after retries.
+  /// query cannot be completed after retries; the error aggregates every
+  /// failed chunk with its attempt count, and sibling chunk queries still
+  /// queued when the first failure lands are cancelled, not executed.
   ///
   /// When \p trace is set, its id is stamped into each payload (so workers
   /// attach their spans to the same trace) and per-chunk dispatcher/xrd
@@ -46,15 +85,21 @@ class Dispatcher {
   util::Result<std::vector<ChunkResult>> run(
       const std::vector<ChunkQuerySpec>& specs,
       const util::TracePtr& trace = nullptr,
-      std::atomic<std::size_t>* completed = nullptr);
+      std::atomic<std::size_t>* completed = nullptr,
+      const DispatchOptions& options = {});
+
+  const DispatcherConfig& config() const { return config_; }
 
  private:
+  /// One chunk query end to end: attempts, backoff, replica exclusion,
+  /// integrity verification. \p attemptsOut reports attempts actually made.
   util::Result<ChunkResult> runOne(const ChunkQuerySpec& spec,
-                                   const util::TracePtr& trace);
+                                   const util::TracePtr& trace,
+                                   const DispatchOptions& options,
+                                   int& attemptsOut);
 
   xrd::RedirectorPtr redirector_;
-  int parallelism_;
-  int maxAttempts_;
+  DispatcherConfig config_;
 };
 
 }  // namespace qserv::core

@@ -1,0 +1,38 @@
+/// \file dump_integrity.h
+/// \brief Content checksums on result-dump envelopes.
+///
+/// The paper's result transfer replays a worker's dump byte stream straight
+/// into the master's database (§5.4) — a flipped bit in transit silently
+/// corrupts the merged result. Workers therefore append one trailing SQL
+/// comment `-- QSERV-MD5: <hex>\n` carrying the MD5 of everything before it
+/// (the dump proper plus the observables comment; both SQL-dump and binary
+/// transfer formats, since comments are ignored by the replay path). The
+/// dispatcher verifies the trailer on read and treats a mismatch as a
+/// retryable fault — the dump is re-fetched from another replica instead of
+/// being replayed into the result table. Dumps without a trailer verify
+/// trivially (producers other than Worker, e.g. test plugins).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace qserv::core {
+
+/// The trailer line for \p dump: "-- QSERV-MD5: <md5 of dump>\n".
+std::string dumpChecksumTrailer(std::string_view dump);
+
+/// Append the checksum trailer to \p dump in place.
+void appendDumpChecksum(std::string& dump);
+
+/// True when \p dump ends with a checksum trailer (says nothing about
+/// whether it matches).
+bool hasDumpChecksum(std::string_view dump);
+
+/// Verify a trailing checksum: OK when the trailer matches the content
+/// before it, or when no trailer is present; kDataLoss on mismatch (a
+/// corrupt or truncated dump).
+util::Status verifyDumpChecksum(std::string_view dump);
+
+}  // namespace qserv::core

@@ -1,5 +1,6 @@
 #include "qserv/merger.h"
 
+#include "qserv/dump_integrity.h"
 #include "sql/dump.h"
 #include "sql/rowcodec.h"
 #include "util/metrics.h"
@@ -12,6 +13,7 @@ namespace {
 struct MergerMetrics {
   util::Counter& rowsMerged;
   util::Counter& dumpsReplayed;
+  util::Counter& checksumRejects;
   util::Histogram& dumpReplaySeconds;
 
   static MergerMetrics& instance() {
@@ -19,6 +21,7 @@ struct MergerMetrics {
     static MergerMetrics* m = new MergerMetrics{
         reg.counter("merger.rows_merged"),
         reg.counter("merger.dumps_replayed"),
+        reg.counter("merger.checksum_rejects"),
         reg.histogram("merger.dump_replay_seconds"),
     };
     return *m;
@@ -39,6 +42,13 @@ util::Status ResultMerger::mergeDump(const std::string& dump) {
   util::Stopwatch watch;
   util::ScopedSpan span(trace_, "merger", "replay dump");
   span.attr("dumpBytes", static_cast<std::int64_t>(dump.size()));
+  // Last line of defense: the dispatcher already verifies-and-retries, but a
+  // corrupt dump must never reach the result table through any path.
+  if (util::Status integrity = verifyDumpChecksum(dump); !integrity.isOk()) {
+    metrics.checksumRejects.add();
+    span.attr("error", integrity.toString());
+    return integrity;
+  }
   // Workers may ship either the paper's SQL-dump stream or the §7.1 binary
   // codec; the magic prefix disambiguates.
   sql::TablePtr loaded;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "datagen/partitioner.h"
+#include "qserv/dump_integrity.h"
 #include "qserv/observables_codec.h"
 #include "sql/dump.h"
 #include "sql/rowcodec.h"
@@ -140,14 +141,27 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
 }
 
 Result<std::string> Worker::readFile(const std::string& path) {
+  return readFile(path, util::Deadline::unlimited());
+}
+
+Result<std::string> Worker::readFile(const std::string& path,
+                                     const util::Deadline& deadline) {
   auto hash = xrd::parseResultPath(path);
   if (!hash) {
     return Status::invalidArgument("worker only serves /result reads: " +
                                    path);
   }
   // waitFor consumes the payload: results are one-shot, like Qserv's
-  // cleanup of delivered result files.
-  return results_.waitFor(path, config_.resultTimeout);
+  // cleanup of delivered result files. The wait is bounded by both the
+  // worker's own timeout and the caller's per-query deadline.
+  auto timeout = config_.resultTimeout;
+  if (deadline.isLimited()) {
+    auto budget = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline.remaining());
+    timeout = std::min(timeout, std::max(budget,
+                                         std::chrono::milliseconds(1)));
+  }
+  return results_.waitFor(path, timeout);
 }
 
 std::optional<simio::WorkObservables> Worker::observablesFor(
@@ -462,6 +476,9 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
       static_cast<double>(dump.size() - envelope) * resultScale;
 
   dump += encodeObservables(obs);
+  // Integrity envelope: MD5 of everything above, verified by the dispatcher
+  // on read so corruption in transit is retried, not merged.
+  appendDumpChecksum(dump);
   {
     std::lock_guard lock(obsMutex_);
     observables_[task.hash] = obs;

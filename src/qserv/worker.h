@@ -77,6 +77,10 @@ class Worker : public xrd::OfsPlugin {
   // --- OfsPlugin -----------------------------------------------------------
   util::Status writeFile(const std::string& path, std::string payload) override;
   util::Result<std::string> readFile(const std::string& path) override;
+  /// Deadline-bounded result read: the blocking wait for the dump gives up
+  /// at min(configured result timeout, caller's deadline).
+  util::Result<std::string> readFile(const std::string& path,
+                                     const util::Deadline& deadline) override;
   std::vector<std::int32_t> exportedChunks() const override {
     return exportedChunks_;
   }

@@ -1,0 +1,64 @@
+/// \file backoff.h
+/// \brief Exponential retry backoff with decorrelated jitter.
+///
+/// The dispatcher retried failed chunk queries instantly, which hammers a
+/// recovering replica and synchronizes retry storms across chunks. Backoff
+/// spreads retries out: each sleep is drawn uniformly from
+/// [base, multiplier * previous] and capped ("decorrelated jitter",
+/// Brooker's variant of full jitter), so concurrent retries decorrelate
+/// instead of marching in lockstep. Deterministic under a supplied seed —
+/// the fault sweep in EXPERIMENTS.md replays byte-identical schedules.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace qserv::util {
+
+/// Tuning for one retry loop.
+struct BackoffPolicy {
+  std::chrono::microseconds base{5'000};   ///< first (and minimum) sleep
+  std::chrono::microseconds cap{500'000};  ///< never sleep longer than this
+  double multiplier = 3.0;                 ///< growth of the jitter window
+};
+
+/// One retry loop's backoff state. Not thread-safe; make one per retrying
+/// operation (they are a few dozen bytes).
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy, std::uint64_t seed)
+      : policy_(policy), rng_(seed), prev_(policy.base) {}
+
+  /// The next sleep duration. First call returns `base` exactly (a cheap,
+  /// predictable first retry); later calls decorrelate.
+  std::chrono::microseconds next() {
+    if (attempts_++ == 0) return prev_;
+    auto lo = static_cast<double>(policy_.base.count());
+    auto hi = std::max(lo, static_cast<double>(prev_.count()) *
+                               policy_.multiplier);
+    auto sleep = std::chrono::microseconds(
+        static_cast<std::int64_t>(rng_.uniform(lo, hi)));
+    prev_ = std::min(sleep, policy_.cap);
+    return prev_;
+  }
+
+  /// Sleeps handed out so far.
+  int attempts() const { return attempts_; }
+
+  /// Restart the schedule (e.g. after a success in a long-lived loop).
+  void reset() {
+    attempts_ = 0;
+    prev_ = policy_.base;
+  }
+
+ private:
+  BackoffPolicy policy_;
+  Rng rng_;
+  std::chrono::microseconds prev_;
+  int attempts_ = 0;
+};
+
+}  // namespace qserv::util

@@ -1,0 +1,118 @@
+/// \file circuit_breaker.h
+/// \brief Error-rate circuit breaker for steering work away from sick nodes.
+///
+/// A worker that is up but failing most requests (disk errors, an injected
+/// fault plan, a wedged mysqld) passes the redirector's isUp() check and
+/// keeps receiving chunk queries, each of which burns a dispatch attempt.
+/// The breaker watches a sliding window of outcomes per worker: when the
+/// error rate crosses the threshold it OPENS (requests are steered away),
+/// after a cooldown it goes HALF-OPEN (a limited number of probe requests
+/// pass), and a probe success closes it again while a probe failure reopens
+/// it. All methods take an explicit time point so tests are deterministic;
+/// production callers use the steady-clock default.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace qserv::util {
+
+struct CircuitBreakerPolicy {
+  int windowSize = 16;      ///< outcomes remembered per node
+  int minSamples = 8;       ///< don't judge before this many outcomes
+  double openErrorRate = 0.5;  ///< open when window error rate reaches this
+  std::chrono::milliseconds openDuration{1000};  ///< cooldown before probing
+  int halfOpenProbes = 1;   ///< concurrent probes allowed while half-open
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(CircuitBreakerPolicy policy = {})
+      : policy_(policy), window_(static_cast<std::size_t>(
+                             std::max(1, policy.windowSize))) {}
+
+  /// May a request be sent to this node now? While half-open, each allowed
+  /// call consumes one probe slot (released by the outcome it reports).
+  bool allowRequest(Clock::time_point now = Clock::now()) {
+    std::lock_guard lock(mutex_);
+    switch (state_) {
+      case State::kClosed:
+        return true;
+      case State::kOpen:
+        if (now - openedAt_ < policy_.openDuration) return false;
+        state_ = State::kHalfOpen;
+        probesInFlight_ = 0;
+        [[fallthrough]];
+      case State::kHalfOpen:
+        if (probesInFlight_ >= policy_.halfOpenProbes) return false;
+        ++probesInFlight_;
+        return true;
+    }
+    return true;
+  }
+
+  void recordSuccess(Clock::time_point now = Clock::now()) {
+    record(true, now);
+  }
+
+  void recordFailure(Clock::time_point now = Clock::now()) {
+    record(false, now);
+  }
+
+  State state() const {
+    std::lock_guard lock(mutex_);
+    return state_;
+  }
+
+ private:
+  void record(bool ok, Clock::time_point now) {
+    std::lock_guard lock(mutex_);
+    if (state_ == State::kHalfOpen) {
+      if (probesInFlight_ > 0) --probesInFlight_;
+      if (ok) {
+        // Probe succeeded: the node recovered. Forget the sick window.
+        state_ = State::kClosed;
+        filled_ = 0;
+        head_ = 0;
+        return;
+      }
+      state_ = State::kOpen;
+      openedAt_ = now;
+      return;
+    }
+    window_[head_] = ok;
+    head_ = (head_ + 1) % window_.size();
+    if (filled_ < window_.size()) ++filled_;
+    if (state_ == State::kClosed && shouldOpen()) {
+      state_ = State::kOpen;
+      openedAt_ = now;
+    }
+  }
+
+  bool shouldOpen() const {
+    if (filled_ < static_cast<std::size_t>(policy_.minSamples)) return false;
+    std::size_t failures = 0;
+    for (std::size_t i = 0; i < filled_; ++i) {
+      if (!window_[i]) ++failures;
+    }
+    return static_cast<double>(failures) >=
+           policy_.openErrorRate * static_cast<double>(filled_);
+  }
+
+  const CircuitBreakerPolicy policy_;
+  mutable std::mutex mutex_;
+  std::vector<bool> window_;
+  std::size_t head_ = 0;
+  std::size_t filled_ = 0;
+  State state_ = State::kClosed;
+  Clock::time_point openedAt_{};
+  int probesInFlight_ = 0;
+};
+
+}  // namespace qserv::util

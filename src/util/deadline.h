@@ -1,0 +1,106 @@
+/// \file deadline.h
+/// \brief Monotonic per-query deadlines and cooperative cancellation.
+///
+/// A Deadline is a point on the steady clock every attempt of a query checks
+/// before doing more work; it travels czar -> dispatcher -> xrd client ->
+/// worker result wait, so one time budget bounds the whole failure-handling
+/// pipeline. A CancelToken is shared by all chunk queries of one user query:
+/// a hard chunk failure cancels the siblings still queued instead of letting
+/// them run to completion, and interruptible sleeps (backoff) wake early.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+#include "util/status.h"
+
+namespace qserv::util {
+
+/// A fixed point on the steady clock. Copyable, trivially cheap to check.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline: never expires, infinite remaining time.
+  Deadline() = default;
+
+  static Deadline unlimited() { return Deadline(); }
+
+  static Deadline after(std::chrono::microseconds budget) {
+    Deadline d;
+    d.at_ = Clock::now() + budget;
+    d.limited_ = true;
+    return d;
+  }
+
+  static Deadline afterSeconds(double seconds) {
+    return after(std::chrono::microseconds(
+        static_cast<std::int64_t>(seconds * 1e6)));
+  }
+
+  bool isLimited() const { return limited_; }
+
+  bool expired() const { return limited_ && Clock::now() >= at_; }
+
+  /// Time left, clamped at zero. Very large when unlimited.
+  std::chrono::microseconds remaining() const {
+    if (!limited_) return std::chrono::microseconds::max();
+    auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        at_ - Clock::now());
+    return std::max(left, std::chrono::microseconds(0));
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool limited_ = false;
+};
+
+/// Cooperative cancellation flag shared across the tasks of one query.
+/// Copying a token shares the underlying state; all copies observe the same
+/// cancel() and its reason. Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+
+  /// First cancel wins: later calls keep the original reason.
+  void cancel(Status reason) const {
+    std::lock_guard lock(state_->mutex);
+    if (state_->cancelled) return;
+    state_->cancelled = true;
+    state_->reason = std::move(reason);
+    state_->cv.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->cancelled;
+  }
+
+  /// The cancel reason; OK while not cancelled.
+  Status reason() const {
+    std::lock_guard lock(state_->mutex);
+    return state_->cancelled ? state_->reason : Status::ok();
+  }
+
+  /// Sleep up to \p d, waking early on cancellation. Returns true when the
+  /// full duration elapsed, false when cancelled first.
+  bool sleepFor(std::chrono::microseconds d) const {
+    std::unique_lock lock(state_->mutex);
+    return !state_->cv.wait_for(lock, d,
+                                [&] { return state_->cancelled; });
+  }
+
+ private:
+  struct State {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool cancelled = false;
+    Status reason;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace qserv::util

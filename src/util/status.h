@@ -26,6 +26,8 @@ enum class ErrorCode {
   kUnimplemented,     ///< feature intentionally unsupported (e.g. subqueries)
   kInternal,          ///< invariant violation inside the system
   kAborted,           ///< operation cancelled (e.g. shutdown)
+  kDeadlineExceeded,  ///< per-query time budget ran out before completion
+  kDataLoss,          ///< payload failed integrity verification (corruption)
 };
 
 /// Human-readable name for an ErrorCode.
@@ -40,6 +42,8 @@ inline const char* errorCodeName(ErrorCode c) {
     case ErrorCode::kUnimplemented: return "UNIMPLEMENTED";
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kAborted: return "ABORTED";
+    case ErrorCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case ErrorCode::kDataLoss: return "DATA_LOSS";
   }
   return "UNKNOWN";
 }
@@ -62,6 +66,8 @@ class [[nodiscard]] Status {
   static Status unimplemented(std::string m) { return {ErrorCode::kUnimplemented, std::move(m)}; }
   static Status internal(std::string m) { return {ErrorCode::kInternal, std::move(m)}; }
   static Status aborted(std::string m) { return {ErrorCode::kAborted, std::move(m)}; }
+  static Status deadlineExceeded(std::string m) { return {ErrorCode::kDeadlineExceeded, std::move(m)}; }
+  static Status dataLoss(std::string m) { return {ErrorCode::kDataLoss, std::move(m)}; }
 
   bool isOk() const { return code_ == ErrorCode::kOk; }
   explicit operator bool() const { return isOk(); }

@@ -7,11 +7,20 @@
 /// until EOF, and closing the file." The write goes through the redirector
 /// (chunk-addressed); the result read goes directly to the worker that
 /// accepted the query (the result path names the worker, not the manager).
+///
+/// Failure handling: the write transaction accepts an exclude set (replicas
+/// that already failed this chunk query are never re-picked) and reports the
+/// server it attempted, so the dispatcher can feed the redirector's cache
+/// eviction and circuit breakers even when the transaction fails. Reads are
+/// deadline-bounded so a per-query time budget caps the blocking wait for a
+/// result dump.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 
+#include "util/deadline.h"
 #include "xrd/redirector.h"
 
 namespace qserv::xrd {
@@ -23,13 +32,20 @@ class XrdClient {
 
   /// Transaction 1: write \p chunkQuery to /query2/<chunkId>. On success
   /// returns the id of the data server that accepted it — the server the
-  /// result must be read back from.
-  util::Result<std::string> writeQuery(std::int32_t chunkId,
-                                       std::string chunkQuery);
+  /// result must be read back from. Servers named in \p exclude are never
+  /// picked. When \p attemptedServer is non-null it receives the id of the
+  /// server the write was sent to (set even on failure, empty when no
+  /// replica could be located at all).
+  util::Result<std::string> writeQuery(
+      std::int32_t chunkId, std::string chunkQuery,
+      std::span<const std::string> exclude = {},
+      std::string* attemptedServer = nullptr);
 
-  /// Transaction 2: read /result/<md5Hex> from \p serverId until EOF.
-  util::Result<std::string> readResult(const std::string& serverId,
-                                       const std::string& md5Hex);
+  /// Transaction 2: read /result/<md5Hex> from \p serverId until EOF,
+  /// giving up when \p deadline expires.
+  util::Result<std::string> readResult(
+      const std::string& serverId, const std::string& md5Hex,
+      const util::Deadline& deadline = util::Deadline::unlimited());
 
   Redirector& redirector() { return *redirector_; }
 

@@ -51,14 +51,15 @@ util::Status DataServer::write(const std::string& path, std::string payload) {
   return status;
 }
 
-util::Result<std::string> DataServer::read(const std::string& path) {
+util::Result<std::string> DataServer::read(const std::string& path,
+                                           const util::Deadline& deadline) {
   auto& metrics = XrdMetrics::instance();
   metrics.readTransactions.add();
   if (!isUp()) {
     metrics.refusedDown.add();
     return util::Status::unavailable("data server " + id_ + " is down");
   }
-  auto result = plugin_->readFile(path);
+  auto result = plugin_->readFile(path, deadline);
   if (result.isOk()) {
     bytesRead_.fetch_add(result->size(), std::memory_order_relaxed);
     metrics.bytesRead.add(result->size());

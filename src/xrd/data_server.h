@@ -25,7 +25,9 @@ class DataServer {
   void setUp(bool up) { up_.store(up, std::memory_order_release); }
 
   util::Status write(const std::string& path, std::string payload);
-  util::Result<std::string> read(const std::string& path);
+  util::Result<std::string> read(
+      const std::string& path,
+      const util::Deadline& deadline = util::Deadline::unlimited());
 
   std::vector<std::int32_t> exportedChunks() const {
     return plugin_->exportedChunks();

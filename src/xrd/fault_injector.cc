@@ -1,0 +1,260 @@
+#include "xrd/fault_injector.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/metrics.h"
+#include "util/strings.h"
+
+namespace qserv::xrd {
+
+namespace {
+/// Process-wide injected-fault counters (summed over all injectors).
+struct InjectorMetrics {
+  util::Counter& writeFaults;
+  util::Counter& readFaults;
+  util::Counter& corruptions;
+  util::Counter& delays;
+  util::Counter& downs;
+
+  static InjectorMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static InjectorMetrics* m = new InjectorMetrics{
+        reg.counter("faultinj.write_faults"),
+        reg.counter("faultinj.read_faults"),
+        reg.counter("faultinj.corruptions"),
+        reg.counter("faultinj.delays"),
+        reg.counter("faultinj.downs"),
+    };
+    return *m;
+  }
+};
+
+/// Stable (process-independent) string hash for per-server RNG seeding.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+const char* opName(FaultOp op) {
+  return op == FaultOp::kWrite ? "write" : "read";
+}
+
+util::Result<util::ErrorCode> parseCode(std::string_view name) {
+  if (name == "unavailable") return util::ErrorCode::kUnavailable;
+  if (name == "internal") return util::ErrorCode::kInternal;
+  if (name == "notfound") return util::ErrorCode::kNotFound;
+  if (name == "dataloss") return util::ErrorCode::kDataLoss;
+  return util::Status::invalidArgument("unknown fault error code: " +
+                                       std::string(name));
+}
+}  // namespace
+
+util::Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  for (const auto& rawClause : util::split(spec, ';')) {
+    std::string clause(util::trim(rawClause));
+    if (clause.empty()) continue;
+    if (util::startsWith(clause, "seed=")) {
+      plan.seed = std::strtoull(clause.c_str() + 5, nullptr, 10);
+      continue;
+    }
+    std::size_t colon = clause.find(':');
+    if (colon == std::string::npos) {
+      return util::Status::invalidArgument(
+          "fault clause needs '<op>:<keys>' form: " + clause);
+    }
+    std::string op(util::trim(std::string_view(clause).substr(0, colon)));
+    FaultRule rule;
+    if (op == "write") {
+      rule.op = FaultOp::kWrite;
+    } else if (op == "read") {
+      rule.op = FaultOp::kRead;
+    } else {
+      return util::Status::invalidArgument("fault op must be write|read: " +
+                                           op);
+    }
+    int actions = 0;
+    for (const auto& rawKv :
+         util::split(std::string_view(clause).substr(colon + 1), ',')) {
+      std::string kv(util::trim(rawKv));
+      if (kv.empty()) continue;
+      std::size_t eq = kv.find('=');
+      std::string key = kv.substr(0, eq);
+      std::string value =
+          eq == std::string::npos ? std::string() : kv.substr(eq + 1);
+      if (key == "p" || key == "prob") {
+        rule.probability = std::strtod(value.c_str(), nullptr);
+        if (rule.probability < 0.0 || rule.probability > 1.0) {
+          return util::Status::invalidArgument("fault p must be in [0,1]: " +
+                                               kv);
+        }
+      } else if (key == "after") {
+        rule.afterOps = std::atoi(value.c_str());
+      } else if (key == "path") {
+        rule.pathPattern = value;
+      } else if (key == "fail") {
+        rule.fail = true;
+        ++actions;
+        if (!value.empty()) {
+          QSERV_ASSIGN_OR_RETURN(rule.errorCode, parseCode(value));
+        }
+      } else if (key == "corrupt") {
+        rule.corrupt = true;
+        ++actions;
+        if (value == "truncate") {
+          rule.truncate = true;
+        } else if (!value.empty() && value != "flip") {
+          return util::Status::invalidArgument(
+              "corrupt mode must be flip|truncate: " + kv);
+        }
+      } else if (key == "flips") {
+        rule.bitFlips = std::max(1, std::atoi(value.c_str()));
+      } else if (key == "delay") {
+        rule.delay = std::chrono::milliseconds(std::atoi(value.c_str()));
+        ++actions;
+      } else if (key == "down") {
+        rule.down = true;
+        ++actions;
+      } else {
+        return util::Status::invalidArgument("unknown fault key: " + kv);
+      }
+    }
+    if (actions != 1) {
+      return util::Status::invalidArgument(
+          "fault clause needs exactly one action (fail|corrupt|delay|down): " +
+          clause);
+    }
+    if (rule.corrupt && rule.op == FaultOp::kWrite) {
+      return util::Status::invalidArgument(
+          "corrupt applies to read transactions only: " + clause);
+    }
+    plan.rules.push_back(std::move(rule));
+  }
+  return plan;
+}
+
+FaultyOfsPlugin::FaultyOfsPlugin(std::shared_ptr<OfsPlugin> inner,
+                                 FaultPlan plan, const std::string& id)
+    : inner_(std::move(inner)),
+      plan_(std::move(plan)),
+      id_(id),
+      rng_(plan_.seed ^ fnv1a(id)),
+      opCounts_(plan_.rules.size(), 0) {}
+
+bool FaultyOfsPlugin::fires(FaultRule& rule, std::size_t ruleIndex,
+                            FaultOp op, const std::string& path) {
+  if (rule.op != op) return false;
+  if (!rule.pathPattern.empty() &&
+      path.find(rule.pathPattern) == std::string::npos) {
+    return false;
+  }
+  std::uint64_t seen = opCounts_[ruleIndex]++;
+  if (seen < static_cast<std::uint64_t>(rule.afterOps)) return false;
+  if (rule.probability >= 1.0) return true;
+  return rng_.uniform() < rule.probability;
+}
+
+util::Status FaultyOfsPlugin::preTransaction(FaultOp op,
+                                             const std::string& path) {
+  auto& metrics = InjectorMetrics::instance();
+  if (isDown()) {
+    return util::Status::unavailable("server " + id_ +
+                                     " is down (injected)");
+  }
+  std::chrono::milliseconds delay{0};
+  util::Status fail = util::Status::ok();
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+      FaultRule& rule = plan_.rules[i];
+      if (rule.corrupt) continue;  // post-read pass handles corruption
+      if (!fires(rule, i, op, path)) continue;
+      if (rule.down) {
+        if (rule.downFired) continue;
+        rule.downFired = true;
+        down_.store(true, std::memory_order_release);
+        metrics.downs.add();
+        QLOG(kWarn, "faultinj")
+            << id_ << " taken down after " << opCounts_[i] << " "
+            << opName(op) << " ops";
+        return util::Status::unavailable("server " + id_ +
+                                         " is down (injected)");
+      }
+      if (rule.delay.count() > 0) delay += rule.delay;
+      if (rule.fail && fail.isOk()) {
+        fail = util::Status(
+            rule.errorCode,
+            util::format("injected %s fault on %s at %s", opName(op),
+                         path.c_str(), id_.c_str()));
+      }
+    }
+  }
+  if (delay.count() > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    metrics.delays.add();
+    std::this_thread::sleep_for(delay);
+  }
+  if (!fail.isOk()) {
+    if (op == FaultOp::kWrite) {
+      writeFaults_.fetch_add(1, std::memory_order_relaxed);
+      metrics.writeFaults.add();
+    } else {
+      readFaults_.fetch_add(1, std::memory_order_relaxed);
+      metrics.readFaults.add();
+    }
+  }
+  return fail;
+}
+
+void FaultyOfsPlugin::maybeCorrupt(const std::string& path,
+                                   std::string& payload) {
+  if (payload.empty()) return;
+  std::lock_guard lock(mutex_);
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    FaultRule& rule = plan_.rules[i];
+    if (!rule.corrupt) continue;
+    if (!fires(rule, i, FaultOp::kRead, path)) continue;
+    if (rule.truncate) {
+      payload.resize(payload.size() / 2);
+    } else {
+      for (int f = 0; f < rule.bitFlips; ++f) {
+        std::uint64_t bit = rng_.below(payload.size() * 8);
+        payload[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(payload[bit / 8]) ^
+            (1u << (bit % 8)));
+      }
+    }
+    corruptions_.fetch_add(1, std::memory_order_relaxed);
+    InjectorMetrics::instance().corruptions.add();
+    QLOG(kDebug, "faultinj")
+        << id_ << " corrupted " << path << " ("
+        << (rule.truncate ? "truncation" : "bit flips") << ")";
+    if (payload.empty()) return;
+  }
+}
+
+util::Status FaultyOfsPlugin::writeFile(const std::string& path,
+                                        std::string payload) {
+  QSERV_RETURN_IF_ERROR(preTransaction(FaultOp::kWrite, path));
+  return inner_->writeFile(path, std::move(payload));
+}
+
+util::Result<std::string> FaultyOfsPlugin::readFile(const std::string& path) {
+  return readFile(path, util::Deadline::unlimited());
+}
+
+util::Result<std::string> FaultyOfsPlugin::readFile(
+    const std::string& path, const util::Deadline& deadline) {
+  QSERV_RETURN_IF_ERROR(preTransaction(FaultOp::kRead, path));
+  auto result = inner_->readFile(path, deadline);
+  if (result.isOk()) maybeCorrupt(path, *result);
+  return result;
+}
+
+}  // namespace qserv::xrd

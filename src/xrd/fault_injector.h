@@ -1,0 +1,137 @@
+/// \file fault_injector.h
+/// \brief Deterministic, scriptable fault injection at the ofs-plugin layer.
+///
+/// The czar is responsible for "managing transient errors" (paper §5.2), and
+/// at LSST scale partial failure is the normal operating mode — so the test
+/// suite needs a way to *create* failures on demand, not just survive the
+/// ones we thought of. FaultyOfsPlugin decorates any OfsPlugin (a Worker, a
+/// test plugin) and injects faults per file transaction according to a
+/// FaultPlan: fail writes/reads with a chosen error code, corrupt result
+/// dumps (bit flips or truncation), add artificial delay, or take the server
+/// "down" after N operations (it stays registered and isUp(), i.e.
+/// sick-but-up — the case the circuit breaker exists for). Every decision is
+/// drawn from a seeded RNG, so a failing fault-sweep run replays exactly
+/// from its seed. Injected faults are counted in the metrics registry under
+/// `faultinj.*` and per-injector accessors.
+///
+/// Plans are scriptable from a one-line spec (shell: QSERV_FAULTS env var):
+///
+///   seed=42; write:p=0.01,fail; read:p=0.005,corrupt; read:after=100,down
+///
+/// Clauses are ';'-separated. `seed=N` sets the plan seed; other clauses are
+/// `<op>:<key>[=<value>],...` with op `write` or `read` and keys:
+///   p=<0..1>       firing probability per matching transaction (default 1)
+///   after=<N>      arm only after N matching transactions (default 0)
+///   path=<substr>  only transactions whose path contains <substr>
+///   fail[=<code>]  fail with error code: unavailable (default) | internal |
+///                  notfound | dataloss
+///   corrupt[=truncate]  flip bits in (or truncate) the returned payload
+///   flips=<N>      number of bit flips per corruption (default 3)
+///   delay=<ms>     sleep this many milliseconds before forwarding
+///   down           permanently refuse transactions once fired
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "xrd/ofs.h"
+
+namespace qserv::xrd {
+
+enum class FaultOp { kWrite, kRead };
+
+/// One injection rule; see the file comment for the spec syntax.
+struct FaultRule {
+  FaultOp op = FaultOp::kWrite;
+  std::string pathPattern;  ///< substring match on the path; empty = any
+  double probability = 1.0;
+  int afterOps = 0;  ///< only fire after this many matching transactions
+
+  // Actions (combinable; `fail` and `corrupt` are mutually exclusive in
+  // practice since a failed transaction returns no payload to corrupt).
+  bool fail = false;
+  util::ErrorCode errorCode = util::ErrorCode::kUnavailable;
+  bool corrupt = false;            ///< read-side payload corruption
+  bool truncate = false;           ///< corrupt by truncation, not bit flips
+  int bitFlips = 3;                ///< flips per corruption event
+  std::chrono::milliseconds delay{0};
+  bool down = false;  ///< once fired, the server refuses everything
+  bool downFired = false;  ///< runtime latch: a down rule fires only once,
+                           ///< so revive() actually restores service
+};
+
+/// A seeded set of rules, applied per server.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  bool empty() const { return rules.empty(); }
+
+  /// Parse the one-line spec syntax documented above.
+  static util::Result<FaultPlan> parse(const std::string& spec);
+};
+
+/// OfsPlugin decorator applying a FaultPlan to every transaction before
+/// (and, for corruption, after) forwarding to the wrapped plugin.
+/// Thread-safe; the RNG and rule counters are guarded by one mutex.
+class FaultyOfsPlugin : public OfsPlugin {
+ public:
+  /// \param id used to decorrelate this injector's RNG from other servers
+  ///        sharing the same plan (seed ^ hash(id)) and for log lines.
+  FaultyOfsPlugin(std::shared_ptr<OfsPlugin> inner, FaultPlan plan,
+                  const std::string& id);
+
+  util::Status writeFile(const std::string& path,
+                         std::string payload) override;
+  util::Result<std::string> readFile(const std::string& path) override;
+  util::Result<std::string> readFile(const std::string& path,
+                                     const util::Deadline& deadline) override;
+  std::vector<std::int32_t> exportedChunks() const override {
+    return inner_->exportedChunks();
+  }
+
+  const std::string& id() const { return id_; }
+
+  /// True once a `down` rule has fired (the server refuses everything).
+  bool isDown() const { return down_.load(std::memory_order_acquire); }
+  /// Revive a downed server (tests of recovery / half-open probes).
+  void revive() { down_.store(false, std::memory_order_release); }
+
+  // Per-injector fault counts (process-wide totals are in the metrics
+  // registry under faultinj.*).
+  std::uint64_t injectedWriteFaults() const { return writeFaults_.load(); }
+  std::uint64_t injectedReadFaults() const { return readFaults_.load(); }
+  std::uint64_t injectedCorruptions() const { return corruptions_.load(); }
+  std::uint64_t injectedDelays() const { return delays_.load(); }
+
+ private:
+  /// The fail/delay/down decision for one transaction; OK = let it through.
+  util::Status preTransaction(FaultOp op, const std::string& path);
+  /// Post-read corruption pass; mutates \p payload when a rule fires.
+  void maybeCorrupt(const std::string& path, std::string& payload);
+  /// Does \p rule match this transaction, and does the RNG fire it?
+  bool fires(FaultRule& rule, std::size_t ruleIndex, FaultOp op,
+             const std::string& path);
+
+  std::shared_ptr<OfsPlugin> inner_;
+  FaultPlan plan_;
+  std::string id_;
+
+  std::mutex mutex_;               ///< guards rng_ and opCounts_
+  util::Rng rng_;
+  std::vector<std::uint64_t> opCounts_;  ///< matching transactions per rule
+
+  std::atomic<bool> down_{false};
+  std::atomic<std::uint64_t> writeFaults_{0};
+  std::atomic<std::uint64_t> readFaults_{0};
+  std::atomic<std::uint64_t> corruptions_{0};
+  std::atomic<std::uint64_t> delays_{0};
+};
+
+}  // namespace qserv::xrd

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "util/deadline.h"
 #include "util/status.h"
 
 namespace qserv::xrd {
@@ -27,6 +28,16 @@ class OfsPlugin {
   /// Read transaction: open \p path for reading, read until EOF, close.
   /// May block until the content is published.
   virtual util::Result<std::string> readFile(const std::string& path) = 0;
+
+  /// Deadline-bounded read transaction: like readFile(path) but a blocking
+  /// plugin must give up (kUnavailable/kDeadlineExceeded) once \p deadline
+  /// expires. The default forwards to the unbounded overload — correct for
+  /// plugins that never block.
+  virtual util::Result<std::string> readFile(const std::string& path,
+                                             const util::Deadline& deadline) {
+    (void)deadline;
+    return readFile(path);
+  }
 
   /// Chunks this plugin exports; the redirector routes /query2/<CC> paths to
   /// a server whose plugin exports CC.

@@ -8,6 +8,34 @@
 
 namespace qserv::xrd {
 
+namespace {
+struct RedirectorMetrics {
+  util::Counter& lookups;
+  util::Counter& cacheHits;
+  util::Counter& cacheMisses;
+  util::Counter& failureEvictions;
+  util::Counter& breakerSkips;
+  util::Counter& breakerOverrides;
+
+  static RedirectorMetrics& instance() {
+    auto& reg = util::MetricsRegistry::instance();
+    static RedirectorMetrics* m = new RedirectorMetrics{
+        reg.counter("xrd.redirector.lookups"),
+        reg.counter("xrd.redirector.cache_hits"),
+        reg.counter("xrd.redirector.cache_misses"),
+        reg.counter("xrd.redirector.failure_evictions"),
+        reg.counter("xrd.redirector.breaker_skips"),
+        reg.counter("xrd.redirector.breaker_overrides"),
+    };
+    return *m;
+  }
+};
+
+bool contains(std::span<const std::string> ids, const std::string& id) {
+  return std::find(ids.begin(), ids.end(), id) != ids.end();
+}
+}  // namespace
+
 void Redirector::registerServer(DataServerPtr server) {
   std::lock_guard lock(mutex_);
   const std::string& id = server->id();
@@ -29,6 +57,7 @@ void Redirector::deregisterServer(const std::string& serverId) {
   }
   std::erase_if(cache_,
                 [&](const auto& kv) { return kv.second->id() == serverId; });
+  breakers_.erase(serverId);
 }
 
 DataServerPtr Redirector::findServer(const std::string& serverId) const {
@@ -37,50 +66,99 @@ DataServerPtr Redirector::findServer(const std::string& serverId) const {
   return it == servers_.end() ? nullptr : it->second;
 }
 
-util::Result<DataServerPtr> Redirector::locate(const std::string& path) {
+util::CircuitBreaker& Redirector::breakerFor(const std::string& serverId) {
+  auto it = breakers_.find(serverId);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(serverId,
+                      std::make_unique<util::CircuitBreaker>(breakerPolicy_))
+             .first;
+  }
+  return *it->second;
+}
+
+util::Result<DataServerPtr> Redirector::locate(
+    const std::string& path, std::span<const std::string> exclude) {
   auto chunkId = parseQueryPath(path);
   if (!chunkId) {
     return util::Status::invalidArgument(
         "redirector only resolves /query2/<chunkId> paths: " + path);
   }
-  auto& reg = util::MetricsRegistry::instance();
-  static util::Counter& lookupCounter =
-      reg.counter("xrd.redirector.lookups");
-  static util::Counter& hitCounter =
-      reg.counter("xrd.redirector.cache_hits");
-  static util::Counter& missCounter =
-      reg.counter("xrd.redirector.cache_misses");
+  auto& metrics = RedirectorMetrics::instance();
   std::lock_guard lock(mutex_);
   ++lookups_;
-  lookupCounter.add();
+  metrics.lookups.add();
   auto cached = cache_.find(*chunkId);
   if (cached != cache_.end()) {
-    if (cached->second->isUp()) {
+    const std::string& id = cached->second->id();
+    if (cached->second->isUp() && !contains(exclude, id) &&
+        breakerFor(id).allowRequest()) {
       ++cacheHits_;
-      hitCounter.add();
+      metrics.cacheHits.add();
       return cached->second;
     }
-    cache_.erase(cached);  // evict the dead replica
+    cache_.erase(cached);  // dead, excluded, or breaker-open: re-balance
   }
-  missCounter.add();
+  metrics.cacheMisses.add();
   auto it = chunkMap_.find(*chunkId);
   if (it == chunkMap_.end() || it->second.empty()) {
     return util::Status::notFound(
         util::format("no data server exports chunk %d", *chunkId));
   }
-  // Round-robin over live replicas.
   const auto& replicas = it->second;
   std::size_t& rr = rrCounter_[*chunkId];
+  // First pass (round-robin): live, not excluded, breaker allows.
+  DataServerPtr degraded;  // breaker-open fallback if no healthy replica
   for (std::size_t i = 0; i < replicas.size(); ++i) {
     DataServerPtr candidate = replicas[(rr + i) % replicas.size()];
-    if (candidate->isUp()) {
-      rr = (rr + i + 1) % replicas.size();
-      cache_[*chunkId] = candidate;
-      return candidate;
+    if (!candidate->isUp() || contains(exclude, candidate->id())) continue;
+    if (!breakerFor(candidate->id()).allowRequest()) {
+      metrics.breakerSkips.add();
+      if (!degraded) degraded = candidate;
+      continue;
     }
+    rr = (rr + i + 1) % replicas.size();
+    cache_[*chunkId] = candidate;
+    return candidate;
+  }
+  // Every live, non-excluded replica has an open breaker: probing a sick
+  // server beats returning nothing (and its outcome retrains the breaker).
+  if (degraded) {
+    metrics.breakerOverrides.add();
+    return degraded;
+  }
+  bool anyUp = std::any_of(replicas.begin(), replicas.end(),
+                           [](const auto& s) { return s->isUp(); });
+  if (anyUp && !exclude.empty()) {
+    return util::Status::unavailable(util::format(
+        "all live replicas of chunk %d already failed this query", *chunkId));
   }
   return util::Status::unavailable(
       util::format("all replicas of chunk %d are down", *chunkId));
+}
+
+void Redirector::reportFailure(std::int32_t chunkId,
+                               const std::string& serverId) {
+  std::lock_guard lock(mutex_);
+  auto cached = cache_.find(chunkId);
+  if (cached != cache_.end() && cached->second->id() == serverId) {
+    cache_.erase(cached);
+    RedirectorMetrics::instance().failureEvictions.add();
+  }
+  breakerFor(serverId).recordFailure();
+}
+
+void Redirector::reportSuccess(const std::string& serverId) {
+  std::lock_guard lock(mutex_);
+  breakerFor(serverId).recordSuccess();
+}
+
+util::CircuitBreaker::State Redirector::breakerState(
+    const std::string& serverId) const {
+  std::lock_guard lock(mutex_);
+  auto it = breakers_.find(serverId);
+  if (it == breakers_.end()) return util::CircuitBreaker::State::kClosed;
+  return it->second->state();
 }
 
 std::vector<DataServerPtr> Redirector::replicasOf(std::int32_t chunkId) const {

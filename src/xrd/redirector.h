@@ -7,21 +7,36 @@
 /// plugin exports chunk CC; with replication, several servers export the
 /// same chunk and the redirector balances among them and fails over when a
 /// server goes down.
+///
+/// Failure handling (the czar "manages transient errors", §5.2):
+/// - locate() takes an exclude set so a retry never re-reads the cached
+///   replica that just failed;
+/// - reportFailure() evicts the failed server from the lookup cache (an
+///   up-but-erroring replica used to be pinned there forever) and feeds a
+///   per-server circuit breaker;
+/// - the breaker (error-rate window -> open -> half-open probe) steers
+///   lookups away from sick-but-up servers, falling back to them only when
+///   no healthy replica remains.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "util/circuit_breaker.h"
 #include "xrd/data_server.h"
 
 namespace qserv::xrd {
 
 class Redirector {
  public:
+  explicit Redirector(util::CircuitBreakerPolicy breakerPolicy = {})
+      : breakerPolicy_(breakerPolicy) {}
+
   /// Register \p server and index its exported chunks.
   void registerServer(DataServerPtr server);
 
@@ -31,10 +46,27 @@ class Redirector {
   /// Server by id (for direct reads of /result paths), or nullptr.
   DataServerPtr findServer(const std::string& serverId) const;
 
-  /// Resolve \p path (/query2/CC) to a live server exporting that chunk.
-  /// Successive lookups of the same chunk hit an internal cache; a cached
-  /// server that has gone down is evicted and another replica chosen.
-  util::Result<DataServerPtr> locate(const std::string& path);
+  /// Resolve \p path (/query2/CC) to a live server exporting that chunk,
+  /// never one named in \p exclude (the replicas that already failed this
+  /// chunk query). Successive lookups of the same chunk hit an internal
+  /// cache; a cached server that has gone down, failed, or is excluded is
+  /// skipped and another replica chosen. Servers whose circuit breaker is
+  /// open are avoided while a healthy replica exists.
+  util::Result<DataServerPtr> locate(
+      const std::string& path,
+      std::span<const std::string> exclude = {});
+
+  /// Record that \p serverId failed a transaction for \p chunkId: evicts the
+  /// cached chunk->server mapping (so the next lookup re-balances) and feeds
+  /// the server's circuit breaker.
+  void reportFailure(std::int32_t chunkId, const std::string& serverId);
+
+  /// Record a successful transaction on \p serverId (closes a half-open
+  /// breaker, keeps the error-rate window honest).
+  void reportSuccess(const std::string& serverId);
+
+  /// The server's breaker state (kClosed when unknown).
+  util::CircuitBreaker::State breakerState(const std::string& serverId) const;
 
   /// All live servers exporting \p chunkId (replicas).
   std::vector<DataServerPtr> replicasOf(std::int32_t chunkId) const;
@@ -45,11 +77,18 @@ class Redirector {
   std::uint64_t cacheHits() const { return cacheHits_; }
 
  private:
+  util::CircuitBreaker& breakerFor(const std::string& serverId);
+
+  const util::CircuitBreakerPolicy breakerPolicy_;
   mutable std::mutex mutex_;
   std::unordered_map<std::string, DataServerPtr> servers_;
   std::unordered_map<std::int32_t, std::vector<DataServerPtr>> chunkMap_;
   std::unordered_map<std::int32_t, DataServerPtr> cache_;
   std::unordered_map<std::int32_t, std::size_t> rrCounter_;
+  /// Breakers are internally synchronized; the map itself is guarded by
+  /// mutex_ and entries live for the registry's lifetime.
+  std::unordered_map<std::string, std::unique_ptr<util::CircuitBreaker>>
+      breakers_;
   std::uint64_t lookups_ = 0;
   std::uint64_t cacheHits_ = 0;
 };

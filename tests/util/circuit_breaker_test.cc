@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "util/circuit_breaker.h"
+
+namespace qserv::util {
+namespace {
+
+using State = CircuitBreaker::State;
+using Clock = CircuitBreaker::Clock;
+
+CircuitBreakerPolicy testPolicy() {
+  CircuitBreakerPolicy p;
+  p.windowSize = 8;
+  p.minSamples = 4;
+  p.openErrorRate = 0.5;
+  p.openDuration = std::chrono::milliseconds(100);
+  p.halfOpenProbes = 1;
+  return p;
+}
+
+TEST(CircuitBreaker, StaysClosedOnSuccesses) {
+  CircuitBreaker b(testPolicy());
+  auto t = Clock::now();
+  for (int i = 0; i < 20; ++i) b.recordSuccess(t);
+  EXPECT_EQ(b.state(), State::kClosed);
+  EXPECT_TRUE(b.allowRequest(t));
+}
+
+TEST(CircuitBreaker, DoesNotJudgeBeforeMinSamples) {
+  CircuitBreaker b(testPolicy());
+  auto t = Clock::now();
+  b.recordFailure(t);
+  b.recordFailure(t);
+  b.recordFailure(t);
+  EXPECT_EQ(b.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, OpensAtErrorRateThreshold) {
+  CircuitBreaker b(testPolicy());
+  auto t = Clock::now();
+  b.recordSuccess(t);
+  b.recordSuccess(t);
+  b.recordFailure(t);
+  b.recordFailure(t);  // 2/4 = 50% >= threshold with minSamples reached
+  EXPECT_EQ(b.state(), State::kOpen);
+  EXPECT_FALSE(b.allowRequest(t));
+}
+
+TEST(CircuitBreaker, HalfOpensAfterCooldownAndLimitsProbes) {
+  auto policy = testPolicy();
+  CircuitBreaker b(policy);
+  auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.recordFailure(t);
+  ASSERT_EQ(b.state(), State::kOpen);
+  EXPECT_FALSE(b.allowRequest(t + std::chrono::milliseconds(50)));
+  // Past the cooldown: exactly one probe passes.
+  auto later = t + policy.openDuration + std::chrono::milliseconds(1);
+  EXPECT_TRUE(b.allowRequest(later));
+  EXPECT_EQ(b.state(), State::kHalfOpen);
+  EXPECT_FALSE(b.allowRequest(later));  // probe slot taken
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  auto policy = testPolicy();
+  CircuitBreaker b(policy);
+  auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.recordFailure(t);
+  auto later = t + policy.openDuration + std::chrono::milliseconds(1);
+  ASSERT_TRUE(b.allowRequest(later));
+  b.recordSuccess(later);
+  EXPECT_EQ(b.state(), State::kClosed);
+  // The sick window was forgotten: one new failure doesn't reopen.
+  b.recordFailure(later);
+  EXPECT_EQ(b.state(), State::kClosed);
+}
+
+TEST(CircuitBreaker, ProbeFailureReopens) {
+  auto policy = testPolicy();
+  CircuitBreaker b(policy);
+  auto t = Clock::now();
+  for (int i = 0; i < 4; ++i) b.recordFailure(t);
+  auto later = t + policy.openDuration + std::chrono::milliseconds(1);
+  ASSERT_TRUE(b.allowRequest(later));
+  b.recordFailure(later);
+  EXPECT_EQ(b.state(), State::kOpen);
+  // The cooldown restarts from the probe failure.
+  EXPECT_FALSE(b.allowRequest(later + std::chrono::milliseconds(50)));
+  EXPECT_TRUE(
+      b.allowRequest(later + policy.openDuration + std::chrono::milliseconds(1)));
+}
+
+TEST(CircuitBreaker, SlidingWindowForgetsOldFailures) {
+  auto policy = testPolicy();
+  CircuitBreaker b(policy);
+  auto t = Clock::now();
+  // An early failure followed by a healthy run falls out of the 8-slot
+  // window; later isolated failures then see a clean window and stay under
+  // the 50% threshold.
+  b.recordFailure(t);
+  for (int i = 0; i < 8; ++i) b.recordSuccess(t);
+  for (int i = 0; i < 3; ++i) b.recordFailure(t);  // 3/8 = 37.5%
+  EXPECT_EQ(b.state(), State::kClosed);
+}
+
+}  // namespace
+}  // namespace qserv::util

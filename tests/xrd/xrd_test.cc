@@ -181,6 +181,82 @@ TEST(Redirector, AllReplicasDownIsUnavailable) {
             util::ErrorCode::kUnavailable);
 }
 
+TEST(Redirector, ExcludeSetSkipsNamedReplicas) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {7}));
+  r->registerServer(makeServer("w2", {7}));
+  std::vector<std::string> exclude{"w1"};
+  for (int i = 0; i < 4; ++i) {
+    auto s = r->locate("/query2/7", exclude);
+    ASSERT_TRUE(s.isOk()) << s.status().toString();
+    EXPECT_EQ((*s)->id(), "w2");
+  }
+}
+
+TEST(Redirector, AllLiveReplicasExcludedIsUnavailable) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {7}));
+  std::vector<std::string> exclude{"w1"};
+  auto s = r->locate("/query2/7", exclude);
+  EXPECT_EQ(s.status().code(), util::ErrorCode::kUnavailable);
+  EXPECT_NE(s.status().message().find("already failed"), std::string::npos);
+}
+
+// Regression: an up-but-erroring replica used to be pinned in the lookup
+// cache forever — every retry of the chunk re-read the very server that had
+// just failed. reportFailure() must evict the cache entry so the next
+// lookup can re-balance onto a sibling replica.
+TEST(Redirector, FailureEvictsPinnedCacheEntry) {
+  auto r = std::make_shared<Redirector>();
+  r->registerServer(makeServer("w1", {7}));
+  r->registerServer(makeServer("w2", {7}));
+  auto first = r->locate("/query2/7");
+  ASSERT_TRUE(first.isOk());
+  const std::string failed = (*first)->id();
+  // The failing server stays up (sick-but-up). Report the failure...
+  r->reportFailure(7, failed);
+  // ...and the retry, which excludes it, must reach the other replica
+  // instead of the cached one.
+  std::vector<std::string> exclude{failed};
+  auto second = r->locate("/query2/7", exclude);
+  ASSERT_TRUE(second.isOk()) << second.status().toString();
+  EXPECT_NE((*second)->id(), failed);
+}
+
+TEST(Redirector, BreakerSteersAwayFromSickServer) {
+  util::CircuitBreakerPolicy policy;
+  policy.windowSize = 4;
+  policy.minSamples = 4;
+  policy.openErrorRate = 0.5;
+  auto r = std::make_shared<Redirector>(policy);
+  r->registerServer(makeServer("w1", {7}));
+  r->registerServer(makeServer("w2", {7}));
+  // w1 fails repeatedly; its breaker opens.
+  for (int i = 0; i < 4; ++i) r->reportFailure(7, "w1");
+  EXPECT_EQ(r->breakerState("w1"), util::CircuitBreaker::State::kOpen);
+  // Lookups (no exclude set — a fresh query) now avoid w1 entirely.
+  for (int i = 0; i < 6; ++i) {
+    auto s = r->locate("/query2/7");
+    ASSERT_TRUE(s.isOk());
+    EXPECT_EQ((*s)->id(), "w2");
+  }
+}
+
+TEST(Redirector, BreakerOpenOnSoleReplicaStillServesDegraded) {
+  util::CircuitBreakerPolicy policy;
+  policy.windowSize = 4;
+  policy.minSamples = 4;
+  auto r = std::make_shared<Redirector>(policy);
+  r->registerServer(makeServer("w1", {7}));
+  for (int i = 0; i < 4; ++i) r->reportFailure(7, "w1");
+  ASSERT_EQ(r->breakerState("w1"), util::CircuitBreaker::State::kOpen);
+  // Breakers must not self-inflict a total outage: with no healthy replica
+  // left the open one is still returned (as a probe).
+  auto s = r->locate("/query2/7");
+  ASSERT_TRUE(s.isOk()) << s.status().toString();
+  EXPECT_EQ((*s)->id(), "w1");
+}
+
 TEST(Redirector, DeregisterRemovesServer) {
   auto r = std::make_shared<Redirector>();
   r->registerServer(makeServer("w1", {1}));
