@@ -1,0 +1,186 @@
+/// \file bench_spatial_join.cc
+/// \brief Near-neighbor self-join: zone-based spatial join vs the streamed
+/// nested loop (see sql/spatial_join.h and DESIGN.md "Zone-based spatial
+/// join"). The workload is one SHV1-shaped subchunk:
+///
+///   SELECT COUNT(*) FROM Obj o1, Obj o2
+///   WHERE qserv_angSep(o1.ra, o1.decl, o2.ra, o2.decl) < 0.01
+///
+/// over 4000 objects in a ~1 deg^2 patch — the per-subchunk unit of work
+/// that the paper's near-neighbor query fans out across chunks (§5.2).
+///
+/// Run as part of the `perf-smoke` CTest target with QSERV_METRICS_JSON
+/// set; the exit snapshot (BENCH_spatial_join.json) records the measured
+/// speedup as a gauge. The process aborts if the two paths disagree on the
+/// pair count, or if the zone path fails its >=5x speedup floor.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.h"
+#include "sql/database.h"
+#include "sql/spatial_join.h"
+#include "util/metrics.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace qserv;
+
+constexpr std::size_t kRows = 4000;
+
+const char* kNearNeighbor =
+    "SELECT COUNT(*) FROM Obj o1, Obj o2 "
+    "WHERE qserv_angSep(o1.ra, o1.decl, o2.ra, o2.decl) < 0.01 "
+    "AND o1.objectId < o2.objectId";
+
+/// One subchunk worth of objects: 4000 positions in [30,31) x [10,11) deg,
+/// ~2% NULL coordinates like real catalog edges.
+sql::Database* joinDb() {
+  static sql::Database* db = [] {
+    auto* d = new sql::Database("bench_spatial_join");
+    sql::Schema schema({{"objectId", sql::ColumnType::kInt},
+                        {"ra", sql::ColumnType::kDouble},
+                        {"decl", sql::ColumnType::kDouble}});
+    auto table = std::make_shared<sql::Table>("Obj", schema);
+    util::Rng rng(0x0b5e55ed);
+    for (std::size_t i = 0; i < kRows; ++i) {
+      std::vector<sql::Value> row;
+      row.reserve(3);
+      row.emplace_back(static_cast<std::int64_t>(i));
+      if (rng.below(100) < 2) {
+        row.emplace_back();  // NULL ra
+        row.emplace_back(rng.uniform(10.0, 11.0));
+      } else {
+        row.emplace_back(rng.uniform(30.0, 31.0));
+        row.emplace_back(rng.uniform(10.0, 11.0));
+      }
+      if (!table->appendRow(row).isOk()) std::abort();
+    }
+    if (!d->registerTable(std::move(table)).isOk()) std::abort();
+    return d;
+  }();
+  return db;
+}
+
+std::int64_t runCount(sql::Database& db, const char* query,
+                      sql::ExecStats* stats = nullptr) {
+  auto r = db.execute(query, stats);
+  if (!r.isOk()) {
+    std::fprintf(stderr, "bench_spatial_join query failed: %s\n  for: %s\n",
+                 r.status().toString().c_str(), query);
+    std::abort();
+  }
+  return (*r)->cell(0, 0).asInt();
+}
+
+void benchJoin(benchmark::State& state, bool zoned) {
+  sql::Database* db = joinDb();
+  sql::setSpatialJoinEnabled(zoned);
+  std::uint64_t pairs = 0;
+  for (auto _ : state) {
+    sql::ExecStats stats;
+    benchmark::DoNotOptimize(runCount(*db, kNearNeighbor, &stats));
+    pairs += stats.pairsEvaluated;
+  }
+  sql::setSpatialJoinEnabled(true);
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+}
+
+void BM_NestedLoopNearNeighbor4k(benchmark::State& s) { benchJoin(s, false); }
+void BM_ZoneJoinNearNeighbor4k(benchmark::State& s) { benchJoin(s, true); }
+BENCHMARK(BM_NestedLoopNearNeighbor4k)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ZoneJoinNearNeighbor4k)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- acceptance gates
+
+/// Both paths must produce the same pair count, the zone run must actually
+/// take the zone path, and the window must prune the bulk of the 16M-pair
+/// cross product.
+void verifyParity() {
+  sql::Database* db = joinDb();
+  sql::ExecStats zoneStats;
+  sql::setSpatialJoinEnabled(true);
+  std::int64_t zoned = runCount(*db, kNearNeighbor, &zoneStats);
+  sql::ExecStats loopStats;
+  sql::setSpatialJoinEnabled(false);
+  std::int64_t looped = runCount(*db, kNearNeighbor, &loopStats);
+  sql::setSpatialJoinEnabled(true);
+  if (zoned != looped) {
+    std::fprintf(stderr, "PARITY FAILURE: zone=%lld nested=%lld\n",
+                 static_cast<long long>(zoned),
+                 static_cast<long long>(looped));
+    std::abort();
+  }
+  if (zoneStats.spatialJoins != 1 || loopStats.spatialJoins != 0) {
+    std::fprintf(stderr,
+                 "PATH FAILURE: spatialJoins zone=%llu nested=%llu "
+                 "(want 1/0)\n",
+                 static_cast<unsigned long long>(zoneStats.spatialJoins),
+                 static_cast<unsigned long long>(loopStats.spatialJoins));
+    std::abort();
+  }
+  if (zoneStats.zoneJoinCandidates >= loopStats.pairsEvaluated / 10) {
+    std::fprintf(stderr,
+                 "PRUNING FAILURE: %llu candidates out of %llu pairs\n",
+                 static_cast<unsigned long long>(zoneStats.zoneJoinCandidates),
+                 static_cast<unsigned long long>(loopStats.pairsEvaluated));
+    std::abort();
+  }
+  std::printf(
+      "parity check: %lld pairs both paths; zones pruned %llu of %llu "
+      "candidate pairs  [ok]\n",
+      static_cast<long long>(zoned),
+      static_cast<unsigned long long>(zoneStats.zoneJoinPairsPruned),
+      static_cast<unsigned long long>(loopStats.pairsEvaluated));
+}
+
+double secondsPerExec(sql::Database& db, bool zoned, int iters) {
+  sql::setSpatialJoinEnabled(zoned);
+  (void)runCount(db, kNearNeighbor);  // warm up
+  double best = 1e30;
+  for (int i = 0; i < iters; ++i) {
+    util::Stopwatch w;
+    (void)runCount(db, kNearNeighbor);
+    best = std::min(best, w.elapsedSeconds());
+  }
+  sql::setSpatialJoinEnabled(true);
+  return best;
+}
+
+void reportSpeedup() {
+  sql::Database* db = joinDb();
+  double loopSec = secondsPerExec(*db, false, 7);
+  double zoneSec = secondsPerExec(*db, true, 7);
+  double speedup = loopSec / zoneSec;
+  util::MetricsRegistry::instance()
+      .gauge("bench.spatial_join.speedup_nearneighbor")
+      .set(speedup);
+  std::printf("---- zone join vs streamed nested loop (4k-row subchunk) ----\n");
+  std::printf("  near-neighbor self-join  nested %8.3f ms   zone %8.3f ms   "
+              "speedup %5.2fx\n",
+              loopSec * 1e3, zoneSec * 1e3, speedup);
+  if (speedup < 5.0) {
+    std::fprintf(stderr,
+                 "SPEEDUP FAILURE: near-neighbor zone join %.2fx < 5x\n",
+                 speedup);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::emitMetricsSnapshotAtExit();
+  verifyParity();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  reportSpeedup();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -32,6 +32,7 @@ qserv_add_bench(bench_dispatch)
 qserv_add_bench(bench_transfer)
 qserv_add_bench(bench_micro)
 qserv_add_bench(bench_filter)
+qserv_add_bench(bench_spatial_join)
 
 # perf-smoke: a fast benchmark pass (micro primitives + scan-filter kernels)
 # whose metrics snapshots land in the build dir as BENCH_*.json baselines.
@@ -52,9 +53,16 @@ add_test(NAME perf_smoke_filter
 set_tests_properties(perf_smoke_filter PROPERTIES
   LABELS "perf"
   ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_filter.json")
+add_test(NAME perf_smoke_spatial_join
+  CONFIGURATIONS perf
+  COMMAND bench_spatial_join --benchmark_min_time=0.02)
+set_tests_properties(perf_smoke_spatial_join PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_spatial_join.json")
 add_custom_target(perf-smoke
   COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
           --output-on-failure
-  DEPENDS bench_micro bench_filter
+  DEPENDS bench_micro bench_filter bench_spatial_join
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
-  COMMENT "perf-smoke: bench_micro + bench_filter with metrics snapshots")
+  COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join "
+          "with metrics snapshots")

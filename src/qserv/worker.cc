@@ -35,6 +35,9 @@ struct WorkerMetrics {
   util::Counter& vectorRowsOut;
   util::Counter& zoneMapPrunes;
   util::Counter& zoneMapRowsSkipped;
+  util::Counter& spatialJoins;
+  util::Counter& zoneJoinPairsPruned;
+  util::Counter& zoneJoinCandidates;
   util::Gauge& queueDepth;
   util::Gauge& busySlots;
   util::Histogram& queueWaitSeconds;
@@ -55,6 +58,9 @@ struct WorkerMetrics {
         reg.counter("worker.vector_rows_out"),
         reg.counter("worker.zone_map_prunes"),
         reg.counter("worker.zone_map_rows_skipped"),
+        reg.counter("worker.spatial_joins"),
+        reg.counter("worker.zone_join_pairs_pruned"),
+        reg.counter("worker.zone_join_candidates"),
         reg.gauge("worker.queue_depth"),
         reg.gauge("worker.busy_slots"),
         reg.histogram("worker.queue_wait_seconds"),
@@ -505,6 +511,21 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
                   static_cast<std::int64_t>(stats.zoneMapPrunes))
         .attr("zoneMapRowsSkipped",
               static_cast<std::int64_t>(stats.zoneMapRowsSkipped));
+  }
+  if (stats.spatialJoins > 0) {
+    metrics.spatialJoins.add(stats.spatialJoins);
+    metrics.zoneJoinPairsPruned.add(stats.zoneJoinPairsPruned);
+    metrics.zoneJoinCandidates.add(stats.zoneJoinCandidates);
+    execSpan.attr("spatialJoins",
+                  static_cast<std::int64_t>(stats.spatialJoins))
+        .attr("zoneJoinZonesBuilt",
+              static_cast<std::int64_t>(stats.zoneJoinZonesBuilt))
+        .attr("zoneJoinZonesProbed",
+              static_cast<std::int64_t>(stats.zoneJoinZonesProbed))
+        .attr("zoneJoinCandidates",
+              static_cast<std::int64_t>(stats.zoneJoinCandidates))
+        .attr("zoneJoinPairsPruned",
+              static_cast<std::int64_t>(stats.zoneJoinPairsPruned));
   }
   execSpan.attr("resultRows",
                 static_cast<std::int64_t>((*result)->numRows()))

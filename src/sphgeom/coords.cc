@@ -17,6 +17,19 @@ LonLat toLonLat(const Vector3d& v) {
   return {normalizeLonDeg(lon), clampLatDeg(lat)};
 }
 
+double raSearchWindowDeg(double rDeg, double decDeg) {
+  if (!(rDeg > 0.0)) return 0.0;  // negative, zero, or NaN radius
+  if (rDeg >= 90.0) return 180.0;
+  if (std::fabs(decDeg) + rDeg >= 90.0) return 180.0;
+  double d = degToRad(rDeg);
+  double c = degToRad(decDeg);
+  // cos(c-d)*cos(c+d) = cos^2(c) - sin^2(d); the guard above keeps it > 0
+  // in exact arithmetic, but rounding near the pole can still cross zero.
+  double x = std::cos(c - d) * std::cos(c + d);
+  if (x <= 0.0) return 180.0;
+  return radToDeg(std::atan(std::sin(d) / std::sqrt(x)));
+}
+
 double angSepDeg(double lon1, double lat1, double lon2, double lat2) {
   double p1 = degToRad(lat1), p2 = degToRad(lat2);
   double dp = p2 - p1;

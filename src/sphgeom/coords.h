@@ -24,4 +24,14 @@ LonLat toLonLat(const Vector3d& v);
 /// this is the reference implementation of the paper's qserv_angSep UDF.
 double angSepDeg(double lon1, double lat1, double lon2, double lat2);
 
+/// Half-width, in degrees of RA, of the smallest RA interval centered on a
+/// point at declination \p decDeg containing every point within angular
+/// distance \p rDeg of it (the zone algorithm's search window, Gray et al.).
+/// The textbook widening is r / cos(dec); that undershoots by up to an
+/// arcsin, so this returns the exact bound
+///   alpha = atan(sin r / sqrt(cos(dec - r) * cos(dec + r)))
+/// which is >= r / cos(dec) and tight. Returns 180 when the cap touches a
+/// pole (|dec| + r >= 90: every RA can match) and 0 for r <= 0 or NaN.
+double raSearchWindowDeg(double rDeg, double decDeg);
+
 }  // namespace qserv::sphgeom

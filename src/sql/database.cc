@@ -20,6 +20,11 @@ void ExecStats::add(const ExecStats& o) {
   fallbackRows += o.fallbackRows;
   zoneMapPrunes += o.zoneMapPrunes;
   zoneMapRowsSkipped += o.zoneMapRowsSkipped;
+  spatialJoins += o.spatialJoins;
+  zoneJoinZonesBuilt += o.zoneJoinZonesBuilt;
+  zoneJoinZonesProbed += o.zoneJoinZonesProbed;
+  zoneJoinCandidates += o.zoneJoinCandidates;
+  zoneJoinPairsPruned += o.zoneJoinPairsPruned;
   for (const auto& [table, rows] : o.rowsScannedByTable) {
     rowsScannedByTable[table] += rows;
   }

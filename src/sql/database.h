@@ -41,6 +41,12 @@ struct ExecStats {
   std::uint64_t fallbackRows = 0;      ///< survivors re-checked row-at-a-time
   std::uint64_t zoneMapPrunes = 0;     ///< scans skipped via zone maps
   std::uint64_t zoneMapRowsSkipped = 0;  ///< rows those scans never touched
+  // Zone-based spatial join (sql/spatial_join.h):
+  std::uint64_t spatialJoins = 0;        ///< join stages run through zones
+  std::uint64_t zoneJoinZonesBuilt = 0;  ///< dec bands across built indexes
+  std::uint64_t zoneJoinZonesProbed = 0; ///< zone buckets inspected by probes
+  std::uint64_t zoneJoinCandidates = 0;  ///< pairs reaching the exact test
+  std::uint64_t zoneJoinPairsPruned = 0; ///< pairs the window never examined
   /// Base-table rows read, broken down by table name — the cost model
   /// charges different paper-scale row widths per table.
   std::map<std::string, std::uint64_t> rowsScannedByTable;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <unordered_map>
 
 #include "sql/expr_eval.h"
+#include "sql/spatial_join.h"
 #include "sql/vector_eval.h"
 #include "util/strings.h"
 
@@ -217,55 +219,6 @@ struct AggAccumulator {
 };
 
 // ------------------------------------------------------------- where split
-
-/// Collect the scope-table indices referenced by \p expr.
-Status collectTableRefs(const Expr& expr, std::span<const ScopeTable> scope,
-                        std::vector<bool>& used) {
-  switch (expr.kind()) {
-    case ExprKind::kColumnRef: {
-      QSERV_ASSIGN_OR_RETURN(
-          ColumnSlot slot,
-          resolveColumn(static_cast<const ColumnRef&>(expr), scope));
-      used[slot.tableIdx] = true;
-      return Status::ok();
-    }
-    case ExprKind::kUnary:
-      return collectTableRefs(*static_cast<const UnaryExpr&>(expr).operand,
-                              scope, used);
-    case ExprKind::kBinary: {
-      const auto& b = static_cast<const BinaryExpr&>(expr);
-      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.lhs, scope, used));
-      return collectTableRefs(*b.rhs, scope, used);
-    }
-    case ExprKind::kFuncCall: {
-      const auto& f = static_cast<const FuncCall&>(expr);
-      for (const auto& a : f.args) {
-        if (a->kind() == ExprKind::kStar) continue;
-        QSERV_RETURN_IF_ERROR(collectTableRefs(*a, scope, used));
-      }
-      return Status::ok();
-    }
-    case ExprKind::kBetween: {
-      const auto& b = static_cast<const BetweenExpr&>(expr);
-      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.expr, scope, used));
-      QSERV_RETURN_IF_ERROR(collectTableRefs(*b.lo, scope, used));
-      return collectTableRefs(*b.hi, scope, used);
-    }
-    case ExprKind::kIn: {
-      const auto& i = static_cast<const InExpr&>(expr);
-      QSERV_RETURN_IF_ERROR(collectTableRefs(*i.expr, scope, used));
-      for (const auto& e : i.list) {
-        QSERV_RETURN_IF_ERROR(collectTableRefs(*e, scope, used));
-      }
-      return Status::ok();
-    }
-    case ExprKind::kIsNull:
-      return collectTableRefs(*static_cast<const IsNullExpr&>(expr).expr,
-                              scope, used);
-    default:
-      return Status::ok();
-  }
-}
 
 /// Flatten an AND tree into conjuncts (borrowed pointers into the tree).
 void flattenConjuncts(const Expr* expr, std::vector<const Expr*>& out) {
@@ -616,7 +569,7 @@ class SelectExec {
       Conjunct c;
       c.expr = e;
       std::vector<bool> used(scope_.size(), false);
-      QSERV_RETURN_IF_ERROR(collectTableRefs(*e, scope_, used));
+      QSERV_RETURN_IF_ERROR(collectReferencedTables(*e, scope_, used));
       for (std::size_t t = 0; t < used.size(); ++t) {
         if (used[t]) {
           c.tables.push_back(static_cast<int>(t));
@@ -876,7 +829,7 @@ class SelectExec {
         if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) continue;
         auto sideTables = [&](const Expr& e) -> Result<std::vector<int>> {
           std::vector<bool> used(scope_.size(), false);
-          QSERV_RETURN_IF_ERROR(collectTableRefs(e, scope_, used));
+          QSERV_RETURN_IF_ERROR(collectReferencedTables(e, scope_, used));
           std::vector<int> out;
           for (std::size_t i = 0; i < used.size(); ++i) {
             if (used[i]) out.push_back(static_cast<int>(i));
@@ -898,9 +851,66 @@ class SelectExec {
         }
       }
 
+      // Zone-based spatial join: when no equi key hashes this stage, look
+      // for a near-neighbor conjunct (qserv_angSep/scisql_angSep < r)
+      // before falling back to the nested loop (see sql/spatial_join.h).
+      std::optional<SpatialJoinSpec> spatial;
+      if (joinKeys.empty() && spatialJoinEnabled()) {
+        for (const auto& c : conjuncts_) {
+          if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) {
+            continue;
+          }
+          QSERV_ASSIGN_OR_RETURN(
+              auto m, matchSpatialJoin(*c.expr, scope_, t, registry_));
+          if (m) {
+            spatial = std::move(m);
+            break;
+          }
+        }
+      }
+
+      // Residual conjuncts fully bound at this stage (excluding per-table
+      // conjuncts, already applied; equi keys, already used; and the
+      // spatial conjunct, applied exactly during the probe).
+      std::vector<CompiledExprPtr> residual;
+      for (const auto& c : conjuncts_) {
+        if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) continue;
+        if (spatial && c.expr == spatial->conjunct) continue;
+        bool usedAsJoinKey = false;
+        for (auto& [probe, build] : joinKeys) {
+          if (c.expr->kind() == ExprKind::kBinary) {
+            const auto* b = static_cast<const BinaryExpr*>(c.expr);
+            if ((b->lhs.get() == probe && b->rhs.get() == build) ||
+                (b->rhs.get() == probe && b->lhs.get() == build)) {
+              usedAsJoinKey = true;
+            }
+          }
+        }
+        if (usedAsJoinKey) continue;
+        QSERV_ASSIGN_OR_RETURN(auto compiled,
+                               bindExpr(*c.expr, scope_, registry_));
+        residual.push_back(std::move(compiled));
+      }
+
       std::vector<std::vector<std::size_t>> next;
       std::vector<std::size_t> rowCursor(k, 0);
       EvalCtx ctx{tablesRaw_, rowCursor, {}};
+      // Residuals stream per pair: emit() completes the cursor (the caller
+      // has set rowCursor[0..t-1] from the tuple), runs the filters, and
+      // materializes the extended tuple only when every one passes — peak
+      // memory is O(surviving pairs), never the O(n^2) cross product.
+      auto setTupleCursor = [&](const std::vector<std::size_t>& tup) {
+        for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+      };
+      auto emit = [&](const std::vector<std::size_t>& tup, std::size_t r) {
+        rowCursor[t] = r;
+        for (const auto& f : residual) {
+          if (!f->eval(ctx).isTrue()) return;
+        }
+        auto extended = tup;
+        extended.push_back(r);
+        next.push_back(std::move(extended));
+      };
 
       if (!joinKeys.empty()) {
         // Hash join: build on table t's candidates.
@@ -926,7 +936,7 @@ class SelectExec {
           hash[std::move(key)].push_back(r);
         }
         for (const auto& tup : tuples_) {
-          for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
+          setTupleCursor(tup);
           GroupKey key;
           bool hasNull = false;
           for (const auto& pk : probeKeys) {
@@ -939,59 +949,63 @@ class SelectExec {
           if (it == hash.end()) continue;
           for (std::size_t r : it->second) {
             ++stats_.joinMatches;
-            auto extended = tup;
-            extended.push_back(r);
-            next.push_back(std::move(extended));
+            emit(tup, r);
           }
         }
-      } else {
-        // Nested loop.
-        stats_.pairsEvaluated += tuples_.size() * rows.size();
-        next.reserve(tuples_.size());
+      } else if (spatial) {
+        // Zone join: dec-banded index over table t's candidates, probed
+        // with an RA window per outer tuple; the exact angSep comparison
+        // runs on every candidate so results match the nested loop
+        // bit-for-bit (candidates are re-sorted by row id so even the
+        // emission order is identical).
+        ++stats_.spatialJoins;
+        QSERV_ASSIGN_OR_RETURN(
+            ZoneIndex zindex,
+            ZoneIndex::build(*spatial, scope_, t, tablesRaw_, rows,
+                             registry_));
+        stats_.zoneJoinZonesBuilt += zindex.numZones();
+        QSERV_ASSIGN_OR_RETURN(auto outerRa,
+                               bindExpr(*spatial->outerRa, scope_, registry_));
+        QSERV_ASSIGN_OR_RETURN(
+            auto outerDec, bindExpr(*spatial->outerDec, scope_, registry_));
+        const std::uint64_t totalPairs =
+            static_cast<std::uint64_t>(tuples_.size()) * rows.size();
+        std::uint64_t candidates = 0;
+        std::vector<std::uint32_t> hits;
         for (const auto& tup : tuples_) {
-          for (std::size_t r : rows) {
-            auto extended = tup;
-            extended.push_back(r);
-            next.push_back(std::move(extended));
+          setTupleCursor(tup);
+          Value raV = outerRa->eval(ctx);
+          Value decV = outerDec->eval(ctx);
+          // NULL/non-numeric/non-finite outer coordinates never join.
+          if (!raV.isNumeric() || !decV.isNumeric()) continue;
+          double ra = raV.toDouble();
+          double dec = decV.toDouble();
+          if (!std::isfinite(ra) || !std::isfinite(dec)) continue;
+          hits.clear();
+          zindex.probe(ra, dec, hits, stats_.zoneJoinZonesProbed);
+          candidates += hits.size();
+          std::sort(hits.begin(), hits.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return zindex.entry(a).row < zindex.entry(b).row;
+                    });
+          for (std::uint32_t h : hits) {
+            const ZoneIndex::Entry& e = zindex.entry(h);
+            if (!spatial->matches(ra, dec, e.raOrig, e.dec)) continue;
+            emit(tup, e.row);
           }
         }
-      }
-
-      // Apply residual conjuncts fully bound at this stage (excluding
-      // per-table conjuncts, already applied, and equi keys, already used).
-      std::vector<CompiledExprPtr> residual;
-      for (const auto& c : conjuncts_) {
-        if (c.maxTable != static_cast<int>(t) || c.tables.size() < 2) continue;
-        bool usedAsJoinKey = false;
-        for (auto& [probe, build] : joinKeys) {
-          if (c.expr->kind() == ExprKind::kBinary) {
-            const auto* b = static_cast<const BinaryExpr*>(c.expr);
-            if ((b->lhs.get() == probe && b->rhs.get() == build) ||
-                (b->rhs.get() == probe && b->lhs.get() == build)) {
-              usedAsJoinKey = true;
-            }
-          }
+        // The cost model charges pairs actually examined; the pruned
+        // remainder of the cross product is the zone algorithm's win.
+        stats_.pairsEvaluated += candidates;
+        stats_.zoneJoinCandidates += candidates;
+        stats_.zoneJoinPairsPruned += totalPairs - candidates;
+      } else {
+        // Streamed nested loop.
+        stats_.pairsEvaluated += tuples_.size() * rows.size();
+        for (const auto& tup : tuples_) {
+          setTupleCursor(tup);
+          for (std::size_t r : rows) emit(tup, r);
         }
-        if (usedAsJoinKey) continue;
-        QSERV_ASSIGN_OR_RETURN(auto compiled,
-                               bindExpr(*c.expr, scope_, registry_));
-        residual.push_back(std::move(compiled));
-      }
-      if (!residual.empty()) {
-        std::vector<std::vector<std::size_t>> kept;
-        kept.reserve(next.size());
-        for (auto& tup : next) {
-          for (std::size_t i = 0; i < tup.size(); ++i) rowCursor[i] = tup[i];
-          bool ok = true;
-          for (const auto& f : residual) {
-            if (!f->eval(ctx).isTrue()) {
-              ok = false;
-              break;
-            }
-          }
-          if (ok) kept.push_back(std::move(tup));
-        }
-        next = std::move(kept);
       }
       tuples_ = std::move(next);
     }

@@ -366,6 +366,55 @@ Result<Value> evalConstExpr(const Expr& expr,
   return compiled->eval(ctx);
 }
 
+Status collectReferencedTables(const Expr& expr,
+                               std::span<const ScopeTable> scope,
+                               std::vector<bool>& used) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef: {
+      QSERV_ASSIGN_OR_RETURN(
+          ColumnSlot slot,
+          resolveColumn(static_cast<const ColumnRef&>(expr), scope));
+      used[slot.tableIdx] = true;
+      return Status::ok();
+    }
+    case ExprKind::kUnary:
+      return collectReferencedTables(
+          *static_cast<const UnaryExpr&>(expr).operand, scope, used);
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectReferencedTables(*b.lhs, scope, used));
+      return collectReferencedTables(*b.rhs, scope, used);
+    }
+    case ExprKind::kFuncCall: {
+      const auto& f = static_cast<const FuncCall&>(expr);
+      for (const auto& a : f.args) {
+        if (a->kind() == ExprKind::kStar) continue;
+        QSERV_RETURN_IF_ERROR(collectReferencedTables(*a, scope, used));
+      }
+      return Status::ok();
+    }
+    case ExprKind::kBetween: {
+      const auto& b = static_cast<const BetweenExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectReferencedTables(*b.expr, scope, used));
+      QSERV_RETURN_IF_ERROR(collectReferencedTables(*b.lo, scope, used));
+      return collectReferencedTables(*b.hi, scope, used);
+    }
+    case ExprKind::kIn: {
+      const auto& i = static_cast<const InExpr&>(expr);
+      QSERV_RETURN_IF_ERROR(collectReferencedTables(*i.expr, scope, used));
+      for (const auto& e : i.list) {
+        QSERV_RETURN_IF_ERROR(collectReferencedTables(*e, scope, used));
+      }
+      return Status::ok();
+    }
+    case ExprKind::kIsNull:
+      return collectReferencedTables(
+          *static_cast<const IsNullExpr&>(expr).expr, scope, used);
+    default:
+      return Status::ok();
+  }
+}
+
 bool isConstExpr(const Expr& expr) {
   switch (expr.kind()) {
     case ExprKind::kColumnRef:

@@ -72,4 +72,12 @@ struct ColumnSlot {
 util::Result<ColumnSlot> resolveColumn(const ColumnRef& ref,
                                        std::span<const ScopeTable> scope);
 
+/// Mark in \p used (size == scope.size()) every scope table referenced by a
+/// column inside \p expr. Fails on unknown/ambiguous columns. Shared by the
+/// executor's join planning and the spatial-join detector
+/// (sql/spatial_join.h).
+util::Status collectReferencedTables(const Expr& expr,
+                                     std::span<const ScopeTable> scope,
+                                     std::vector<bool>& used);
+
 }  // namespace qserv::sql

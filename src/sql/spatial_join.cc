@@ -1,0 +1,338 @@
+#include "sql/spatial_join.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "sphgeom/angle.h"
+#include "sphgeom/coords.h"
+#include "util/strings.h"
+
+namespace qserv::sql {
+
+namespace {
+
+using util::Result;
+using util::Status;
+
+std::atomic<bool> g_spatialJoinEnabled{true};
+
+/// Epsilon pad on the search radius so the zone/RA window stays a superset
+/// of the exact residual even when angSepDeg rounds a boundary pair inward
+/// by an ulp. Pruning loses nothing measurable: the pad is nanodegrees.
+double paddedRadius(double radiusDeg) {
+  return radiusDeg + 1e-9 + radiusDeg * 1e-12;
+}
+
+bool isAngSepCall(const Expr& e) {
+  if (e.kind() != ExprKind::kFuncCall) return false;
+  const auto& f = static_cast<const FuncCall&>(e);
+  if (f.args.size() != 4) return false;
+  return util::iequals(f.name, "qserv_angSep") ||
+         util::iequals(f.name, "scisql_angSep");
+}
+
+/// Scope tables referenced by \p e, as a sorted index list.
+Result<std::vector<int>> referencedTables(const Expr& e,
+                                          std::span<const ScopeTable> scope) {
+  std::vector<bool> used(scope.size(), false);
+  QSERV_RETURN_IF_ERROR(collectReferencedTables(e, scope, used));
+  std::vector<int> out;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    if (used[i]) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+void setSpatialJoinEnabled(bool enabled) {
+  g_spatialJoinEnabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool spatialJoinEnabled() {
+  return g_spatialJoinEnabled.load(std::memory_order_relaxed);
+}
+
+bool SpatialJoinSpec::matches(double outerRaV, double outerDecV,
+                              double innerRaV, double innerDecV) const {
+  // Keep the call's original argument order: angSepDeg is symmetric in real
+  // arithmetic but bit-identical results require the same evaluation order
+  // as the scalar path.
+  double sep = innerIsFirstPair
+                   ? sphgeom::angSepDeg(innerRaV, innerDecV, outerRaV,
+                                        outerDecV)
+                   : sphgeom::angSepDeg(outerRaV, outerDecV, innerRaV,
+                                        innerDecV);
+  return inclusive ? sep <= radiusDeg : sep < radiusDeg;
+}
+
+Result<std::optional<SpatialJoinSpec>> matchSpatialJoin(
+    const Expr& conjunct, std::span<const ScopeTable> scope,
+    std::size_t stageTable, const FunctionRegistry& registry) {
+  if (conjunct.kind() != ExprKind::kBinary) {
+    return std::optional<SpatialJoinSpec>();
+  }
+  const auto& b = static_cast<const BinaryExpr&>(conjunct);
+
+  // angSep(...) < r | angSep(...) <= r | r > angSep(...) | r >= angSep(...)
+  const Expr* call = nullptr;
+  const Expr* radius = nullptr;
+  bool inclusive = false;
+  if ((b.op == BinOp::kLt || b.op == BinOp::kLe) && isAngSepCall(*b.lhs) &&
+      isConstExpr(*b.rhs)) {
+    call = b.lhs.get();
+    radius = b.rhs.get();
+    inclusive = b.op == BinOp::kLe;
+  } else if ((b.op == BinOp::kGt || b.op == BinOp::kGe) &&
+             isAngSepCall(*b.rhs) && isConstExpr(*b.lhs)) {
+    call = b.rhs.get();
+    radius = b.lhs.get();
+    inclusive = b.op == BinOp::kGe;
+  } else {
+    return std::optional<SpatialJoinSpec>();
+  }
+
+  QSERV_ASSIGN_OR_RETURN(Value r, evalConstExpr(*radius, registry));
+  if (!r.isNumeric()) return std::optional<SpatialJoinSpec>();  // never true
+  double radiusDeg = r.toDouble();
+  // Negative and non-finite radii keep nested-loop semantics (a negative or
+  // NaN radius never matches; +inf matches everything) — not worth zoning.
+  if (!std::isfinite(radiusDeg) || radiusDeg < 0.0) {
+    return std::optional<SpatialJoinSpec>();
+  }
+
+  const auto& f = static_cast<const FuncCall&>(*call);
+  QSERV_ASSIGN_OR_RETURN(auto firstPairTables,
+                         referencedTables(*f.args[0], scope));
+  {
+    QSERV_ASSIGN_OR_RETURN(auto t1, referencedTables(*f.args[1], scope));
+    firstPairTables.insert(firstPairTables.end(), t1.begin(), t1.end());
+  }
+  QSERV_ASSIGN_OR_RETURN(auto secondPairTables,
+                         referencedTables(*f.args[2], scope));
+  {
+    QSERV_ASSIGN_OR_RETURN(auto t3, referencedTables(*f.args[3], scope));
+    secondPairTables.insert(secondPairTables.end(), t3.begin(), t3.end());
+  }
+  auto dedupe = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  dedupe(firstPairTables);
+  dedupe(secondPairTables);
+
+  const int stage = static_cast<int>(stageTable);
+  auto onlyStage = [&](const std::vector<int>& v) {
+    return v.size() == 1 && v[0] == stage;
+  };
+  auto allBelowStage = [&](const std::vector<int>& v) {
+    return !v.empty() && v.back() < stage;
+  };
+
+  SpatialJoinSpec spec;
+  spec.conjunct = &conjunct;
+  spec.radiusDeg = radiusDeg;
+  spec.inclusive = inclusive;
+  if (onlyStage(firstPairTables) && allBelowStage(secondPairTables)) {
+    spec.innerRa = f.args[0].get();
+    spec.innerDec = f.args[1].get();
+    spec.outerRa = f.args[2].get();
+    spec.outerDec = f.args[3].get();
+    spec.innerIsFirstPair = true;
+  } else if (onlyStage(secondPairTables) && allBelowStage(firstPairTables)) {
+    spec.outerRa = f.args[0].get();
+    spec.outerDec = f.args[1].get();
+    spec.innerRa = f.args[2].get();
+    spec.innerDec = f.args[3].get();
+    spec.innerIsFirstPair = false;
+  } else {
+    // Pairs mix tables, or neither binds to the stage.
+    return std::optional<SpatialJoinSpec>();
+  }
+  return std::optional<SpatialJoinSpec>(spec);
+}
+
+std::int64_t ZoneIndex::zoneOf(double dec) const {
+  return static_cast<std::int64_t>(std::floor((dec + 90.0) / height_));
+}
+
+Result<ZoneIndex> ZoneIndex::build(const SpatialJoinSpec& spec,
+                                   std::span<const ScopeTable> scope,
+                                   std::size_t stageTable,
+                                   std::span<const Table* const> tables,
+                                   std::span<const std::size_t> candidateRows,
+                                   const FunctionRegistry& registry) {
+  ZoneIndex index;
+  index.searchRadius_ = paddedRadius(spec.radiusDeg);
+  index.height_ = std::max(index.searchRadius_, 1e-12);
+
+  const Table& table = *tables[stageTable];
+
+  // Coordinate readers: straight columnar access when the inner expressions
+  // are plain numeric column references, the scalar path otherwise.
+  const std::vector<double>* raDbl = nullptr;
+  const std::vector<double>* decDbl = nullptr;
+  const std::vector<std::int64_t>* raInt = nullptr;
+  const std::vector<std::int64_t>* decInt = nullptr;
+  std::size_t raCol = 0, decCol = 0;
+  bool columnar = false;
+  if (spec.innerRa->kind() == ExprKind::kColumnRef &&
+      spec.innerDec->kind() == ExprKind::kColumnRef) {
+    auto raSlot =
+        resolveColumn(static_cast<const ColumnRef&>(*spec.innerRa), scope);
+    auto decSlot =
+        resolveColumn(static_cast<const ColumnRef&>(*spec.innerDec), scope);
+    if (raSlot.isOk() && decSlot.isOk() &&
+        raSlot->tableIdx == stageTable && decSlot->tableIdx == stageTable) {
+      raCol = raSlot->columnIdx;
+      decCol = decSlot->columnIdx;
+      ColumnType raType = table.schema().column(raCol).type;
+      ColumnType decType = table.schema().column(decCol).type;
+      if ((raType == ColumnType::kDouble || raType == ColumnType::kInt) &&
+          (decType == ColumnType::kDouble || decType == ColumnType::kInt)) {
+        columnar = true;
+        if (raType == ColumnType::kDouble) raDbl = &table.doubleColumn(raCol);
+        else raInt = &table.intColumn(raCol);
+        if (decType == ColumnType::kDouble) {
+          decDbl = &table.doubleColumn(decCol);
+        } else {
+          decInt = &table.intColumn(decCol);
+        }
+      }
+    }
+  }
+
+  CompiledExprPtr raExpr, decExpr;
+  std::vector<std::size_t> rowCursor;
+  if (!columnar) {
+    QSERV_ASSIGN_OR_RETURN(raExpr, bindExpr(*spec.innerRa, scope, registry));
+    QSERV_ASSIGN_OR_RETURN(decExpr, bindExpr(*spec.innerDec, scope, registry));
+    rowCursor.assign(tables.size(), 0);
+  }
+
+  struct Keyed {
+    std::int64_t zone;
+    Entry entry;
+  };
+  std::vector<Keyed> zoned;
+  std::vector<Entry> unzoned;  // |dec| > 90: the zone bound does not apply
+  zoned.reserve(candidateRows.size());
+  for (std::size_t r : candidateRows) {
+    double ra, dec;
+    if (columnar) {
+      if (table.isNull(r, raCol) || table.isNull(r, decCol)) continue;
+      ra = raDbl ? (*raDbl)[r] : static_cast<double>((*raInt)[r]);
+      dec = decDbl ? (*decDbl)[r] : static_cast<double>((*decInt)[r]);
+    } else {
+      rowCursor[stageTable] = r;
+      EvalCtx ctx{tables, rowCursor, {}};
+      Value raV = raExpr->eval(ctx);
+      Value decV = decExpr->eval(ctx);
+      if (!raV.isNumeric() || !decV.isNumeric()) continue;
+      ra = raV.toDouble();
+      dec = decV.toDouble();
+    }
+    // NULL or non-finite coordinates never satisfy the exact residual
+    // (angSep yields NULL/NaN): drop them here, like the hash join drops
+    // NULL keys.
+    if (!std::isfinite(ra) || !std::isfinite(dec)) continue;
+    Entry e{sphgeom::normalizeLonDeg(ra), ra, dec,
+            static_cast<std::uint32_t>(r)};
+    if (dec < -90.0 || dec > 90.0) {
+      unzoned.push_back(e);
+    } else {
+      zoned.push_back({index.zoneOf(dec), e});
+    }
+  }
+
+  std::sort(zoned.begin(), zoned.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.zone != b.zone) return a.zone < b.zone;
+    if (a.entry.raNorm != b.entry.raNorm) {
+      return a.entry.raNorm < b.entry.raNorm;
+    }
+    return a.entry.row < b.entry.row;
+  });
+
+  index.entries_.reserve(zoned.size() + unzoned.size());
+  for (const Keyed& k : zoned) {
+    if (index.zoneIds_.empty() || index.zoneIds_.back() != k.zone) {
+      index.zoneIds_.push_back(k.zone);
+      index.zoneBegin_.push_back(index.entries_.size());
+    }
+    index.entries_.push_back(k.entry);
+  }
+  index.zoneBegin_.push_back(index.entries_.size());
+  index.zonedCount_ = index.entries_.size();
+  index.entries_.insert(index.entries_.end(), unzoned.begin(), unzoned.end());
+  return index;
+}
+
+void ZoneIndex::scanZoneRange(std::size_t zoneIdx, double lo, double hi,
+                              std::vector<std::uint32_t>& out) const {
+  const std::size_t begin = zoneBegin_[zoneIdx];
+  const std::size_t end = zoneBegin_[zoneIdx + 1];
+  auto first = std::lower_bound(
+      entries_.begin() + static_cast<std::ptrdiff_t>(begin),
+      entries_.begin() + static_cast<std::ptrdiff_t>(end), lo,
+      [](const Entry& e, double v) { return e.raNorm < v; });
+  for (auto it = first;
+       it != entries_.begin() + static_cast<std::ptrdiff_t>(end) &&
+       it->raNorm <= hi;
+       ++it) {
+    out.push_back(static_cast<std::uint32_t>(it - entries_.begin()));
+  }
+}
+
+void ZoneIndex::probe(double raDeg, double decDeg,
+                      std::vector<std::uint32_t>& out,
+                      std::uint64_t& zonesProbed) const {
+  if (!std::isfinite(raDeg) || !std::isfinite(decDeg)) return;
+  if (decDeg < -90.0 || decDeg > 90.0) {
+    // Out-of-range probe declination: the dec-band bound does not apply, so
+    // every entry is a candidate (the exact residual still filters).
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+    return;
+  }
+
+  const std::int64_t zLo = zoneOf(decDeg - searchRadius_);
+  const std::int64_t zHi = zoneOf(decDeg + searchRadius_);
+  double w = sphgeom::raSearchWindowDeg(searchRadius_, decDeg);
+  const bool wholeZone = w >= 180.0;
+  if (!wholeZone) w += 1e-9;  // absolute pad against boundary rounding
+  const double raNorm = sphgeom::normalizeLonDeg(raDeg);
+
+  for (std::int64_t z = zLo; z <= zHi; ++z) {
+    auto it = std::lower_bound(zoneIds_.begin(), zoneIds_.end(), z);
+    if (it == zoneIds_.end() || *it != z) continue;
+    const std::size_t zi =
+        static_cast<std::size_t>(it - zoneIds_.begin());
+    ++zonesProbed;
+    if (wholeZone) {
+      scanZoneRange(zi, 0.0, 360.0, out);
+      continue;
+    }
+    const double lo = raNorm - w;
+    const double hi = raNorm + w;
+    if (lo < 0.0) {
+      // Window wraps below 0: [lo+360, 360) and [0, hi].
+      scanZoneRange(zi, lo + 360.0, 360.0, out);
+      scanZoneRange(zi, 0.0, hi, out);
+    } else if (hi >= 360.0) {
+      // Window wraps past 360: [lo, 360) and [0, hi-360].
+      scanZoneRange(zi, lo, 360.0, out);
+      scanZoneRange(zi, 0.0, hi - 360.0, out);
+    } else {
+      scanZoneRange(zi, lo, hi, out);
+    }
+  }
+
+  // Entries with out-of-range declinations are candidates for every probe.
+  for (std::size_t i = zonedCount_; i < entries_.size(); ++i) {
+    out.push_back(static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace qserv::sql

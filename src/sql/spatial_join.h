@@ -1,0 +1,126 @@
+/// \file spatial_join.h
+/// \brief Zone-based spatial join for the near-neighbor hot path.
+///
+/// The paper's heaviest query shape (§6.2, SHV1/SHV2) is the spatial
+/// near-neighbor join `qserv_angSep(ra1, dec1, ra2, dec2) < r` between two
+/// subchunk tables. Evaluated as a nested loop it is O(n^2); the zones
+/// algorithm (Nieto-Santisteban, Szalay & Gray, "Large-Scale Query and
+/// XMatch, Entering the Parallel Zone") buckets the inner side by declination
+/// band of height r, so each outer row probes only the zones intersecting
+/// [dec - r, dec + r] and, within a zone, only the RA interval
+/// [ra - w, ra + w] where w widens with 1/cos(dec) toward the poles (see
+/// sphgeom::raSearchWindowDeg; it clamps to 180 at the poles and the probe
+/// wraps across 0/360).
+///
+/// The window is a strict superset of the true matches, so the executor
+/// applies the exact `sphgeom::angSepDeg` comparison as a residual to every
+/// candidate pair — results are bit-identical to the nested loop, which
+/// remains the fallback for conjuncts this detector does not recognize.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/expr_eval.h"
+#include "sql/functions.h"
+#include "sql/table.h"
+#include "util/status.h"
+
+namespace qserv::sql {
+
+/// Process-wide switch for the zone-join path (default on). Benches and
+/// parity tests flip it to compare against the nested-loop baseline.
+void setSpatialJoinEnabled(bool enabled);
+bool spatialJoinEnabled();
+
+/// A recognized near-neighbor conjunct
+///   qserv_angSep(ra1, dec1, ra2, dec2) < r     (also <=, and the mirrored
+///   r > qserv_angSep(...), r >= ...; scisql_angSep is an alias)
+/// where r const-folds to a finite double, one coordinate pair references
+/// only already-joined tables (< stage) and the other references exactly the
+/// stage table.
+struct SpatialJoinSpec {
+  const Expr* conjunct = nullptr;  ///< the whole comparison, for exclusion
+  const Expr* outerRa = nullptr;   ///< pair bound to tables < stage
+  const Expr* outerDec = nullptr;
+  const Expr* innerRa = nullptr;   ///< pair bound to exactly the stage table
+  const Expr* innerDec = nullptr;
+  bool innerIsFirstPair = false;   ///< inner pair is args[0..1] of the call
+  double radiusDeg = 0.0;
+  bool inclusive = false;          ///< <= rather than <
+
+  /// Exact residual: does a pair at these coordinates match? Evaluates
+  /// angSepDeg in the call's original argument order so the result is
+  /// bit-identical to the scalar expression path.
+  bool matches(double outerRaV, double outerDecV, double innerRaV,
+               double innerDecV) const;
+};
+
+/// Try to recognize \p conjunct as a near-neighbor join usable at join stage
+/// \p stageTable. Returns nullopt for any other shape (including coordinate
+/// pairs that mix tables, an un-foldable radius, or a NULL/string radius —
+/// those fall back to the nested loop). Never fails on shape; only internal
+/// resolution errors surface as a status.
+util::Result<std::optional<SpatialJoinSpec>> matchSpatialJoin(
+    const Expr& conjunct, std::span<const ScopeTable> scope,
+    std::size_t stageTable, const FunctionRegistry& registry);
+
+/// Declination-banded index over the stage table's candidate rows.
+///
+/// Entries are sorted by (zone, normalized ra) so a probe touches at most
+/// three zones (zone height == radius) and binary-searches one or two RA
+/// intervals per zone. Rows whose coordinates are NULL or non-finite are
+/// dropped at build time — they can never satisfy the exact residual (NULL
+/// never joins, matching the hash-join convention).
+class ZoneIndex {
+ public:
+  struct Entry {
+    double raNorm;  ///< normalized to [0, 360) for window search
+    double raOrig;  ///< original value, for the bit-exact residual
+    double dec;
+    std::uint32_t row;  ///< row id in the stage table
+  };
+
+  /// Build over \p candidateRows of the stage table. Coordinates come
+  /// straight from columnar storage when the inner expressions are plain
+  /// DOUBLE/INT column references; otherwise they are evaluated through the
+  /// scalar expression path once per candidate row.
+  static util::Result<ZoneIndex> build(
+      const SpatialJoinSpec& spec, std::span<const ScopeTable> scope,
+      std::size_t stageTable, std::span<const Table* const> tables,
+      std::span<const std::size_t> candidateRows,
+      const FunctionRegistry& registry);
+
+  std::size_t numZones() const { return zoneIds_.size(); }
+  std::size_t numEntries() const { return entries_.size(); }
+  const Entry& entry(std::size_t i) const { return entries_[i]; }
+
+  /// Append to \p out the entry indices whose zone and RA window contain the
+  /// probe point — a superset of the rows within the radius of
+  /// (raDeg, decDeg). Increments \p zonesProbed per zone bucket inspected.
+  /// Non-finite probe coordinates yield no candidates.
+  void probe(double raDeg, double decDeg, std::vector<std::uint32_t>& out,
+             std::uint64_t& zonesProbed) const;
+
+ private:
+  /// Zone of a declination; bands of height_ degrees starting at dec -90.
+  std::int64_t zoneOf(double dec) const;
+  /// Entries of zone \p id with raNorm in [lo, hi], appended to \p out.
+  void scanZoneRange(std::size_t zoneIdx, double lo, double hi,
+                     std::vector<std::uint32_t>& out) const;
+
+  double height_ = 1.0;      ///< zone height in degrees (== search radius)
+  double searchRadius_ = 0;  ///< radius + epsilon pad (superset guarantee)
+  /// Zoned entries first (sorted by zone, then raNorm), then entries whose
+  /// declination falls outside [-90, 90] — those are checked on every probe
+  /// because the dec-band bound does not hold for them.
+  std::vector<Entry> entries_;
+  std::size_t zonedCount_ = 0;
+  std::vector<std::int64_t> zoneIds_;      // ascending, unique
+  std::vector<std::size_t> zoneBegin_;     // size numZones()+1, into entries_
+};
+
+}  // namespace qserv::sql

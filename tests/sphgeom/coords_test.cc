@@ -116,5 +116,52 @@ TEST(AngSep, WrapsAcrossZeroMeridian) {
   EXPECT_NEAR(angSepDeg(359.5, 0.0, 0.5, 0.0), 1.0, 1e-12);
 }
 
+TEST(RaSearchWindow, DegenerateRadii) {
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(0.0, 45.0), 0.0);
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(-1.0, 45.0), 0.0);
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(std::nan(""), 45.0), 0.0);
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(90.0, 0.0), 180.0);
+}
+
+TEST(RaSearchWindow, EquatorIsNearlyRadius) {
+  // At dec = 0 the window is atan(tan r) = r exactly.
+  EXPECT_NEAR(raSearchWindowDeg(1.0, 0.0), 1.0, 1e-12);
+  EXPECT_NEAR(raSearchWindowDeg(kArcminDeg, 0.0), kArcminDeg, 1e-12);
+}
+
+TEST(RaSearchWindow, PolarCapsCoverAllRa) {
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(1.0, 89.5), 180.0);
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(1.0, -89.5), 180.0);
+  EXPECT_DOUBLE_EQ(raSearchWindowDeg(0.5, 89.5), 180.0);
+}
+
+TEST(RaSearchWindow, DominatesNaiveCosineWidening) {
+  // The exact alpha bound must cover at least r / cos(dec), the zones-paper
+  // approximation, away from the poles.
+  for (double dec : {0.0, 15.0, -40.0, 60.0, 85.0}) {
+    for (double r : {1e-4, 0.0045, kArcminDeg, 0.5, 2.0}) {
+      if (std::fabs(dec) + r >= 90.0) continue;
+      double naive = r / std::cos(degToRad(dec));
+      EXPECT_GE(raSearchWindowDeg(r, dec), naive - 1e-12)
+          << "r=" << r << " dec=" << dec;
+    }
+  }
+}
+
+TEST(RaSearchWindow, BoundsAllPointsWithinRadius) {
+  // Any point within r of (ra0, dec0) differs in RA by at most the window.
+  util::Rng rng(47);
+  for (int i = 0; i < 2000; ++i) {
+    double ra0 = rng.uniform(0, 360), dec0 = rng.uniform(-89.0, 89.0);
+    double ra1 = rng.uniform(0, 360), dec1 = rng.uniform(-90, 90);
+    double r = rng.uniform(1e-4, 5.0);
+    if (angSepDeg(ra0, dec0, ra1, dec1) > r) continue;
+    double w = raSearchWindowDeg(r, dec0);
+    double dra = std::fabs(ra1 - ra0);
+    if (dra > 180.0) dra = 360.0 - dra;
+    EXPECT_LE(dra, w + 1e-9) << "r=" << r << " dec0=" << dec0;
+  }
+}
+
 }  // namespace
 }  // namespace qserv::sphgeom

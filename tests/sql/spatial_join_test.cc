@@ -1,0 +1,324 @@
+/// Tests for the zone-based spatial join (sql/spatial_join.h): path
+/// selection, edge cases the RA window math must survive (wraparound at
+/// 0/360, polar caps, NULL coordinates), and randomized bit-identical
+/// parity against the nested-loop fallback.
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sql/executor.h"
+#include "sql/spatial_join.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace qserv::sql {
+namespace {
+
+/// RAII guard so a test that disables the zone path can't leak the
+/// process-wide toggle into later tests.
+class ZoneToggle {
+ public:
+  explicit ZoneToggle(bool enabled) { setSpatialJoinEnabled(enabled); }
+  ~ZoneToggle() { setSpatialJoinEnabled(true); }
+};
+
+Schema objectSchema() {
+  return Schema({{"id", ColumnType::kInt},
+                 {"ra", ColumnType::kDouble},
+                 {"decl", ColumnType::kDouble}});
+}
+
+void appendPoint(Table& t, std::int64_t id, Value ra, Value dec) {
+  std::vector<Value> row{Value(id), std::move(ra), std::move(dec)};
+  ASSERT_TRUE(t.appendRow(row).isOk());
+}
+
+void appendRow2(Table& t, Value a, Value b) {
+  std::vector<Value> row{std::move(a), std::move(b)};
+  ASSERT_TRUE(t.appendRow(row).isOk());
+}
+
+/// Runs \p sql once with the zone join enabled and once with it disabled
+/// (nested-loop oracle) and requires bit-identical result tables: same
+/// rows, same order, same cell values. Returns the zone-path stats.
+ExecStats expectParity(Database& db, const std::string& sql) {
+  ExecStats zoneStats;
+  ExecStats loopStats;
+  TablePtr zoneResult;
+  TablePtr loopResult;
+  {
+    ZoneToggle on(true);
+    auto r = db.execute(sql, &zoneStats);
+    EXPECT_TRUE(r.isOk()) << r.status().toString() << " for " << sql;
+    if (r.isOk()) zoneResult = *r;
+  }
+  {
+    ZoneToggle off(false);
+    auto r = db.execute(sql, &loopStats);
+    EXPECT_TRUE(r.isOk()) << r.status().toString() << " for " << sql;
+    if (r.isOk()) loopResult = *r;
+  }
+  if (!zoneResult || !loopResult) return zoneStats;
+  EXPECT_EQ(loopStats.spatialJoins, 0u) << sql;
+  EXPECT_EQ(zoneResult->numRows(), loopResult->numRows()) << sql;
+  EXPECT_EQ(zoneResult->numColumns(), loopResult->numColumns()) << sql;
+  if (zoneResult->numRows() == loopResult->numRows() &&
+      zoneResult->numColumns() == loopResult->numColumns()) {
+    for (std::size_t r = 0; r < zoneResult->numRows(); ++r) {
+      for (std::size_t c = 0; c < zoneResult->numColumns(); ++c) {
+        if (zoneResult->cell(r, c) != loopResult->cell(r, c)) {
+          ADD_FAILURE() << sql << ": cell mismatch at " << r << "," << c;
+          return zoneStats;  // first divergence is enough
+        }
+      }
+    }
+  }
+  return zoneStats;
+}
+
+TEST(SpatialJoin, QservAngSepTakesZonePath) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  appendPoint(*t, 1, Value(10.0), Value(20.0));
+  appendPoint(*t, 2, Value(10.005), Value(20.005));
+  appendPoint(*t, 3, Value(50.0), Value(-30.0));
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 AND a.id < b.id "
+      "ORDER BY a.id, b.id");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+  EXPECT_GT(stats.zoneJoinZonesBuilt, 0u);
+}
+
+TEST(SpatialJoin, ScisqlAliasTakesZonePath) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  for (int i = 0; i < 16; ++i) {
+    appendPoint(*t, i, Value(100.0 + 0.01 * i), Value(5.0 + 0.01 * i));
+  }
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  ExecStats stats = expectParity(
+      db,
+      "SELECT COUNT(*) FROM Obj a, Obj b "
+      "WHERE scisql_angSep(a.ra, a.decl, b.ra, b.decl) < 0.02");
+  EXPECT_EQ(stats.spatialJoins, 1u)
+      << "scisql_angSep alias must reach the zone path";
+}
+
+TEST(SpatialJoin, MirroredAndInclusiveComparisons) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  appendPoint(*t, 1, Value(0.0), Value(0.0));
+  appendPoint(*t, 2, Value(0.25), Value(0.0));  // exactly 0.25 deg apart
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  // r > angSep(...) is the same predicate with the call on the right.
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id FROM Obj a, Obj b "
+      "WHERE 0.3 > qserv_angSep(a.ra, a.decl, b.ra, b.decl) "
+      "ORDER BY a.id, b.id");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+
+  // <= at the exact boundary distance: inclusive keeps the pair, strict
+  // drops it, and both must agree with the nested loop bit for bit.
+  stats = expectParity(db,
+                       "SELECT COUNT(*) FROM Obj a, Obj b "
+                       "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) "
+                       "<= 0.25");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+  stats = expectParity(db,
+                       "SELECT COUNT(*) FROM Obj a, Obj b "
+                       "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) "
+                       "< 0.25");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+}
+
+TEST(SpatialJoin, AntiJoinShapeStaysOnNestedLoop) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  appendPoint(*t, 1, Value(10.0), Value(10.0));
+  appendPoint(*t, 2, Value(11.0), Value(11.0));
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  // angSep > r selects *distant* pairs — a zone index cannot serve it.
+  ExecStats stats;
+  auto r = db.execute(
+      "SELECT COUNT(*) FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) > 0.5",
+      &stats);
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_EQ(stats.spatialJoins, 0u);
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 2);
+}
+
+TEST(SpatialJoin, RaWraparoundAtZero) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  // Pairs straddling the 0/360 seam, plus decoys mid-sky. 359.95 and 0.03
+  // are 0.08 deg apart; a window that fails to wrap would miss them.
+  appendPoint(*t, 1, Value(359.95), Value(12.0));
+  appendPoint(*t, 2, Value(0.03), Value(12.0));
+  appendPoint(*t, 3, Value(359.99), Value(12.05));
+  appendPoint(*t, 4, Value(0.005), Value(11.96));
+  appendPoint(*t, 5, Value(180.0), Value(12.0));
+  // Same sky positions expressed outside [0, 360): the residual must see
+  // the original values while the index normalizes for bucketing.
+  appendPoint(*t, 6, Value(-0.05), Value(12.0));
+  appendPoint(*t, 7, Value(360.02), Value(12.01));
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 AND a.id < b.id "
+      "ORDER BY a.id, b.id");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+
+  ZoneToggle on(true);
+  auto r = db.execute(
+      "SELECT COUNT(*) FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 AND a.id < b.id");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  // {1,2,3,4,6,7} are mutually within 0.1 deg -> C(6,2) pairs; 5 is alone.
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 15);
+}
+
+TEST(SpatialJoin, PolarCapCosDecVanishes) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  // Near the pole every RA is close to every other RA: points 180 deg
+  // apart in RA at dec 89.98 are ~0.04 deg apart on the sphere. A naive
+  // r/cos(dec) window overflows here; the clamp must widen to all RA.
+  appendPoint(*t, 1, Value(10.0), Value(89.98));
+  appendPoint(*t, 2, Value(190.0), Value(89.98));
+  appendPoint(*t, 3, Value(300.0), Value(89.99));
+  appendPoint(*t, 4, Value(45.0), Value(-89.99));
+  appendPoint(*t, 5, Value(225.0), Value(-89.985));
+  appendPoint(*t, 6, Value(45.0), Value(0.0));
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 AND a.id < b.id "
+      "ORDER BY a.id, b.id");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+
+  ZoneToggle on(true);
+  auto r = db.execute(
+      "SELECT COUNT(*) FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 AND a.id < b.id");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  // {1,2,3} cluster at the north pole, {4,5} at the south: 3 + 1 pairs.
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 4);
+}
+
+TEST(SpatialJoin, NullCoordinatesNeverJoin) {
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  appendPoint(*t, 1, Value(10.0), Value(20.0));
+  appendPoint(*t, 2, Value(10.001), Value(20.001));
+  appendPoint(*t, 3, Value::null(), Value(20.0));   // NULL ra
+  appendPoint(*t, 4, Value(10.0), Value::null());   // NULL dec
+  appendPoint(*t, 5, Value::null(), Value::null());
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1 "
+      "ORDER BY a.id, b.id");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+
+  // NULL coordinates compare as SQL NULL in angSep, which is never < r —
+  // same convention as the hash-join path. Only 1 and 2 pair up (plus the
+  // two self-pairs).
+  ZoneToggle on(true);
+  auto r = db.execute(
+      "SELECT COUNT(*) FROM Obj a, Obj b "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.1");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_EQ((*r)->cell(0, 0).asInt(), 4);
+}
+
+TEST(SpatialJoin, ThreeWayJoinZonesTheOuterPair) {
+  Database db;
+  auto obj = std::make_shared<Table>("Obj", objectSchema());
+  appendPoint(*obj, 1, Value(10.0), Value(20.0));
+  appendPoint(*obj, 2, Value(10.004), Value(20.004));
+  appendPoint(*obj, 3, Value(90.0), Value(20.0));
+  ASSERT_TRUE(db.registerTable(obj).isOk());
+  auto src = std::make_shared<Table>(
+      "Src", Schema({{"objId", ColumnType::kInt},
+                     {"flux", ColumnType::kDouble}}));
+  appendRow2(*src, Value(1), Value(1.5));
+  appendRow2(*src, Value(2), Value(2.5));
+  appendRow2(*src, Value(2), Value(3.5));
+  ASSERT_TRUE(db.registerTable(src).isOk());
+
+  // The spatial conjunct binds (a, b); the Src equi-join rides along as a
+  // later stage. Zone detection must pick the pair whose inner table is
+  // exactly the stage table.
+  ExecStats stats = expectParity(
+      db,
+      "SELECT a.id, b.id, s.flux FROM Obj a, Obj b, Src s "
+      "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) < 0.05 "
+      "AND s.objId = b.id AND a.id < b.id "
+      "ORDER BY a.id, b.id, s.flux");
+  EXPECT_EQ(stats.spatialJoins, 1u);
+}
+
+TEST(SpatialJoin, RandomizedParitySweep) {
+  // >= 10k rows spread over a dense strip plus the 0/360 seam and both
+  // poles, so every windowing branch sees traffic. Bit-identical parity
+  // with the nested loop, including emission order.
+  util::Rng rng(0x5ca1ab1eULL);
+  Database db;
+  auto t = std::make_shared<Table>("Obj", objectSchema());
+  std::int64_t id = 0;
+  for (int i = 0; i < 9000; ++i) {  // dense equatorial strip
+    appendPoint(*t, id++, Value(rng.uniform(30.0, 32.0)),
+                Value(rng.uniform(-1.0, 1.0)));
+  }
+  for (int i = 0; i < 600; ++i) {  // seam strip
+    double ra = rng.uniform(-0.15, 0.15);
+    if (ra < 0 && rng.below(2) == 0) ra += 360.0;
+    appendPoint(*t, id++, Value(ra), Value(rng.uniform(-1.0, 1.0)));
+  }
+  for (int i = 0; i < 300; ++i) {  // polar caps
+    double dec = rng.uniform(89.9, 90.0);
+    if (rng.below(2) == 0) dec = -dec;
+    appendPoint(*t, id++, Value(rng.uniform(0.0, 360.0)), Value(dec));
+  }
+  for (int i = 0; i < 200; ++i) {  // sprinkle NULLs
+    appendPoint(*t, id++,
+                rng.below(2) == 0 ? Value::null()
+                                  : Value(rng.uniform(0.0, 360.0)),
+                rng.below(3) == 0 ? Value::null()
+                                  : Value(rng.uniform(-90.0, 90.0)));
+  }
+  ASSERT_EQ(t->numRows(), 10100u);
+  ASSERT_TRUE(db.registerTable(t).isOk());
+
+  for (double radius : {0.01, 0.05}) {
+    ExecStats stats = expectParity(
+        db, util::format("SELECT a.id, b.id FROM Obj a, Obj b "
+                         "WHERE qserv_angSep(a.ra, a.decl, b.ra, b.decl) "
+                         "< %g AND a.id < b.id ORDER BY a.id, b.id",
+                         radius));
+    EXPECT_EQ(stats.spatialJoins, 1u);
+    // The window must prune the overwhelming majority of the 10100^2
+    // cross product or the zone path is not doing its job.
+    EXPECT_LT(stats.zoneJoinCandidates, stats.zoneJoinPairsPruned / 50);
+  }
+}
+
+}  // namespace
+}  // namespace qserv::sql
