@@ -24,9 +24,12 @@ using namespace qserv;
 
 void BM_Md5ChunkQuery(benchmark::State& state) {
   std::string query(256, 'q');
+  util::Stopwatch watch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(util::Md5::hex(query));
   }
+  qserv::bench::recordRate("bench.micro.md5_chunk_query_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_Md5ChunkQuery);
 
@@ -34,41 +37,53 @@ void BM_AngSep(benchmark::State& state) {
   util::Rng rng(1);
   double a = rng.uniform(0, 360), b = rng.uniform(-90, 90);
   double c = rng.uniform(0, 360), d = rng.uniform(-90, 90);
+  util::Stopwatch watch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sphgeom::angSepDeg(a, b, c, d));
     a += 1e-9;
   }
+  qserv::bench::recordRate("bench.micro.ang_sep_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_AngSep);
 
 void BM_ChunkerPointLocation(benchmark::State& state) {
   sphgeom::Chunker chunker(85, 12);
   util::Rng rng(2);
+  util::Stopwatch watch;
   for (auto _ : state) {
     double lon = rng.uniform(0, 360), lat = rng.uniform(-90, 90);
     auto chunk = chunker.chunkAt(lon, lat);
     benchmark::DoNotOptimize(chunker.subChunkAt(chunk, lon, lat));
   }
+  qserv::bench::recordRate("bench.micro.chunker_point_location_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_ChunkerPointLocation);
 
 void BM_ChunkerCover1Deg(benchmark::State& state) {
   sphgeom::Chunker chunker(85, 12);
   util::Rng rng(3);
+  util::Stopwatch watch;
   for (auto _ : state) {
     double lon = rng.uniform(0, 359), lat = rng.uniform(-60, 59);
     benchmark::DoNotOptimize(chunker.chunksIntersecting(
         sphgeom::SphericalBox(lon, lat, lon + 1, lat + 1)));
   }
+  qserv::bench::recordRate("bench.micro.chunker_cover_1deg_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_ChunkerCover1Deg);
 
 void BM_HtmPointToTrixel(benchmark::State& state) {
   util::Rng rng(4);
+  util::Stopwatch watch;
   for (auto _ : state) {
     benchmark::DoNotOptimize(sphgeom::htm::pointToTrixel(
         rng.uniform(0, 360), rng.uniform(-90, 90), 8));
   }
+  qserv::bench::recordRate("bench.micro.htm_point_to_trixel_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_HtmPointToTrixel);
 
@@ -78,10 +93,13 @@ void BM_ParseLv3(benchmark::State& state) {
       "AND decl_PS BETWEEN 3 AND 4 "
       "AND fluxToAbMag(zFlux_PS) BETWEEN 21 AND 21.5 "
       "AND fluxToAbMag(gFlux_PS)-fluxToAbMag(rFlux_PS) BETWEEN 0.3 AND 0.4";
+  util::Stopwatch watch;
   for (auto _ : state) {
     auto stmt = sql::parseStatement(sql);
     benchmark::DoNotOptimize(stmt);
   }
+  qserv::bench::recordRate("bench.micro.parse_lv3_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_ParseLv3);
 
@@ -94,10 +112,13 @@ void BM_AnalyzeAndRewriteChunkQuery(benchmark::State& state) {
       "qserv_areaspec_box(0, 0, 10, 10) AND uRadius_PS > 0.04",
       catalog);
   std::vector<std::int32_t> chunks = {4000};
+  util::Stopwatch watch;
   for (auto _ : state) {
     auto rewrite = rewriter.rewrite(*analyzed, chunks, "merged");
     benchmark::DoNotOptimize(rewrite);
   }
+  qserv::bench::recordRate("bench.micro.rewrite_chunk_query_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_AnalyzeAndRewriteChunkQuery);
 
@@ -122,6 +143,7 @@ void BM_ExecutorFilterScan100k(benchmark::State& state) {
   std::string sql = "SELECT COUNT(*) FROM Object_0 WHERE ra_PS > 0 AND "
                     "fluxToAbMag(gFlux_PS) - fluxToAbMag(rFlux_PS) > 0.5";
   std::uint64_t rows = 0;
+  util::Stopwatch watch;
   for (auto _ : state) {
     sql::ExecStats stats;
     auto r = db->execute(sql, &stats);
@@ -130,30 +152,38 @@ void BM_ExecutorFilterScan100k(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(rows));
   (void)table;
+  qserv::bench::recordRate("bench.micro.executor_filter_scan_100k_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_ExecutorFilterScan100k);
 
 void BM_ExecutorIndexProbe(benchmark::State& state) {
   sql::Database* db = scanDb();
   util::Rng rng(7);
+  util::Stopwatch watch;
   for (auto _ : state) {
     std::string sql = "SELECT * FROM Object_0 WHERE objectId = " +
                       std::to_string(rng.below(100000));
     auto r = db->execute(sql);
     benchmark::DoNotOptimize(r);
   }
+  qserv::bench::recordRate("bench.micro.executor_index_probe_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_ExecutorIndexProbe);
 
 void BM_DumpAndReplay1kRows(benchmark::State& state) {
   sql::Database* db = scanDb();
   auto r = db->execute("SELECT * FROM Object_0 LIMIT 1000");
+  util::Stopwatch watch;
   for (auto _ : state) {
     std::string dump = sql::dumpTable(**r, "replayed");
     sql::Database other;
     auto loaded = sql::loadDump(other, dump);
     benchmark::DoNotOptimize(loaded);
   }
+  qserv::bench::recordRate("bench.micro.dump_and_replay_1k_rows_ns_per_iter", watch,
+                          state.iterations());
 }
 BENCHMARK(BM_DumpAndReplay1kRows);
 

@@ -31,6 +31,13 @@ void emitMetricsSnapshotAtExit() {
   });
 }
 
+void recordRate(const std::string& gauge, const util::Stopwatch& watch,
+                std::int64_t iterations) {
+  if (iterations <= 0) return;
+  util::MetricsRegistry::instance().gauge(gauge).set(static_cast<std::int64_t>(
+      watch.elapsedSeconds() * 1e9 / static_cast<double>(iterations)));
+}
+
 int PaperSetup::chunkPosition(std::int32_t chunkId) const {
   auto it = std::lower_bound(sortedChunks.begin(), sortedChunks.end(), chunkId);
   if (it == sortedChunks.end() || *it != chunkId) return 0;

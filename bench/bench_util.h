@@ -123,4 +123,12 @@ void printKeyValue(const std::string& key, const std::string& value);
 /// makePaperSetup; safe to call repeatedly.
 void emitMetricsSnapshotAtExit();
 
+/// Record \p watch's mean per-iteration latency (nanoseconds) as registry
+/// gauge \p gauge. Microbenchmarks that exercise raw primitives (no
+/// instrumented Qserv layer) call this after their timing loop so their
+/// QSERV_METRICS_JSON snapshot carries the measured rates instead of being
+/// an empty registry dump. No-op when \p iterations is 0.
+void recordRate(const std::string& gauge, const util::Stopwatch& watch,
+                std::int64_t iterations);
+
 }  // namespace qserv::bench

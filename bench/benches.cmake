@@ -33,6 +33,7 @@ qserv_add_bench(bench_transfer)
 qserv_add_bench(bench_micro)
 qserv_add_bench(bench_filter)
 qserv_add_bench(bench_spatial_join)
+qserv_add_bench(bench_observability)
 
 # perf-smoke: a fast benchmark pass (micro primitives + scan-filter kernels)
 # whose metrics snapshots land in the build dir as BENCH_*.json baselines.
@@ -59,10 +60,19 @@ add_test(NAME perf_smoke_spatial_join
 set_tests_properties(perf_smoke_spatial_join PROPERTIES
   LABELS "perf"
   ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_spatial_join.json")
+# bench_observability gates profiling overhead (<5% wall) and smoke-checks
+# EXPLAIN / EXPLAIN ANALYZE / QueryStats; plain main, no google-benchmark
+# flags.
+add_test(NAME perf_smoke_observability
+  CONFIGURATIONS perf
+  COMMAND bench_observability)
+set_tests_properties(perf_smoke_observability PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_observability.json")
 add_custom_target(perf-smoke
   COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
           --output-on-failure
-  DEPENDS bench_micro bench_filter bench_spatial_join
+  DEPENDS bench_micro bench_filter bench_spatial_join bench_observability
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
-  COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join "
-          "with metrics snapshots")
+  COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join + "
+          "bench_observability with metrics snapshots")

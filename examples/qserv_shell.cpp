@@ -5,7 +5,12 @@
 ///
 /// Usage: qserv_shell [numWorkers] [basePatchObjects]
 /// Then type SQL (single line, `;` optional). Commands: \chunks, \workers,
-/// \metrics, \processlist, \trace <file>, \quit.
+/// \metrics, \processlist, \explain <sql>, \profile <id>, \slowlog [sec],
+/// \trace <file>, \quit. EXPLAIN / EXPLAIN ANALYZE work as plain SQL too.
+///
+/// Set QSERV_SLOW_QUERY_SECONDS to emit a structured log line for every
+/// query slower than the threshold (the same summary `\slowlog` queries out
+/// of the QueryStats table).
 ///
 /// Fault injection: set QSERV_FAULTS to a fault-plan spec (see
 /// xrd/fault_injector.h) to wrap every worker in an injector, e.g.
@@ -54,6 +59,11 @@ int main(int argc, char** argv) {
   if (const char* deadline = std::getenv("QSERV_DEADLINE_SECONDS")) {
     opts.frontend.queryDeadlineSeconds = std::atof(deadline);
   }
+  if (const char* slow = std::getenv("QSERV_SLOW_QUERY_SECONDS")) {
+    opts.frontend.slowQuerySeconds = std::atof(slow);
+    std::printf("slow-query log armed: threshold %.3f s\n",
+                opts.frontend.slowQuerySeconds);
+  }
   if (const char* spec = std::getenv("QSERV_FAULTS")) {
     auto plan = xrd::FaultPlan::parse(spec);
     if (!plan.isOk()) {
@@ -74,6 +84,7 @@ int main(int argc, char** argv) {
   std::printf("qserv ready: %d workers, %zu chunks. Tables: Object, Source. "
               "UDFs: qserv_areaspec_box, qserv_angSep, fluxToAbMag, ...\n"
               "commands: \\chunks \\workers \\metrics \\processlist "
+              "\\explain <sql> \\profile <id> \\slowlog [sec] "
               "\\trace <file> \\quit\n",
               numWorkers, (*cluster)->chunkIds().size());
 
@@ -119,6 +130,51 @@ int main(int argc, char** argv) {
                     q.state.c_str(), q.chunksCompleted, q.chunksTotal,
                     q.elapsedSeconds, q.sql.c_str());
       }
+      continue;
+    }
+    if (util::startsWith(trimmed, "\\explain")) {
+      std::string inner(util::trim(trimmed.substr(8)));
+      if (inner.empty()) {
+        std::printf("usage: \\explain <select>\n");
+        continue;
+      }
+      auto plan = (*cluster)->frontend().query("EXPLAIN " + inner);
+      if (!plan.isOk()) {
+        std::printf("ERROR: %s\n", plan.status().toString().c_str());
+        continue;
+      }
+      printTable(*plan->result, 50);
+      continue;
+    }
+    if (util::startsWith(trimmed, "\\profile")) {
+      std::string arg(util::trim(trimmed.substr(8)));
+      if (arg.empty()) {
+        std::printf("usage: \\profile <query id> (see \\processlist)\n");
+        continue;
+      }
+      auto profile = (*cluster)->frontend().profileFor(
+          static_cast<std::uint64_t>(std::atoll(arg.c_str())));
+      if (!profile) {
+        std::printf("no retained profile for query %s (bounded history; "
+                    "summaries live in the QueryStats table)\n", arg.c_str());
+        continue;
+      }
+      printTable(*profile->toTable(), 50);
+      continue;
+    }
+    if (util::startsWith(trimmed, "\\slowlog")) {
+      std::string arg(util::trim(trimmed.substr(8)));
+      double threshold = arg.empty() ? 0.0 : std::atof(arg.c_str());
+      // Dogfood: the slow-query view is ordinary SQL over QueryStats.
+      auto rows = (*cluster)->frontend().query(util::format(
+          "SELECT queryId, wallSeconds, chunks, retries, faults, status, "
+          "sql FROM QueryStats WHERE wallSeconds >= %.6f "
+          "ORDER BY wallSeconds DESC", threshold));
+      if (!rows.isOk()) {
+        std::printf("ERROR: %s\n", rows.status().toString().c_str());
+        continue;
+      }
+      printTable(*rows->result, 50);
       continue;
     }
     if (util::startsWith(trimmed, "\\trace")) {

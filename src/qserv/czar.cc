@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "qserv/explain.h"
 #include "qserv/merger.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
@@ -35,6 +36,30 @@ struct CzarMetrics {
     return *m;
   }
 };
+
+/// Schema of the frontend's per-query history table (CasJobs/QMeta-style):
+/// one row per finished query, queryable via ordinary SQL.
+sql::Schema queryStatsSchema() {
+  using sql::ColumnType;
+  return sql::Schema({{"queryId", ColumnType::kInt},
+                      {"sql", ColumnType::kString},
+                      {"status", ColumnType::kString},
+                      {"wallSeconds", ColumnType::kDouble},
+                      {"stageSeconds", ColumnType::kDouble},
+                      {"chunks", ColumnType::kInt},
+                      {"attempts", ColumnType::kInt},
+                      {"retries", ColumnType::kInt},
+                      {"faults", ColumnType::kInt},
+                      {"rowsMerged", ColumnType::kInt},
+                      {"resultRows", ColumnType::kInt},
+                      {"bytesTransferred", ColumnType::kInt},
+                      {"queueWaitP50", ColumnType::kDouble},
+                      {"queueWaitMax", ColumnType::kDouble},
+                      {"executeP50", ColumnType::kDouble},
+                      {"executeMax", ColumnType::kDouble},
+                      {"transferP50", ColumnType::kDouble},
+                      {"transferMax", ColumnType::kDouble}});
+}
 }  // namespace
 
 QservFrontend::QservFrontend(FrontendConfig config,
@@ -55,6 +80,8 @@ QservFrontend::QservFrontend(FrontendConfig config,
                                    /*retrySeed=*/0x5eedULL,
                                    /*requireDumpChecksum=*/true}) {
   std::sort(availableChunks_.begin(), availableChunks_.end());
+  (void)metadata_.registerTable(
+      std::make_shared<sql::Table>("QueryStats", queryStatsSchema()));
 }
 
 void QservFrontend::setAvailableChunks(std::vector<std::int32_t> chunks) {
@@ -131,6 +158,7 @@ void QservFrontend::endQuery(const std::shared_ptr<LiveQuery>& live,
   info.id = live->id;
   info.sql = live->sql;
   info.state = status.isOk() ? "done" : "failed: " + status.toString();
+  if (!status.isOk()) info.failureStatus = status.toString();
   info.chunksTotal = live->chunksTotal.load(std::memory_order_relaxed);
   info.chunksCompleted = live->chunksCompleted.load(std::memory_order_relaxed);
   info.elapsedSeconds = live->watch.elapsedSeconds();
@@ -139,7 +167,7 @@ void QservFrontend::endQuery(const std::shared_ptr<LiveQuery>& live,
     std::lock_guard lock(processMutex_);
     inflight_.erase(live->id);
     recent_.push_front(std::move(info));
-    while (recent_.size() > kRecentQueries) recent_.pop_back();
+    while (recent_.size() > config_.processListHistory) recent_.pop_back();
   }
   CzarMetrics::instance().inflight.add(-1);
 }
@@ -167,6 +195,48 @@ std::vector<QservFrontend::QueryInfo> QservFrontend::processList() const {
 }
 
 Result<QservFrontend::Execution> QservFrontend::query(const std::string& sql) {
+  // EXPLAIN is a frontend-only statement: peel it off before the normal
+  // path (workers never see it; see sql::ExplainStmt).
+  if (util::startsWith(util::toLower(util::trim(sql)), "explain")) {
+    QSERV_ASSIGN_OR_RETURN(sql::Statement stmt, sql::parseStatement(sql));
+    if (auto* explain = std::get_if<sql::ExplainStmt>(&stmt)) {
+      if (!explain->analyze) return explainOnly(*explain->select);
+      // EXPLAIN ANALYZE: execute the inner SELECT with profiling forced on
+      // and return the breakdown instead of the query result.
+      QSERV_ASSIGN_OR_RETURN(
+          Execution exec,
+          runUserQuery(explain->select->toSql(), /*forceProfile=*/true));
+      exec.result = exec.profile->toTable();
+      return exec;
+    }
+    // A statement that merely starts with an EXPLAIN-like token falls
+    // through to the normal path (and its normal parse error).
+  }
+  return runUserQuery(sql, /*forceProfile=*/false);
+}
+
+Result<QservFrontend::Execution> QservFrontend::explainOnly(
+    const sql::SelectStmt& stmt) {
+  QSERV_ASSIGN_OR_RETURN(AnalyzedQuery analyzed,
+                         analyzeQuery(stmt, config_.catalog));
+  std::vector<std::int32_t> chunks;
+  RewriteResult rewrite;
+  const RewriteResult* rewritePtr = nullptr;
+  if (analyzed.touchesPartitioned()) {
+    chunks = resolveChunks(analyzed);
+    QueryRewriter rewriter(config_.catalog, chunker_);
+    QSERV_ASSIGN_OR_RETURN(rewrite,
+                           rewriter.rewrite(analyzed, chunks, "qm_explain"));
+    rewritePtr = &rewrite;
+  }
+  Execution exec;
+  exec.result = buildExplainPlan(analyzed, chunks, rewritePtr).toTable();
+  exec.soloTiming = simio::simulateQuery({}, config_.cost);
+  return exec;
+}
+
+Result<QservFrontend::Execution> QservFrontend::runUserQuery(
+    const std::string& sql, bool forceProfile) {
   auto& metrics = CzarMetrics::instance();
   metrics.queries.add();
   util::Stopwatch wall;
@@ -178,15 +248,79 @@ Result<QservFrontend::Execution> QservFrontend::query(const std::string& sql) {
   Result<Execution> result = runQuery(sql, *live, trace);
   util::TraceRegistry::instance().release(trace->id());
   endQuery(live, result.status());
-  metrics.querySeconds.observe(wall.elapsedSeconds());
+  double wallSeconds = wall.elapsedSeconds();
+  metrics.querySeconds.observe(wallSeconds);
+
+  if (config_.enableProfiling || forceProfile) {
+    auto profile = std::make_shared<QueryProfile>(buildQueryProfile(*trace));
+    profile->wallSeconds = wallSeconds;
+    if (result.isOk()) {
+      // The merge/result tallies the czar knows directly win over the
+      // span-derived ones.
+      profile->rowsMerged = static_cast<std::int64_t>(result->rowsMerged);
+      if (result->result) {
+        profile->resultRows =
+            static_cast<std::int64_t>(result->result->numRows());
+      }
+    } else {
+      profile->status = result.status().toString();
+    }
+    recordProfile(profile);
+    if (result.isOk()) result->profile = profile;
+  }
   if (!result.isOk()) {
     metrics.queriesFailed.add();
     return result;
   }
   result->queryId = trace->id();
   result->trace = std::move(trace);
-  result->wallSeconds = wall.elapsedSeconds();
+  result->wallSeconds = wallSeconds;
   return result;
+}
+
+void QservFrontend::recordProfile(
+    const std::shared_ptr<const QueryProfile>& profile) {
+  {
+    std::lock_guard lock(processMutex_);
+    profiles_.push_front(profile);
+    while (profiles_.size() > config_.profileHistory) profiles_.pop_back();
+  }
+  if (sql::TablePtr stats = metadata_.findTable("QueryStats")) {
+    const QueryProfile& p = *profile;
+    sql::Value row[] = {static_cast<std::int64_t>(p.queryId),
+                        p.sql,
+                        p.status,
+                        p.wallSeconds,
+                        p.stageSeconds(),
+                        p.chunks,
+                        p.attempts,
+                        p.retries,
+                        p.faults,
+                        p.rowsMerged,
+                        p.resultRows,
+                        p.bytesTransferred,
+                        p.queueWait.p50,
+                        p.queueWait.max,
+                        p.execute.p50,
+                        p.execute.max,
+                        p.transfer.p50,
+                        p.transfer.max};
+    (void)stats->appendRow(row);
+    metadata_.refreshIndexes("QueryStats");
+  }
+  if (config_.slowQuerySeconds > 0.0 &&
+      profile->wallSeconds >= config_.slowQuerySeconds) {
+    QLOG(kWarn, "slowquery") << profile->toJson();
+  }
+}
+
+std::shared_ptr<const QueryProfile> QservFrontend::profileFor(
+    std::uint64_t id) const {
+  std::lock_guard lock(processMutex_);
+  for (const auto& p : profiles_) {
+    if (p->queryId == id) return p;
+  }
+  return nullptr;
 }
 
 Result<QservFrontend::Execution> QservFrontend::runQuery(

@@ -21,6 +21,7 @@
 #include "qserv/catalog_config.h"
 #include "qserv/dispatcher.h"
 #include "qserv/query_analysis.h"
+#include "qserv/query_profile.h"
 #include "qserv/query_rewriter.h"
 #include "qserv/secondary_index.h"
 #include "simio/queue_sim.h"
@@ -41,6 +42,16 @@ struct FrontendConfig {
   /// budget runs out, in-flight chunk attempts stop and the query fails
   /// with DEADLINE_EXCEEDED instead of hanging on a dead replica.
   double queryDeadlineSeconds = 0.0;
+  /// Build a QueryProfile for every query and persist its summary into the
+  /// metadata DB's QueryStats table. EXPLAIN ANALYZE profiles regardless.
+  bool enableProfiling = true;
+  /// Queries slower than this (seconds) emit their profile summary as a
+  /// structured QLOG line under component "slowquery"; <= 0 disables.
+  double slowQuerySeconds = 0.0;
+  /// Finished queries retained by processList() (was hard-coded at 32).
+  std::size_t processListHistory = 32;
+  /// Full QueryProfile objects retained for profileFor().
+  std::size_t profileHistory = 64;
 };
 
 class QservFrontend {
@@ -75,6 +86,10 @@ class QservFrontend {
     /// Spans from every component this query touched; export with
     /// trace->toChromeJson(). Always set after query() returns OK.
     util::TracePtr trace;
+    /// Per-stage resource accounting derived from the trace. Set when
+    /// profiling is enabled (FrontendConfig::enableProfiling) or the
+    /// statement was EXPLAIN ANALYZE; null for plain EXPLAIN.
+    std::shared_ptr<const QueryProfile> profile;
   };
 
   /// One row of the SHOW PROCESSLIST-style view: an in-flight or recently
@@ -89,10 +104,24 @@ class QservFrontend {
     std::size_t chunksCompleted = 0;  ///< chunk queries finished so far
     double elapsedSeconds = 0.0;      ///< so far (live) or total (finished)
     bool finished = false;
+    /// Failure Status string for failed queries; empty while running or on
+    /// success (machine-readable companion of the "failed: ..." state).
+    std::string failureStatus;
   };
 
-  /// Execute \p sql end to end.
+  /// Execute \p sql end to end. `EXPLAIN <select>` returns the plan as a
+  /// result table without executing; `EXPLAIN ANALYZE <select>` executes
+  /// and returns the per-stage breakdown (Execution::profile is also set).
   util::Result<Execution> query(const std::string& sql);
+
+  /// The retained profile of a finished query, or nullptr (bounded history,
+  /// FrontendConfig::profileHistory; summaries persist in QueryStats).
+  std::shared_ptr<const QueryProfile> profileFor(std::uint64_t id) const;
+
+  /// Runtime toggle for per-query profiling (QueryStats rows, retained
+  /// profiles, slow-query log). EXPLAIN ANALYZE still profiles when off.
+  void setProfilingEnabled(bool on) { config_.enableProfiling = on; }
+  bool profilingEnabled() const { return config_.enableProfiling; }
 
   /// Live in-flight queries (dispatch order) followed by the most recent
   /// finished ones, newest first (bounded history).
@@ -135,6 +164,16 @@ class QservFrontend {
   std::vector<std::int32_t> resolveChunks(const AnalyzedQuery& analyzed);
   int workerIndexOf(const std::string& workerId);
 
+  /// Execute a SELECT end to end with trace/processList bookkeeping and,
+  /// when enabled (or \p forceProfile), profile building + persistence.
+  util::Result<Execution> runUserQuery(const std::string& sql,
+                                       bool forceProfile);
+  /// Plan-only EXPLAIN: analyze, prune, rewrite — never dispatch.
+  util::Result<Execution> explainOnly(const sql::SelectStmt& stmt);
+  /// Retain \p profile, append its summary row to QueryStats, and emit the
+  /// slow-query log line when over threshold.
+  void recordProfile(const std::shared_ptr<const QueryProfile>& profile);
+
   /// The body of query(); \p live and \p trace are registered by query().
   util::Result<Execution> runQuery(const std::string& sql, LiveQuery& live,
                                    const util::TracePtr& trace);
@@ -155,10 +194,11 @@ class QservFrontend {
   std::mutex workerIndexMutex_;
   std::map<std::string, int> workerIndexes_;
 
-  static constexpr std::size_t kRecentQueries = 32;
   mutable std::mutex processMutex_;
   std::map<std::uint64_t, std::shared_ptr<LiveQuery>> inflight_;
   std::deque<QueryInfo> recent_;  ///< finished queries, newest first
+  /// Retained profiles, newest first (bounded by profileHistory).
+  std::deque<std::shared_ptr<const QueryProfile>> profiles_;
 };
 
 }  // namespace qserv::core

@@ -78,6 +78,12 @@ Worker::Worker(std::string id, std::shared_ptr<sql::Database> database,
                std::vector<std::int32_t> exportedChunks, WorkerConfig config)
     : id_(std::move(id)),
       db_(std::move(database)),
+      queueWaitHist_(util::MetricsRegistry::instance().histogram(
+          util::format("worker.%s.queue_wait_seconds", id_.c_str()))),
+      queueDepthGauge_(util::MetricsRegistry::instance().gauge(
+          util::format("worker.%s.queue_depth", id_.c_str()))),
+      convoyRatioHist_(util::MetricsRegistry::instance().histogram(
+          util::format("worker.%s.convoy_ratio", id_.c_str()))),
       catalog_(catalog),
       chunker_(catalog.makeChunker()),
       exportedChunks_(std::move(exportedChunks)),
@@ -140,6 +146,7 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
     }
     queue_.push_back(std::move(task));
     metrics.queueDepth.add(1);
+    queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
   }
   metrics.tasksEnqueued.add();
   queueCv_.notify_one();
@@ -190,11 +197,15 @@ void Worker::executorLoop() {
     if (tasks.empty()) return;  // shutdown and drained
     std::int64_t claimedUs = util::Trace::nowUs();
     metrics.busySlots.add(1);
+    double maxWaitSec = 0.0;
+    util::Stopwatch serviceWatch;
     for (std::size_t i = 0; i < tasks.size(); ++i) {
       const Task& task = tasks[i];
       double waitSec =
           static_cast<double>(claimedUs - task.enqueuedUs) * 1e-6;
       metrics.queueWaitSeconds.observe(waitSec);
+      queueWaitHist_.observe(waitSec);
+      maxWaitSec = std::max(maxWaitSec, waitSec);
       if (util::TracePtr trace =
               util::TraceRegistry::instance().find(task.traceId)) {
         util::TraceSpan wait;
@@ -210,6 +221,10 @@ void Worker::executorLoop() {
       // others ride along on the same in-memory pass (§4.3).
       executeTask(task, /*chargeScanIo=*/i == 0);
     }
+    // Convoy indicator: how long the batch's unluckiest task waited relative
+    // to the service time it then received.
+    double serviceSec = serviceWatch.elapsedSeconds();
+    if (serviceSec > 0.0) convoyRatioHist_.observe(maxWaitSec / serviceSec);
     metrics.busySlots.add(-1);
   }
 }
@@ -237,6 +252,7 @@ std::vector<Worker::Task> Worker::claimTasks() {
   }
   WorkerMetrics::instance().queueDepth.add(
       -static_cast<std::int64_t>(out.size()));
+  queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
   return out;
 }
 
@@ -530,6 +546,11 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
   execSpan.attr("resultRows",
                 static_cast<std::int64_t>((*result)->numRows()))
       .attr("dumpBytes", static_cast<std::int64_t>(dump.size()));
+  // Record the span BEFORE publishing: publish() unblocks the dispatcher's
+  // result read, and the czar may snapshot the trace into a QueryProfile
+  // right after — an exec span recorded by the RAII destructor (after
+  // publish) could miss that snapshot.
+  execSpan.end();
   results_.publish(resultPath, std::move(dump));
 }
 

@@ -30,6 +30,7 @@
 #include "qserv/catalog_config.h"
 #include "simio/cost_model.h"
 #include "sql/database.h"
+#include "util/metrics.h"
 #include "xrd/file_store.h"
 #include "xrd/ofs.h"
 
@@ -135,6 +136,17 @@ class Worker : public xrd::OfsPlugin {
 
   std::string id_;
   std::shared_ptr<sql::Database> db_;
+
+  // Per-worker queue observability (the shared-scan scheduler's judgment
+  // substrate): "worker.<id>.queue_wait_seconds" / ".queue_depth" /
+  // ".convoy_ratio" in the process registry, alongside the aggregated
+  // "worker.*" instruments. The convoy ratio is max queue wait in a claimed
+  // batch over the batch's service time — high when long scans make short
+  // tasks queue behind them (a convoy).
+  util::Histogram& queueWaitHist_;
+  util::Gauge& queueDepthGauge_;
+  util::Histogram& convoyRatioHist_;
+
   const CatalogConfig& catalog_;
   sphgeom::Chunker chunker_;
   std::vector<std::int32_t> exportedChunks_;

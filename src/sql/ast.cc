@@ -189,6 +189,13 @@ std::string DropTableStmt::toSql() const {
   return out;
 }
 
+std::string ExplainStmt::toSql() const {
+  std::string out = "EXPLAIN ";
+  if (analyze) out += "ANALYZE ";
+  if (select) out += select->toSql();
+  return out;
+}
+
 std::string statementToSql(const Statement& stmt) {
   return std::visit([](const auto& s) { return s.toSql(); }, stmt);
 }

@@ -276,8 +276,18 @@ struct DropTableStmt {
   std::string toSql() const;
 };
 
-using Statement =
-    std::variant<SelectStmt, CreateTableStmt, InsertStmt, DropTableStmt>;
+/// EXPLAIN [ANALYZE] <select>: plan introspection. Handled entirely by the
+/// frontend (czar) — the chunk executor rejects it, since workers only ever
+/// see rewritten chunk SELECTs.
+struct ExplainStmt {
+  bool analyze = false;              ///< EXPLAIN ANALYZE: execute + profile
+  std::unique_ptr<SelectStmt> select;
+
+  std::string toSql() const;
+};
+
+using Statement = std::variant<SelectStmt, CreateTableStmt, InsertStmt,
+                               DropTableStmt, ExplainStmt>;
 
 std::string statementToSql(const Statement& stmt);
 

@@ -1301,6 +1301,12 @@ Result<TablePtr> executeStatement(Database& db, const Statement& stmt,
     QSERV_RETURN_IF_ERROR(db.dropTable(drop->table, drop->ifExists));
     return emptyResult();
   }
+  if (std::get_if<ExplainStmt>(&stmt)) {
+    // Plan introspection is a frontend concern; chunk executors only ever
+    // receive rewritten SELECTs.
+    return Status::invalidArgument(
+        "EXPLAIN is handled by the frontend, not the chunk executor");
+  }
   return Status::internal("unhandled statement type");
 }
 

@@ -121,7 +121,18 @@ class Parser {
     if (peek().is("CREATE")) return parseCreate();
     if (peek().is("INSERT")) return parseInsert();
     if (peek().is("DROP")) return parseDrop();
-    return errorHere("expected SELECT, CREATE, INSERT, or DROP");
+    if (peek().is("EXPLAIN")) return parseExplain();
+    return errorHere("expected SELECT, CREATE, INSERT, DROP, or EXPLAIN");
+  }
+
+  Result<Statement> parseExplain() {
+    QSERV_RETURN_IF_ERROR(expectKeyword("EXPLAIN"));
+    ExplainStmt stmt;
+    stmt.analyze = acceptKeyword("ANALYZE");
+    auto s = parseSelectStmt();
+    if (!s.isOk()) return s.status();
+    stmt.select = std::make_unique<SelectStmt>(std::move(s).value());
+    return Statement(std::move(stmt));
   }
 
   Result<SelectStmt> parseSelectStmt() {

@@ -1,13 +1,72 @@
 #include "util/metrics.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/strings.h"
 
 namespace qserv::util {
 
+namespace {
+/// Render a double for JSON: non-finite values (which %g would print as
+/// "nan"/"inf" — invalid JSON) become null.
+std::string jsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return format("%.17g", v);
+}
+
+/// Prometheus metric name from a dotted registry name: qserv_ prefix, any
+/// character outside [a-zA-Z0-9_:] replaced with '_'.
+std::string promName(const std::string& name) {
+  std::string out = "qserv_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample values: non-finite renders as NaN (allowed there).
+std::string promNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return format("%.17g", v);
+}
+
+/// Bucket-bound labels: short form so le="0.005", not the 17-digit repr of
+/// the nearest double (labels are identifiers, and scrapes group by them).
+std::string promBound(double v) { return format("%g", v); }
+}  // namespace
+
+const std::vector<double>& Histogram::bucketBounds() {
+  // 1 / 2.5 / 5 per decade, 1e-6 .. 5e8: covers microsecond latencies
+  // through multi-hundred-MB byte counts in 45 buckets.
+  static const std::vector<double>* bounds = [] {
+    auto* b = new std::vector<double>;
+    for (int exp = -6; exp <= 8; ++exp) {
+      double decade = std::pow(10.0, exp);
+      b->push_back(decade);
+      b->push_back(2.5 * decade);
+      b->push_back(5.0 * decade);
+    }
+    return b;
+  }();
+  return *bounds;
+}
+
 void Histogram::observe(double x) {
+  const auto& bounds = bucketBounds();
   std::lock_guard lock(mutex_);
   stats_.add(x);
   percentiles_.add(x);
+  if (bucketCounts_.empty()) bucketCounts_.assign(bounds.size(), 0);
+  auto it = std::lower_bound(bounds.begin(), bounds.end(), x);
+  if (it != bounds.end()) {
+    ++bucketCounts_[static_cast<std::size_t>(it - bounds.begin())];
+  }
+  // x above the last bound counts only toward the implicit +Inf bucket.
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -21,7 +80,14 @@ Histogram::Snapshot Histogram::snapshot() const {
   s.max = stats_.max();
   s.p50 = percentiles_.percentile(50);
   s.p90 = percentiles_.percentile(90);
+  s.p95 = percentiles_.percentile(95);
   s.p99 = percentiles_.percentile(99);
+  s.cumulative.assign(bucketBounds().size(), 0);
+  std::int64_t running = 0;
+  for (std::size_t i = 0; i < bucketCounts_.size(); ++i) {
+    running += bucketCounts_[i];
+    s.cumulative[i] = running;
+  }
   return s;
 }
 
@@ -29,6 +95,7 @@ void Histogram::reset() {
   std::lock_guard lock(mutex_);
   stats_ = RunningStats();
   percentiles_ = Percentiles();
+  bucketCounts_.clear();
 }
 
 std::string MetricsSnapshot::toText() const {
@@ -43,9 +110,9 @@ std::string MetricsSnapshot::toText() const {
   for (const auto& [name, h] : histograms) {
     out += format(
         "%-44s n=%lld mean=%.4g min=%.4g max=%.4g p50=%.4g p90=%.4g "
-        "p99=%.4g\n",
+        "p95=%.4g p99=%.4g\n",
         name.c_str(), static_cast<long long>(h.count), h.mean, h.min, h.max,
-        h.p50, h.p90, h.p99);
+        h.p50, h.p90, h.p95, h.p99);
   }
   return out;
 }
@@ -73,12 +140,57 @@ std::string MetricsSnapshot::toJson() const {
     if (!first) out += ",";
     first = false;
     out += format(
-        "\"%s\":{\"count\":%lld,\"sum\":%.17g,\"mean\":%.17g,\"min\":%.17g,"
-        "\"max\":%.17g,\"p50\":%.17g,\"p90\":%.17g,\"p99\":%.17g}",
-        jsonEscape(name).c_str(), static_cast<long long>(h.count), h.sum,
-        h.mean, h.min, h.max, h.p50, h.p90, h.p99);
+        "\"%s\":{\"count\":%lld,\"sum\":%s,\"mean\":%s,\"min\":%s,"
+        "\"max\":%s,\"p50\":%s,\"p90\":%s,\"p95\":%s,\"p99\":%s}",
+        jsonEscape(name).c_str(), static_cast<long long>(h.count),
+        jsonNumber(h.sum).c_str(), jsonNumber(h.mean).c_str(),
+        jsonNumber(h.min).c_str(), jsonNumber(h.max).c_str(),
+        jsonNumber(h.p50).c_str(), jsonNumber(h.p90).c_str(),
+        jsonNumber(h.p95).c_str(), jsonNumber(h.p99).c_str());
   }
   out += "}}";
+  return out;
+}
+
+std::string MetricsSnapshot::toPrometheus() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    std::string p = promName(name);
+    out += format("# TYPE %s counter\n%s %llu\n", p.c_str(), p.c_str(),
+                  static_cast<unsigned long long>(v));
+  }
+  for (const auto& [name, v] : gauges) {
+    std::string p = promName(name);
+    out += format("# TYPE %s gauge\n%s %lld\n", p.c_str(), p.c_str(),
+                  static_cast<long long>(v));
+  }
+  const auto& bounds = Histogram::bucketBounds();
+  for (const auto& [name, h] : histograms) {
+    std::string p = promName(name);
+    out += format("# TYPE %s histogram\n", p.c_str());
+    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+      out += format("%s_bucket{le=\"%s\"} %lld\n", p.c_str(),
+                    promBound(bounds[i]).c_str(),
+                    static_cast<long long>(h.cumulative[i]));
+      // Once every observation is accounted for, the remaining finite
+      // buckets repeat the same value; skip straight to +Inf.
+      if (h.cumulative[i] == h.count) break;
+    }
+    out += format("%s_bucket{le=\"+Inf\"} %lld\n", p.c_str(),
+                  static_cast<long long>(h.count));
+    out += format("%s_sum %s\n", p.c_str(), promNumber(h.sum).c_str());
+    out += format("%s_count %lld\n", p.c_str(),
+                  static_cast<long long>(h.count));
+    // Exact percentiles travel as a companion summary family: Prometheus
+    // histograms only carry buckets, but we have the real quantiles.
+    out += format("# TYPE %s_quantiles summary\n", p.c_str());
+    const std::pair<const char*, double> qs[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.95", h.p95}, {"0.99", h.p99}};
+    for (const auto& [q, v] : qs) {
+      out += format("%s_quantiles{quantile=\"%s\"} %s\n", p.c_str(), q,
+                    promNumber(v).c_str());
+    }
+  }
   return out;
 }
 

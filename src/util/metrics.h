@@ -50,13 +50,21 @@ class Gauge {
   std::atomic<std::int64_t> v_{0};
 };
 
-/// Latency/size distribution: running moments + exact percentiles.
+/// Latency/size distribution: running moments + exact percentiles + fixed
+/// log-spaced buckets (1-2.5-5 decades, 1e-6 .. 5e8) for the Prometheus
+/// exposition format, which wants cumulative bucket counts.
 class Histogram {
  public:
+  /// Upper bounds of the fixed buckets (ascending). Values above the last
+  /// bound land only in the implicit +Inf bucket (== count).
+  static const std::vector<double>& bucketBounds();
+
   struct Snapshot {
     std::int64_t count = 0;
     double sum = 0.0, mean = 0.0, min = 0.0, max = 0.0;
-    double p50 = 0.0, p90 = 0.0, p99 = 0.0;
+    double p50 = 0.0, p90 = 0.0, p95 = 0.0, p99 = 0.0;
+    /// Cumulative count per bucketBounds() entry: observations <= bound.
+    std::vector<std::int64_t> cumulative;
   };
 
   void observe(double x);
@@ -67,6 +75,7 @@ class Histogram {
   mutable std::mutex mutex_;
   RunningStats stats_;
   Percentiles percentiles_;
+  std::vector<std::int64_t> bucketCounts_;  ///< per-bucket (non-cumulative)
 };
 
 /// Point-in-time copy of every instrument in a registry.
@@ -78,7 +87,14 @@ struct MetricsSnapshot {
   /// Aligned human-readable listing (one instrument per line).
   std::string toText() const;
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,...}}}
+  /// Names are JSON-escaped; non-finite values render as null.
   std::string toJson() const;
+  /// Prometheus text exposition format. Dotted names become
+  /// `qserv_<name with non-alphanumerics as _>`; counters/gauges emit one
+  /// sample, histograms emit cumulative `_bucket{le=...}` series plus
+  /// `_sum`/`_count` and a companion `<name>_quantiles` summary
+  /// (p50/p90/p95/p99).
+  std::string toPrometheus() const;
 };
 
 /// Named-instrument registry. Instruments are created on first use and never

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/strings.h"
@@ -147,7 +148,11 @@ std::optional<std::uint64_t> parseTraceHeader(const std::string& payload) {
         std::uint64_t id = 0;
         for (char c : digits) {
           if (c < '0' || c > '9') return std::nullopt;
-          id = id * 10 + static_cast<std::uint64_t>(c - '0');
+          auto digit = static_cast<std::uint64_t>(c - '0');
+          // Reject ids that overflow uint64 instead of silently wrapping.
+          constexpr auto kMax = std::numeric_limits<std::uint64_t>::max();
+          if (id > kMax / 10 || id * 10 > kMax - digit) return std::nullopt;
+          id = id * 10 + digit;
         }
         return id;
       }

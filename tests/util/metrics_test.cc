@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -161,6 +164,141 @@ TEST(Metrics, ResetZeroesEverythingButKeepsHandles) {
 
 TEST(Metrics, ProcessWideInstanceIsSingleton) {
   EXPECT_EQ(&MetricsRegistry::instance(), &MetricsRegistry::instance());
+}
+
+TEST(Metrics, SnapshotP95AndCumulativeBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("t.hist");
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  auto s = h.snapshot();
+  EXPECT_NEAR(s.p95, 95.05, 1e-9);  // interpolated like p50/p90/p99
+
+  const auto& bounds = Histogram::bucketBounds();
+  ASSERT_EQ(s.cumulative.size(), bounds.size());
+  // Cumulative counts are monotone and, with every observation within the
+  // bucketed range, the last entry covers all of them.
+  std::int64_t prev = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    EXPECT_GE(s.cumulative[i], prev);
+    prev = s.cumulative[i];
+    // Spot-check against the exact definition: observations <= bound.
+    std::int64_t expected = 0;
+    for (int v = 1; v <= 100; ++v) {
+      if (v <= bounds[i]) ++expected;
+    }
+    EXPECT_EQ(s.cumulative[i], expected) << "bound " << bounds[i];
+  }
+  EXPECT_EQ(s.cumulative.back(), s.count);
+
+  // Observations beyond the last bound live only in the implicit +Inf
+  // bucket: cumulative stays short of count.
+  Histogram& big = reg.histogram("t.big");
+  big.observe(bounds.back() * 10.0);
+  auto sb = big.snapshot();
+  EXPECT_EQ(sb.count, 1);
+  EXPECT_EQ(sb.cumulative.back(), 0);
+}
+
+TEST(Metrics, PrometheusExposition) {
+  MetricsRegistry reg;
+  reg.counter("czar.queries").add(5);
+  reg.gauge("worker.w0.queue_depth").set(3);
+  Histogram& h = reg.histogram("worker.w0.queue_wait_seconds");
+  h.observe(0.004);
+  h.observe(0.04);
+  h.observe(400.0);
+  std::string prom = reg.snapshot().toPrometheus();
+
+  // Dotted names sanitize to qserv_* with underscores.
+  EXPECT_NE(prom.find("# TYPE qserv_czar_queries counter"), std::string::npos);
+  EXPECT_NE(prom.find("qserv_czar_queries 5"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE qserv_worker_w0_queue_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(prom.find("qserv_worker_w0_queue_depth 3"), std::string::npos);
+
+  // Histogram: cumulative le buckets, +Inf, _sum, _count.
+  const std::string hname = "qserv_worker_w0_queue_wait_seconds";
+  EXPECT_NE(prom.find("# TYPE " + hname + " histogram"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_bucket{le=\"0.005\"} 1"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_bucket{le=\"0.05\"} 2"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_count 3"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_sum"), std::string::npos);
+
+  // Companion quantile summary.
+  EXPECT_NE(prom.find("# TYPE " + hname + "_quantiles summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find(hname + "_quantiles{quantile=\"0.95\"}"),
+            std::string::npos);
+
+  // Exposition format: every non-comment line is `name[{labels}] value`.
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_NE(line.find(' '), std::string::npos) << line;
+    EXPECT_EQ(line.find_first_not_of(
+                  "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+                  "0123456789_:"),
+              line.find_first_of("{ "))
+        << line;
+  }
+}
+
+TEST(Metrics, JsonEscapesNamesAndNonFiniteValues) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\nstuff").add(1);
+  Histogram& h = reg.histogram("inf.hist");
+  h.observe(std::numeric_limits<double>::infinity());
+  std::string json = reg.snapshot().toJson();
+
+  // Raw quote/backslash/newline in the instrument name must be escaped.
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control char";
+  }
+  // Non-finite stats render as null, never bare inf/nan (invalid JSON).
+  EXPECT_EQ(json.find("inf,"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_NE(json.find("null"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Metrics, ResetRacesObserversSafely) {
+  // reset() may interleave with observe()/add() from other threads without
+  // data races (exercised under TSan) or broken invariants after the dust
+  // settles.
+  MetricsRegistry reg;
+  Counter& c = reg.counter("race.count");
+  Gauge& g = reg.gauge("race.gauge");
+  Histogram& h = reg.histogram("race.hist");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.add();
+        g.add(1);
+        h.observe(0.5);
+      }
+    });
+  }
+  for (int i = 0; i < 100; ++i) {
+    reg.reset();
+    auto s = h.snapshot();
+    // Snapshot invariants hold mid-race: a non-empty snapshot has fully
+    // sized cumulative buckets that never exceed its count.
+    if (s.count > 0) {
+      ASSERT_EQ(s.cumulative.size(), Histogram::bucketBounds().size());
+      EXPECT_LE(s.cumulative.back(), s.count);
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0);
 }
 
 }  // namespace

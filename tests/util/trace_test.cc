@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -165,6 +167,52 @@ TEST(Trace, HeaderParsingRejectsNonHeaders) {
   EXPECT_FALSE(parseTraceHeader("-- QSERV-TRACE: nope\nSELECT 1;").has_value());
   EXPECT_FALSE(parseTraceHeader("").has_value());
   EXPECT_FALSE(parseTraceHeader("-- QSERV-TRACE: ").has_value());
+}
+
+TEST(Trace, HeaderParsingRejectsGarbageAndOverflow) {
+  // Mixed digits and letters anywhere in the id reject the whole header.
+  EXPECT_FALSE(parseTraceHeader("-- QSERV-TRACE: 12x4\nSELECT 1;").has_value());
+  EXPECT_FALSE(parseTraceHeader("-- QSERV-TRACE: -7\nSELECT 1;").has_value());
+  EXPECT_FALSE(parseTraceHeader("-- QSERV-TRACE: 1 2\nSELECT 1;").has_value());
+
+  // uint64 max parses; one more (and anything longer) must not wrap around
+  // to a small id that would attach spans to an unrelated query.
+  auto max = parseTraceHeader("-- QSERV-TRACE: 18446744073709551615\nSELECT 1;");
+  ASSERT_TRUE(max.has_value());
+  EXPECT_EQ(*max, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(
+      parseTraceHeader("-- QSERV-TRACE: 18446744073709551616\nSELECT 1;")
+          .has_value());
+  EXPECT_FALSE(
+      parseTraceHeader("-- QSERV-TRACE: 99999999999999999999\nSELECT 1;")
+          .has_value());
+}
+
+TEST(Trace, HeaderParsingFirstDuplicateWins) {
+  auto id = parseTraceHeader(
+      "-- QSERV-TRACE: 11\n-- QSERV-TRACE: 22\nSELECT 1;");
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 11u);
+}
+
+TEST(Trace, ChromeJsonEscapesControlCharacters) {
+  auto trace = std::make_shared<Trace>(10, "label with \"quotes\"\\\n\ttab");
+  {
+    ScopedSpan s(trace, "czar", "name\nwith\x01控");
+    s.attr("key\"x", "val\\ue\n");
+  }
+  std::string json = trace->toChromeJson();
+  // No raw control characters may survive into the JSON output.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control char in JSON";
+  }
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
 }
 
 TEST(Trace, ClockIsMonotonic) {
