@@ -78,7 +78,8 @@ QservFrontend::QservFrontend(FrontendConfig config,
                                    config_.dispatchMaxAttempts,
                                    config_.dispatchBackoff,
                                    /*retrySeed=*/0x5eedULL,
-                                   /*requireDumpChecksum=*/true}) {
+                                   /*requireDumpChecksum=*/true}),
+      profilingEnabled_(config_.enableProfiling) {
   std::sort(availableChunks_.begin(), availableChunks_.end());
   (void)metadata_.registerTable(
       std::make_shared<sql::Table>("QueryStats", queryStatsSchema()));
@@ -251,7 +252,7 @@ Result<QservFrontend::Execution> QservFrontend::runUserQuery(
   double wallSeconds = wall.elapsedSeconds();
   metrics.querySeconds.observe(wallSeconds);
 
-  if (config_.enableProfiling || forceProfile) {
+  if (profilingEnabled_.load(std::memory_order_relaxed) || forceProfile) {
     auto profile = std::make_shared<QueryProfile>(buildQueryProfile(*trace));
     profile->wallSeconds = wallSeconds;
     if (result.isOk()) {
@@ -285,28 +286,42 @@ void QservFrontend::recordProfile(
     profiles_.push_front(profile);
     while (profiles_.size() > config_.profileHistory) profiles_.pop_back();
   }
-  if (sql::TablePtr stats = metadata_.findTable("QueryStats")) {
+  {
     const QueryProfile& p = *profile;
-    sql::Value row[] = {static_cast<std::int64_t>(p.queryId),
-                        p.sql,
-                        p.status,
-                        p.wallSeconds,
-                        p.stageSeconds(),
-                        p.chunks,
-                        p.attempts,
-                        p.retries,
-                        p.faults,
-                        p.rowsMerged,
-                        p.resultRows,
-                        p.bytesTransferred,
-                        p.queueWait.p50,
-                        p.queueWait.max,
-                        p.execute.p50,
-                        p.execute.max,
-                        p.transfer.p50,
-                        p.transfer.max};
-    (void)stats->appendRow(row);
-    metadata_.refreshIndexes("QueryStats");
+    std::vector<sql::Value> row = {static_cast<std::int64_t>(p.queryId),
+                                   p.sql,
+                                   p.status,
+                                   p.wallSeconds,
+                                   p.stageSeconds(),
+                                   p.chunks,
+                                   p.attempts,
+                                   p.retries,
+                                   p.faults,
+                                   p.rowsMerged,
+                                   p.resultRows,
+                                   p.bytesTransferred,
+                                   p.queueWait.p50,
+                                   p.queueWait.max,
+                                   p.execute.p50,
+                                   p.execute.max,
+                                   p.transfer.p50,
+                                   p.transfer.max};
+    std::lock_guard lock(statsMutex_);
+    statsRows_.push_back(std::move(row));
+    if (statsRows_.size() > config_.queryStatsHistory) {
+      statsRows_.erase(
+          statsRows_.begin(),
+          statsRows_.end() - static_cast<std::ptrdiff_t>(
+                                 config_.queryStatsHistory));
+    }
+    // The registered table may be mid-scan by a concurrent frontend SELECT,
+    // and registered table contents are never mutated (database.h). Publish
+    // the new row by rebuilding a fresh snapshot and atomically swapping it
+    // in; in-flight readers keep their old TablePtr.
+    auto table =
+        std::make_shared<sql::Table>("QueryStats", queryStatsSchema());
+    (void)table->appendRows(statsRows_);
+    (void)metadata_.replaceTable(std::move(table));
   }
   if (config_.slowQuerySeconds > 0.0 &&
       profile->wallSeconds >= config_.slowQuerySeconds) {

@@ -44,6 +44,7 @@ struct FrontendConfig {
   double queryDeadlineSeconds = 0.0;
   /// Build a QueryProfile for every query and persist its summary into the
   /// metadata DB's QueryStats table. EXPLAIN ANALYZE profiles regardless.
+  /// Initial value of the runtime toggle (setProfilingEnabled).
   bool enableProfiling = true;
   /// Queries slower than this (seconds) emit their profile summary as a
   /// structured QLOG line under component "slowquery"; <= 0 disables.
@@ -52,6 +53,10 @@ struct FrontendConfig {
   std::size_t processListHistory = 32;
   /// Full QueryProfile objects retained for profileFor().
   std::size_t profileHistory = 64;
+  /// QueryStats summary rows retained in the metadata DB. Oldest rows are
+  /// evicted past the cap (like processListHistory) so a long-running
+  /// frontend does not grow without bound; 0 keeps none.
+  std::size_t queryStatsHistory = 1024;
 };
 
 class QservFrontend {
@@ -120,8 +125,13 @@ class QservFrontend {
 
   /// Runtime toggle for per-query profiling (QueryStats rows, retained
   /// profiles, slow-query log). EXPLAIN ANALYZE still profiles when off.
-  void setProfilingEnabled(bool on) { config_.enableProfiling = on; }
-  bool profilingEnabled() const { return config_.enableProfiling; }
+  /// Atomic: may be flipped while other threads are inside query().
+  void setProfilingEnabled(bool on) {
+    profilingEnabled_.store(on, std::memory_order_relaxed);
+  }
+  bool profilingEnabled() const {
+    return profilingEnabled_.load(std::memory_order_relaxed);
+  }
 
   /// Live in-flight queries (dispatch order) followed by the most recent
   /// finished ones, newest first (bounded history).
@@ -170,7 +180,8 @@ class QservFrontend {
                                        bool forceProfile);
   /// Plan-only EXPLAIN: analyze, prune, rewrite — never dispatch.
   util::Result<Execution> explainOnly(const sql::SelectStmt& stmt);
-  /// Retain \p profile, append its summary row to QueryStats, and emit the
+  /// Retain \p profile, publish a fresh QueryStats snapshot table holding
+  /// its summary row (bounded by queryStatsHistory), and emit the
   /// slow-query log line when over threshold.
   void recordProfile(const std::shared_ptr<const QueryProfile>& profile);
 
@@ -190,6 +201,8 @@ class QservFrontend {
   sphgeom::Chunker chunker_;
   Dispatcher dispatcher_;
   std::atomic<std::uint64_t> nextQueryId_{0};
+  /// Runtime profiling toggle, seeded from config_.enableProfiling.
+  std::atomic<bool> profilingEnabled_;
 
   std::mutex workerIndexMutex_;
   std::map<std::string, int> workerIndexes_;
@@ -199,6 +212,14 @@ class QservFrontend {
   std::deque<QueryInfo> recent_;  ///< finished queries, newest first
   /// Retained profiles, newest first (bounded by profileHistory).
   std::deque<std::shared_ptr<const QueryProfile>> profiles_;
+
+  /// QueryStats rows, oldest first (bounded by queryStatsHistory). The
+  /// registered "QueryStats" table is never mutated in place — database.h's
+  /// contents-are-append-only invariant — so concurrent frontend SELECTs
+  /// can scan it freely; recordProfile() rebuilds a fresh snapshot from
+  /// these rows and atomically swaps it in (Database::replaceTable).
+  std::mutex statsMutex_;
+  std::vector<std::vector<sql::Value>> statsRows_;
 };
 
 }  // namespace qserv::core

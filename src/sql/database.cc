@@ -43,6 +43,23 @@ util::Status Database::registerTable(TablePtr table) {
   return util::Status::ok();
 }
 
+util::Status Database::replaceTable(TablePtr table) {
+  std::unique_lock lock(mutex_);
+  auto& slot = tables_[table->name()];
+  slot = std::move(table);
+  // Existing indexes snapshot the replaced contents: rebuild them over the
+  // new table so probes keep agreeing with scans.
+  auto it = indexes_.find(slot->name());
+  if (it != indexes_.end()) {
+    for (auto& [colName, index] : it->second) {
+      auto col = slot->schema().indexOf(colName);
+      if (!col) continue;
+      index = std::make_shared<OrderedIndex>(*slot, *col);
+    }
+  }
+  return util::Status::ok();
+}
+
 util::Status Database::dropTable(const std::string& table, bool ifExists) {
   std::unique_lock lock(mutex_);
   auto it = tables_.find(table);

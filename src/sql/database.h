@@ -64,6 +64,14 @@ class Database {
   /// kAlreadyExists when the name is taken.
   util::Status registerTable(TablePtr table);
 
+  /// Atomically replace a registered table with a new snapshot (registering
+  /// it when absent) and rebuild its indexes over the new contents. This is
+  /// the supported way to publish contents that evolve after registration
+  /// (e.g. the frontend's QueryStats history) without violating the
+  /// append-only invariant: readers that already hold the previous TablePtr
+  /// keep scanning an unchanging table.
+  util::Status replaceTable(TablePtr table);
+
   /// Remove a table and its indexes.
   util::Status dropTable(const std::string& table, bool ifExists = false);
 

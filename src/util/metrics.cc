@@ -168,13 +168,15 @@ std::string MetricsSnapshot::toPrometheus() const {
   for (const auto& [name, h] : histograms) {
     std::string p = promName(name);
     out += format("# TYPE %s histogram\n", p.c_str());
-    for (std::size_t i = 0; i < h.cumulative.size(); ++i) {
+    // Every finite bound is emitted on every scrape (an empty histogram's
+    // snapshot has no cumulative vector — all buckets are 0): the set of
+    // `le` series must stay stable across scrapes, or downstream
+    // rate()/histogram_quantile() sees series appear and disappear as
+    // observations move between buckets.
+    for (std::size_t i = 0; i < bounds.size(); ++i) {
+      std::int64_t c = i < h.cumulative.size() ? h.cumulative[i] : 0;
       out += format("%s_bucket{le=\"%s\"} %lld\n", p.c_str(),
-                    promBound(bounds[i]).c_str(),
-                    static_cast<long long>(h.cumulative[i]));
-      // Once every observation is accounted for, the remaining finite
-      // buckets repeat the same value; skip straight to +Inf.
-      if (h.cumulative[i] == h.count) break;
+                    promBound(bounds[i]).c_str(), static_cast<long long>(c));
     }
     out += format("%s_bucket{le=\"+Inf\"} %lld\n", p.c_str(),
                   static_cast<long long>(h.count));
@@ -190,6 +192,12 @@ std::string MetricsSnapshot::toPrometheus() const {
       out += format("%s_quantiles{quantile=\"%s\"} %s\n", p.c_str(), q,
                     promNumber(v).c_str());
     }
+    // A summary family carries _sum/_count samples of its own; strict
+    // exposition-format parsers expect them.
+    out += format("%s_quantiles_sum %s\n", p.c_str(),
+                  promNumber(h.sum).c_str());
+    out += format("%s_quantiles_count %lld\n", p.c_str(),
+                  static_cast<long long>(h.count));
   }
   return out;
 }

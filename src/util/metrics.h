@@ -91,9 +91,10 @@ struct MetricsSnapshot {
   std::string toJson() const;
   /// Prometheus text exposition format. Dotted names become
   /// `qserv_<name with non-alphanumerics as _>`; counters/gauges emit one
-  /// sample, histograms emit cumulative `_bucket{le=...}` series plus
+  /// sample, histograms emit a cumulative `_bucket{le=...}` series for
+  /// every fixed bound on every scrape (stable series set) plus
   /// `_sum`/`_count` and a companion `<name>_quantiles` summary
-  /// (p50/p90/p95/p99).
+  /// (p50/p90/p95/p99 with its own `_sum`/`_count`).
   std::string toPrometheus() const;
 };
 

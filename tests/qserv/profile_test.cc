@@ -3,7 +3,10 @@
 /// per-worker queue instruments (see DESIGN.md "Observability").
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "qserv/cluster.h"
 #include "qserv/query_profile.h"
@@ -241,6 +244,77 @@ TEST_F(ProfileConfigTest, HistoryBoundsAndSlowQueryLog) {
   // 5 profiled queries + this COUNT itself may already be recorded after it
   // ran; the COUNT sees the 5 prior rows.
   EXPECT_EQ(rows->result->intColumn(0)[0], 5);
+}
+
+TEST_F(ProfileConfigTest, QueryStatsHistoryIsBounded) {
+  ClusterOptions opts;
+  opts.numWorkers = 1;
+  opts.frontend.catalog = CatalogConfig::lsst(18, 6, 0.05);
+  opts.frontend.queryStatsHistory = 3;
+  auto cluster = MiniCluster::create(opts, *sky_);
+  ASSERT_TRUE(cluster.isOk());
+  auto& f = (*cluster)->frontend();
+
+  std::uint64_t firstId = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto r = f.query("SELECT COUNT(*) FROM Object");
+    ASSERT_TRUE(r.isOk());
+    if (i == 0) firstId = r->queryId;
+  }
+
+  // The oldest rows were evicted past the cap; the first query is gone.
+  auto rows = f.query("SELECT queryId FROM QueryStats");
+  ASSERT_TRUE(rows.isOk());
+  EXPECT_EQ(rows->result->numRows(), 3u);
+  for (std::size_t r = 0; r < rows->result->numRows(); ++r) {
+    EXPECT_NE(rows->result->intColumn(0)[r],
+              static_cast<std::int64_t>(firstId));
+  }
+}
+
+// Finishing queries append QueryStats rows while other threads SELECT from
+// the table and flip the profiling toggle: the snapshot-swap publication
+// (Database::replaceTable) and the atomic toggle must keep this race-free
+// (run under TSan via build-tsan).
+TEST_F(ProfileConfigTest, ConcurrentProfilingAndQueryStatsReads) {
+  ClusterOptions opts;
+  opts.numWorkers = 2;
+  opts.frontend.catalog = CatalogConfig::lsst(18, 6, 0.05);
+  opts.frontend.queryStatsHistory = 8;
+  auto cluster = MiniCluster::create(opts, *sky_);
+  ASSERT_TRUE(cluster.isOk());
+  auto& f = (*cluster)->frontend();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&f, &failures] {
+      for (int i = 0; i < 4; ++i) {
+        if (!f.query("SELECT COUNT(*) FROM Object").isOk()) ++failures;
+        // Scans the whole QueryStats snapshot while other queries finish.
+        if (!f.query("SELECT queryId, sql, wallSeconds FROM QueryStats "
+                     "WHERE wallSeconds >= 0.0")
+                 .isOk()) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 64; ++i) {
+    f.setProfilingEnabled(i % 2 == 0);
+    std::this_thread::yield();
+  }
+  f.setProfilingEnabled(true);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // One guaranteed-profiled query so the final count is never zero even if
+  // every threaded query happened to land in a toggled-off window.
+  ASSERT_TRUE(f.query("SELECT COUNT(*) FROM Object").isOk());
+  auto rows = f.query("SELECT COUNT(*) FROM QueryStats");
+  ASSERT_TRUE(rows.isOk());
+  EXPECT_LE(rows->result->intColumn(0)[0], 8);
+  EXPECT_GT(rows->result->intColumn(0)[0], 0);
 }
 
 TEST_F(ProfileConfigTest, ProfilingDisabledSkipsBookkeeping) {

@@ -225,10 +225,34 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_NE(prom.find(hname + "_count 3"), std::string::npos);
   EXPECT_NE(prom.find(hname + "_sum"), std::string::npos);
 
-  // Companion quantile summary.
+  // Every finite bound appears on every scrape (a stable series set), even
+  // past the last observation: one line per bound plus +Inf.
+  std::size_t bucketLines = 0;
+  const std::string bucketPrefix = hname + "_bucket{";
+  for (std::size_t pos = 0;
+       (pos = prom.find(bucketPrefix, pos)) != std::string::npos;
+       pos += bucketPrefix.size()) {
+    ++bucketLines;
+  }
+  EXPECT_EQ(bucketLines, Histogram::bucketBounds().size() + 1);
+  EXPECT_NE(prom.find(hname + "_bucket{le=\"5e+08\"} 3"), std::string::npos);
+
+  // Companion quantile summary, with the _sum/_count samples a summary
+  // family must carry.
   EXPECT_NE(prom.find("# TYPE " + hname + "_quantiles summary"),
             std::string::npos);
   EXPECT_NE(prom.find(hname + "_quantiles{quantile=\"0.95\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find(hname + "_quantiles_sum"), std::string::npos);
+  EXPECT_NE(prom.find(hname + "_quantiles_count 3"), std::string::npos);
+
+  // An empty histogram still exposes the full zeroed bucket series.
+  MetricsRegistry reg2;
+  (void)reg2.histogram("empty.hist");
+  std::string prom2 = reg2.snapshot().toPrometheus();
+  EXPECT_NE(prom2.find("qserv_empty_hist_bucket{le=\"1e-06\"} 0"),
+            std::string::npos);
+  EXPECT_NE(prom2.find("qserv_empty_hist_bucket{le=\"+Inf\"} 0"),
             std::string::npos);
 
   // Exposition format: every non-comment line is `name[{labels}] value`.
