@@ -7,6 +7,7 @@
 /// execution became more dominated by overhead"; HV2 is approximately flat
 /// (scan-bound weak scaling).
 #include <cstdio>
+#include <set>
 
 #include "bench_util.h"
 
@@ -37,8 +38,8 @@ int main() {
       "SELECT count(*) AS n, AVG(ra_PS), AVG(decl_PS), chunkId FROM Object "
       "GROUP BY chunkId";
 
-  std::printf("\n  %-8s %8s %12s %12s %12s\n", "nodes", "chunks", "HV1 s",
-              "HV2 s", "HV3 s");
+  std::printf("\n  %-8s %8s %12s %14s %12s %12s\n", "nodes", "chunks",
+              "HV1 s", "HV1 batched s", "HV2 s", "HV3 s");
   for (int nodes : {40, 100, 150}) {
     auto chunks = emulateClusterSize(setup, nodes);
     simio::CostParams params = simio::CostParams::paper150();
@@ -48,6 +49,18 @@ int main() {
     double v1 = simio::simulateQuery(virtualTasks(setup, e1, params, 150),
                                      params)
                     .elapsedSec();
+    // The same execution under batched dispatch: one request per placement
+    // node replaces the 2.8 ms/chunk master term with its amortized share,
+    // so HV1 stops growing linearly in the dispatch term (§7.6 remedy).
+    auto batchedTasks = virtualTasks(setup, e1, params, 150);
+    {
+      std::set<int> workers;
+      for (const auto& t : batchedTasks) workers.insert(t.worker);
+      double d = simio::amortizedBatchDispatchSec(batchedTasks.size(),
+                                                  workers.size(), params);
+      for (auto& t : batchedTasks) t.dispatchSec = d;
+    }
+    double v1b = simio::simulateQuery(batchedTasks, params).elapsedSec();
 
     simio::CostParams warm = params;
     warm.cacheFraction = 0.65;  // Fig 6's partially-cached steady state
@@ -62,12 +75,15 @@ int main() {
                                      cached)
                     .elapsedSec();
 
-    std::printf("  %-8d %8zu %12.1f %12.1f %12.1f\n", nodes, chunks.size(),
-                v1, v2, v3);
+    std::printf("  %-8d %8zu %12.1f %14.1f %12.1f %12.1f\n", nodes,
+                chunks.size(), v1, v1b, v2, v3);
   }
   restoreFullCluster(setup);
   std::printf("\n");
   printKeyValue("paper Fig 11",
                 "HV1 ~8->25 s linear; HV3 ~60->110 s; HV2 ~170-250 s flat");
+  printKeyValue("batched HV1",
+                "the linear dispatch term collapses to the amortized "
+                "per-batch cost (~0.25 ms/chunk)");
   return 0;
 }

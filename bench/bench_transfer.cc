@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -72,11 +73,31 @@ int main() {
     return 1;
   }
   std::printf("\n");
+  double bytesRatio = dump.resultBytes / binary.resultBytes;
+  double collectSpeedup = dump.collectSec / binary.collectSec;
   printKeyValue("rows merged (identical)",
                 util::format("%llu", (unsigned long long)dump.rows));
-  printKeyValue("bytes saved",
-                util::format("%.1fx", dump.resultBytes / binary.resultBytes));
+  printKeyValue("bytes saved", util::format("%.1fx", bytesRatio));
   printKeyValue("modeled master collect speedup",
-                util::format("%.1fx", dump.collectSec / binary.collectSec));
-  return 0;
+                util::format("%.1fx", collectSpeedup));
+
+  auto& reg = util::MetricsRegistry::instance();
+  reg.gauge("bench.transfer.bytes_ratio_x100")
+      .set(static_cast<std::int64_t>(bytesRatio * 100));
+  reg.gauge("bench.transfer.collect_speedup_x100")
+      .set(static_cast<std::int64_t>(collectSpeedup * 100));
+
+  // Speedup floors: the binary codec must keep paying for itself.
+  int violations = 0;
+  if (bytesRatio < 2.0) {
+    std::fprintf(stderr, "GATE: binary codec saves only %.2fx bytes (need "
+                 ">= 2x)\n", bytesRatio);
+    ++violations;
+  }
+  if (collectSpeedup < 2.0) {
+    std::fprintf(stderr, "GATE: modeled collect speedup only %.2fx (need "
+                 ">= 2x)\n", collectSpeedup);
+    ++violations;
+  }
+  return violations == 0 ? 0 : 1;
 }

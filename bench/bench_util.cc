@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <set>
 
 #include "sphgeom/angle.h"
 #include "util/metrics.h"
@@ -86,6 +87,7 @@ PaperSetup makePaperSetup(const PaperSetupOptions& options) {
   copts.frontend.catalog = setup.catalog;
   copts.frontend.cost = simio::CostParams::paper150();
   copts.frontend.dispatchParallelism = options.dispatchParallelism;
+  copts.frontend.dispatchMode = options.dispatchMode;
   auto cluster = core::MiniCluster::create(copts, *catalog);
   if (!cluster.isOk()) {
     std::fprintf(stderr, "bench cluster: %s\n",
@@ -110,6 +112,17 @@ std::vector<simio::SimChunkTask> virtualTasks(
     t.serviceSec = simio::workerServiceSeconds(a.observables, params);
     t.collectSec = simio::masterCollectSeconds(a.observables, params);
     tasks.push_back(t);
+  }
+  // A batched execution dispatches one request per (query, worker): on the
+  // virtual cluster the batch count is the number of distinct placement
+  // nodes, and every chunk pays the amortized share instead of the full
+  // per-chunk master overhead.
+  if (exec.dispatchMode == core::DispatchMode::kBatched && !tasks.empty()) {
+    std::set<int> workers;
+    for (const auto& t : tasks) workers.insert(t.worker);
+    double dispatchSec =
+        simio::amortizedBatchDispatchSec(tasks.size(), workers.size(), params);
+    for (auto& t : tasks) t.dispatchSec = dispatchSec;
   }
   return tasks;
 }

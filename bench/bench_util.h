@@ -51,6 +51,9 @@ struct PaperSetupOptions {
   core::WorkerConfig workerConfig;
   datagen::BasePatchOptions basePatch;  ///< objectCount is overridden
   int dispatchParallelism = 16;  ///< frontend in-flight chunk queries
+  /// Paper fidelity by default: the figure benches reproduce the published
+  /// per-chunk dispatch numbers; the batched ablation opts in explicitly.
+  core::DispatchMode dispatchMode = core::DispatchMode::kPerChunk;
 };
 
 struct PaperSetup {

@@ -69,10 +69,28 @@ add_test(NAME perf_smoke_observability
 set_tests_properties(perf_smoke_observability PROPERTIES
   LABELS "perf"
   ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_observability.json")
+# bench_dispatch gates the batched-dispatch speedup floors (amortized master
+# cost <= 0.3 ms/chunk at the full sky, >= 5x over per-chunk, batched wall
+# not slower than per-chunk); bench_transfer gates the binary codec's bytes
+# and modeled collect-speedup floors. Both abort nonzero on violation.
+add_test(NAME perf_smoke_dispatch
+  CONFIGURATIONS perf
+  COMMAND bench_dispatch)
+set_tests_properties(perf_smoke_dispatch PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_dispatch.json")
+add_test(NAME perf_smoke_transfer
+  CONFIGURATIONS perf
+  COMMAND bench_transfer)
+set_tests_properties(perf_smoke_transfer PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_transfer.json")
 add_custom_target(perf-smoke
   COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
           --output-on-failure
   DEPENDS bench_micro bench_filter bench_spatial_join bench_observability
+          bench_dispatch bench_transfer
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
   COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join + "
-          "bench_observability with metrics snapshots")
+          "bench_observability + bench_dispatch + bench_transfer with "
+          "metrics snapshots")

@@ -1,6 +1,7 @@
 #include "qserv/czar.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "qserv/explain.h"
 #include "qserv/merger.h"
@@ -8,6 +9,7 @@
 #include "sql/parser.h"
 #include "util/logging.h"
 #include "util/metrics.h"
+#include "util/mpmc_queue.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
 
@@ -78,7 +80,9 @@ QservFrontend::QservFrontend(FrontendConfig config,
                                    config_.dispatchMaxAttempts,
                                    config_.dispatchBackoff,
                                    /*retrySeed=*/0x5eedULL,
-                                   /*requireDumpChecksum=*/true}),
+                                   /*requireDumpChecksum=*/true,
+                                   config_.dispatchMode,
+                                   config_.dispatchStreamWindow}),
       profilingEnabled_(config_.enableProfiling) {
   std::sort(availableChunks_.begin(), availableChunks_.end());
   (void)metadata_.registerTable(
@@ -130,6 +134,37 @@ int QservFrontend::workerIndexOf(const std::string& workerId) {
   int idx = static_cast<int>(workerIndexes_.size());
   workerIndexes_.emplace(workerId, idx);
   return idx;
+}
+
+std::string QservFrontend::describeDispatch(
+    const std::vector<ChunkQuerySpec>& specs) {
+  if (specs.empty()) return {};
+  if (config_.dispatchMode == DispatchMode::kPerChunk) {
+    return util::format(
+        "per-chunk (%zu chunk queries, one write+read transaction pair each)",
+        specs.size());
+  }
+  std::size_t batches = 0, placed = 0, fallback = 0;
+  std::size_t minChunks = 0, maxChunks = 0;
+  for (const BatchPlanEntry& entry : dispatcher_.planBatches(specs)) {
+    if (entry.workerId.empty()) {
+      fallback += entry.chunkIds.size();
+      continue;
+    }
+    ++batches;
+    placed += entry.chunkIds.size();
+    std::size_t n = entry.chunkIds.size();
+    if (batches == 1 || n < minChunks) minChunks = n;
+    if (n > maxChunks) maxChunks = n;
+  }
+  std::string desc = util::format(
+      "batched (%zu chunks in %zu per-worker batches, %zu-%zu chunks/batch, "
+      "stream window %d)",
+      placed, batches, minChunks, maxChunks, config_.dispatchStreamWindow);
+  if (fallback > 0) {
+    desc += util::format("; %zu chunks fall back to per-chunk", fallback);
+  }
+  return desc;
 }
 
 Result<std::vector<std::int32_t>> QservFrontend::chunksFor(
@@ -231,7 +266,11 @@ Result<QservFrontend::Execution> QservFrontend::explainOnly(
     rewritePtr = &rewrite;
   }
   Execution exec;
-  exec.result = buildExplainPlan(analyzed, chunks, rewritePtr).toTable();
+  std::string dispatchDesc =
+      rewritePtr ? describeDispatch(rewrite.chunkQueries) : std::string{};
+  exec.result =
+      buildExplainPlan(analyzed, chunks, rewritePtr, std::move(dispatchDesc))
+          .toTable();
   exec.soloTiming = simio::simulateQuery({}, config_.cost);
   return exec;
 }
@@ -390,7 +429,16 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
   live.setState("dispatching");
   QLOG(kInfo, "czar") << "dispatching " << rewrite.chunkQueries.size()
                       << " chunk queries for: " << sql;
-  std::vector<ChunkResult> results;
+  // Pipelined dispatch + merge: chunk results flow through a bounded queue
+  // into the merger the moment they arrive — the czar never holds every
+  // dump in memory at once, and the queue bound is the backpressure that
+  // lets a slow merger throttle collection (and, in batched mode, the
+  // workers' stream windows behind it). One czar span covers the whole
+  // overlapped interval so the profile's stage times stay sequential.
+  ResultMerger merger(mergeTable, trace);
+  std::vector<ChunkResult> results;  // dumps dropped after merging
+  Result<DispatchReport> report = Status::internal("dispatch never ran");
+  Status mergeStatus = Status::ok();
   {
     util::ScopedSpan span(trace, "czar", "dispatch");
     DispatchOptions options;
@@ -398,21 +446,34 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
       options.deadline = util::Deadline::afterSeconds(
           config_.queryDeadlineSeconds);
     }
-    QSERV_ASSIGN_OR_RETURN(
-        results, dispatcher_.run(rewrite.chunkQueries, trace,
-                                 &live.chunksCompleted, options));
+    util::MpmcQueue<ChunkResult> resultQueue(
+        static_cast<std::size_t>(std::max(1, config_.mergeQueueDepth)));
+    std::thread dispatchThread([&] {
+      report = dispatcher_.runStreamed(rewrite.chunkQueries, resultQueue,
+                                       trace, &live.chunksCompleted, options);
+      resultQueue.close();
+    });
+    while (std::optional<ChunkResult> r = resultQueue.pop()) {
+      if (mergeStatus.isOk()) {
+        mergeStatus = merger.mergeDump(r->dump);
+        if (!mergeStatus.isOk()) {
+          // Stop the work behind the queue, but keep draining it so the
+          // dispatcher is never wedged against a full sink.
+          options.cancel.cancel(mergeStatus);
+        }
+      }
+      r->dump.clear();  // merged (or abandoned); keep only the accounting
+      results.push_back(std::move(*r));
+    }
+    dispatchThread.join();
   }
+  QSERV_RETURN_IF_ERROR(mergeStatus);
+  QSERV_RETURN_IF_ERROR(report.status());
   exec.chunksDispatched = results.size();
+  exec.dispatchMode = report->mode;
+  exec.dispatchBatches = report->batches;
   CzarMetrics::instance().chunksDispatched.add(results.size());
 
-  live.setState("merging");
-  ResultMerger merger(mergeTable, trace);
-  {
-    util::ScopedSpan span(trace, "czar", "merge");
-    for (const auto& r : results) {
-      QSERV_RETURN_IF_ERROR(merger.mergeDump(r.dump));
-    }
-  }
   live.setState("finalizing");
   {
     util::ScopedSpan span(trace, "czar", "final-aggregation");
@@ -421,7 +482,13 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
   }
   exec.rowsMerged = merger.rowsMerged();
 
-  // Virtual-time accounting.
+  // Virtual-time accounting. Batched dispatch replaces the per-chunk master
+  // overhead with the amortized per-batch cost (§7.6's fix).
+  double dispatchSec = -1.0;
+  if (exec.dispatchMode == DispatchMode::kBatched) {
+    dispatchSec = simio::amortizedBatchDispatchSec(
+        results.size(), exec.dispatchBatches, config_.cost);
+  }
   exec.simTasks.reserve(results.size());
   exec.accounting.reserve(results.size());
   for (const auto& r : results) {
@@ -429,6 +496,7 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
     task.worker = workerIndexOf(r.workerId);
     task.serviceSec = simio::workerServiceSeconds(r.observables, config_.cost);
     task.collectSec = simio::masterCollectSeconds(r.observables, config_.cost);
+    task.dispatchSec = dispatchSec;
     exec.simTasks.push_back(task);
     exec.accounting.push_back(
         ChunkAccounting{r.chunkId, r.workerId, r.observables});

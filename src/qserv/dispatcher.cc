@@ -1,7 +1,10 @@
 #include "qserv/dispatcher.h"
 
 #include <algorithm>
+#include <map>
+#include <unordered_map>
 
+#include "qserv/batch_codec.h"
 #include "qserv/dump_integrity.h"
 #include "qserv/observables_codec.h"
 #include "util/logging.h"
@@ -10,6 +13,7 @@
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/strings.h"
+#include "xrd/paths.h"
 
 namespace qserv::core {
 
@@ -25,8 +29,14 @@ struct DispatchMetrics {
   util::Counter& replicaExclusions;
   util::Counter& checksumMismatches;
   util::Counter& deadlineExceeded;
+  util::Counter& batches;
+  util::Counter& batchFallbackChunks;
+  util::Counter& batchChunkRetries;
+  util::Counter& damagedFrames;
   util::Histogram& chunkSeconds;
   util::Histogram& backoffSeconds;
+  util::Histogram& batchSeconds;
+  util::Histogram& batchChunks;
 
   static DispatchMetrics& instance() {
     auto& reg = util::MetricsRegistry::instance();
@@ -38,8 +48,14 @@ struct DispatchMetrics {
         reg.counter("dispatch.replica_exclusions"),
         reg.counter("dispatch.checksum_mismatches"),
         reg.counter("dispatch.deadline_exceeded"),
+        reg.counter("dispatch.batches"),
+        reg.counter("dispatch.batch_fallback_chunks"),
+        reg.counter("dispatch.batch_chunk_retries"),
+        reg.counter("dispatch.damaged_frames"),
         reg.histogram("dispatch.chunk_seconds"),
         reg.histogram("dispatch.backoff_seconds"),
+        reg.histogram("dispatch.batch_seconds"),
+        reg.histogram("dispatch.batch_chunks"),
     };
     return *m;
   }
@@ -52,8 +68,31 @@ bool isRetryable(const Status& s) {
 }
 }  // namespace
 
+struct Dispatcher::ChunkFailure {
+  std::int32_t chunkId = 0;
+  int attempts = 0;
+  Status status = Status::ok();
+};
+
+/// A chunk the batch path could not finish, queued for the per-chunk wave.
+struct Dispatcher::RetryItem {
+  const ChunkQuerySpec* spec = nullptr;
+  std::vector<std::string> exclude;  ///< replicas burned by the batch attempt
+  int priorAttempts = 0;
+  Status prior = Status::internal("not attempted");
+};
+
+struct Dispatcher::BatchOutcome {
+  std::vector<RetryItem> retries;
+  std::vector<ChunkFailure> failures;  ///< terminal (non-retryable) chunks
+  std::size_t ok = 0;
+  std::size_t cancelled = 0;
+};
+
 Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, DispatcherConfig config)
-    : redirector_(std::move(redirector)), config_(config) {
+    : redirector_(std::move(redirector)),
+      config_(config),
+      pool_(static_cast<std::size_t>(std::max(1, config.parallelism))) {
   config_.parallelism = std::max(1, config_.parallelism);
   config_.maxAttempts = std::max(1, config_.maxAttempts);
 }
@@ -67,7 +106,9 @@ Dispatcher::Dispatcher(xrd::RedirectorPtr redirector, int parallelism,
 Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
                                        const util::TracePtr& trace,
                                        const DispatchOptions& options,
-                                       int& attemptsOut) {
+                                       int& attemptsOut,
+                                       std::vector<std::string> initialExclude,
+                                       int priorAttempts, Status prior) {
   auto& metrics = DispatchMetrics::instance();
   util::Stopwatch watch;
   util::ScopedSpan span(trace, "dispatcher",
@@ -83,9 +124,12 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
       config_.retrySeed + 0x9e3779b97f4a7c15ULL *
                               static_cast<std::uint64_t>(spec.chunkId + 1);
   util::Backoff backoff(config_.backoff, util::splitmix64(backoffSeed));
-  std::vector<std::string> exclude;  ///< replicas that failed this chunk query
-  Status last = Status::internal("no attempt made");
-  int attempt = 0;
+  std::vector<std::string> exclude = std::move(initialExclude);
+  Status last = std::move(prior);
+  // A chunk resuming after a failed batch attempt keeps its spent attempt
+  // count: the batch write+stream was attempt 1..priorAttempts, so the loop
+  // resumes mid-budget and pays backoff before touching another replica.
+  int attempt = std::min(priorAttempts, config_.maxAttempts);
   for (; attempt < config_.maxAttempts; ++attempt) {
     if (options.cancel.cancelled()) {
       last = Status::aborted("chunk query cancelled: " +
@@ -210,75 +254,18 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
   return last;
 }
 
-Result<std::vector<ChunkResult>> Dispatcher::run(
-    const std::vector<ChunkQuerySpec>& specs, const util::TracePtr& trace,
-    std::atomic<std::size_t>* completed, const DispatchOptions& options) {
-  auto& metrics = DispatchMetrics::instance();
-  util::ThreadPool pool(static_cast<std::size_t>(config_.parallelism));
-  struct ChunkOutcome {
-    Result<ChunkResult> result = Status::internal("not dispatched");
-    int attempts = 0;
-    bool skipped = false;  ///< cancelled before its first attempt
-  };
-  std::vector<std::future<ChunkOutcome>> futures;
-  futures.reserve(specs.size());
-  for (const auto& spec : specs) {
-    futures.push_back(pool.submit([this, &spec, &trace, &options, completed] {
-      ChunkOutcome outcome;
-      if (options.cancel.cancelled()) {
-        // A sibling already failed hard: don't even start.
-        outcome.skipped = true;
-        outcome.result = Status::aborted(
-            util::format("chunk %d cancelled: %s", spec.chunkId,
-                         options.cancel.reason().message().c_str()));
-        DispatchMetrics::instance().chunksCancelled.add();
-      } else {
-        outcome.result = runOne(spec, trace, options, outcome.attempts);
-        if (!outcome.result.isOk() &&
-            outcome.result.status().code() != util::ErrorCode::kAborted) {
-          // This query can no longer succeed: stop siblings now.
-          options.cancel.cancel(outcome.result.status());
-        }
-      }
-      if (completed != nullptr) {
-        completed->fetch_add(1, std::memory_order_relaxed);
-      }
-      return outcome;
-    }));
-  }
-  std::vector<ChunkResult> out;
-  out.reserve(specs.size());
-  struct Failure {
-    std::int32_t chunkId;
-    int attempts;
-    Status status;
-  };
-  std::vector<Failure> failures;
-  std::size_t cancelled = 0;
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    ChunkOutcome outcome = futures[i].get();
-    if (outcome.result.isOk()) {
-      out.push_back(std::move(outcome.result).value());
-      continue;
-    }
-    if (outcome.skipped ||
-        outcome.result.status().code() == util::ErrorCode::kAborted) {
-      ++cancelled;
-      continue;
-    }
-    failures.push_back(Failure{specs[i].chunkId, outcome.attempts,
-                               outcome.result.status()});
-  }
-  if (failures.empty() && cancelled == 0) return out;
+Status Dispatcher::aggregateFailures(std::vector<ChunkFailure> failures,
+                                     std::size_t cancelled, std::size_t ok,
+                                     std::size_t total,
+                                     const Status& cancelReason) {
+  if (failures.empty() && cancelled == 0) return Status::ok();
   if (failures.empty()) {
     // Only possible when the caller cancelled externally.
-    Status reason = options.cancel.reason();
     return Status::aborted(util::format(
-        "%zu of %zu chunk queries cancelled: %s", cancelled, specs.size(),
-        reason.message().c_str()));
+        "%zu of %zu chunk queries cancelled: %s", cancelled, total,
+        cancelReason.message().c_str()));
   }
-  // Aggregate: name the failed chunks with their attempt counts, most
-  // severe first (the non-transient / deadline failures callers act on).
+  // Aggregate: name the failed chunks with their attempt counts.
   std::string detail;
   constexpr std::size_t kMaxListed = 4;
   for (std::size_t i = 0; i < failures.size() && i < kMaxListed; ++i) {
@@ -293,9 +280,476 @@ Result<std::vector<ChunkResult>> Dispatcher::run(
   std::string summary = util::format(
       "%zu of %zu chunk queries failed (%zu cancelled early, %zu "
       "succeeded): %s",
-      failures.size(), specs.size(), cancelled, out.size(), detail.c_str());
-  (void)metrics;
+      failures.size(), total, cancelled, ok, detail.c_str());
   return Status(failures.front().status.code(), std::move(summary));
+}
+
+Result<std::vector<ChunkResult>> Dispatcher::run(
+    const std::vector<ChunkQuerySpec>& specs, const util::TracePtr& trace,
+    std::atomic<std::size_t>* completed, const DispatchOptions& options) {
+  // Collect through a sink wide enough to never block, then restore the
+  // caller-visible ordering contract (results in spec order).
+  util::MpmcQueue<ChunkResult> sink(std::max<std::size_t>(1, specs.size()));
+  auto report = runStreamed(specs, sink, trace, completed, options);
+  std::vector<ChunkResult> out;
+  while (auto r = sink.tryPop()) out.push_back(std::move(*r));
+  QSERV_RETURN_IF_ERROR(report.status());
+  std::unordered_map<std::int32_t, std::size_t> order;
+  order.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) order[specs[i].chunkId] = i;
+  std::sort(out.begin(), out.end(),
+            [&](const ChunkResult& a, const ChunkResult& b) {
+              return order[a.chunkId] < order[b.chunkId];
+            });
+  return out;
+}
+
+Result<DispatchReport> Dispatcher::runStreamed(
+    const std::vector<ChunkQuerySpec>& specs, util::MpmcQueue<ChunkResult>& sink,
+    const util::TracePtr& trace, std::atomic<std::size_t>* completed,
+    const DispatchOptions& options) {
+  if (config_.mode == DispatchMode::kBatched) {
+    return runBatched(specs, sink, trace, completed, options);
+  }
+  return runPerChunk(specs, sink, trace, completed, options);
+}
+
+Result<DispatchReport> Dispatcher::runPerChunk(
+    const std::vector<ChunkQuerySpec>& specs, util::MpmcQueue<ChunkResult>& sink,
+    const util::TracePtr& trace, std::atomic<std::size_t>* completed,
+    const DispatchOptions& options) {
+  struct ChunkOutcome {
+    Status status = Status::internal("not dispatched");
+    int attempts = 0;
+    bool skipped = false;  ///< cancelled before its first attempt
+  };
+  std::vector<std::future<ChunkOutcome>> futures;
+  futures.reserve(specs.size());
+  for (const auto& spec : specs) {
+    futures.push_back(
+        pool_.submit([this, &spec, &trace, &options, &sink, completed] {
+          ChunkOutcome outcome;
+          if (options.cancel.cancelled()) {
+            // A sibling already failed hard: don't even start.
+            outcome.skipped = true;
+            outcome.status = Status::aborted(
+                util::format("chunk %d cancelled: %s", spec.chunkId,
+                             options.cancel.reason().message().c_str()));
+            DispatchMetrics::instance().chunksCancelled.add();
+          } else {
+            auto result = runOne(spec, trace, options, outcome.attempts);
+            outcome.status = result.status();
+            if (result.isOk()) {
+              if (!sink.push(std::move(result).value())) {
+                outcome.status = Status::aborted("result sink closed");
+              }
+            } else if (result.status().code() != util::ErrorCode::kAborted) {
+              // This query can no longer succeed: stop siblings now.
+              options.cancel.cancel(result.status());
+            }
+          }
+          if (completed != nullptr) {
+            completed->fetch_add(1, std::memory_order_relaxed);
+          }
+          return outcome;
+        }));
+  }
+  DispatchReport report;
+  report.mode = DispatchMode::kPerChunk;
+  std::vector<ChunkFailure> failures;
+  std::size_t cancelled = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ChunkOutcome outcome = futures[i].get();
+    if (outcome.status.isOk()) {
+      ++report.chunksOk;
+      continue;
+    }
+    if (outcome.skipped ||
+        outcome.status.code() == util::ErrorCode::kAborted) {
+      ++cancelled;
+      continue;
+    }
+    failures.push_back(
+        ChunkFailure{specs[i].chunkId, outcome.attempts, outcome.status});
+  }
+  QSERV_RETURN_IF_ERROR(aggregateFailures(std::move(failures), cancelled,
+                                          report.chunksOk, specs.size(),
+                                          options.cancel.reason()));
+  return report;
+}
+
+std::vector<BatchPlanEntry> Dispatcher::planBatches(
+    const std::vector<ChunkQuerySpec>& specs) {
+  std::map<std::string, std::vector<std::int32_t>> byWorker;
+  std::vector<std::int32_t> unplaced;
+  for (const auto& spec : specs) {
+    auto server = redirector_->locate(xrd::makeQueryPath(spec.chunkId));
+    if (server.isOk()) {
+      byWorker[(*server)->id()].push_back(spec.chunkId);
+    } else {
+      unplaced.push_back(spec.chunkId);
+    }
+  }
+  std::vector<BatchPlanEntry> out;
+  out.reserve(byWorker.size() + 1);
+  for (auto& [workerId, chunkIds] : byWorker) {
+    out.push_back(BatchPlanEntry{workerId, std::move(chunkIds)});
+  }
+  if (!unplaced.empty()) {
+    out.push_back(BatchPlanEntry{{}, std::move(unplaced)});
+  }
+  return out;
+}
+
+Dispatcher::BatchOutcome Dispatcher::collectBatch(
+    const std::string& workerId,
+    const std::vector<const ChunkQuerySpec*>& chunks,
+    util::MpmcQueue<ChunkResult>& sink, const util::TracePtr& trace,
+    std::atomic<std::size_t>* completed, const DispatchOptions& options) {
+  auto& metrics = DispatchMetrics::instance();
+  BatchOutcome outcome;
+  xrd::XrdClient client(redirector_);
+  util::Stopwatch watch;
+
+  struct PendingChunk {
+    const ChunkQuerySpec* spec;
+    std::string hash;
+  };
+  std::vector<BatchChunkRequest> request;
+  request.reserve(chunks.size());
+  std::unordered_map<std::int32_t, PendingChunk> pending;
+  pending.reserve(chunks.size());
+  for (const ChunkQuerySpec* spec : chunks) {
+    std::string payload = trace
+                              ? util::traceHeaderLine(trace->id()) + spec->text
+                              : spec->text;
+    pending.emplace(spec->chunkId, PendingChunk{spec, util::Md5::hex(payload)});
+    request.push_back(BatchChunkRequest{spec->chunkId, std::move(payload)});
+  }
+  std::string requestBytes = encodeBatchRequest(request, config_.streamWindow);
+  std::string batchId = util::Md5::hex(requestBytes);
+
+  util::ScopedSpan span(trace, "dispatcher",
+                        util::format("batch %s", workerId.c_str()));
+  span.attr("chunks", static_cast<std::int64_t>(chunks.size()))
+      .attr("requestBytes", static_cast<std::int64_t>(requestBytes.size()));
+  std::int64_t batchStartUs = util::Trace::nowUs();
+
+  // Every pending chunk becomes a retry item carrying \p why and excluding
+  // this worker — the shared bail-out of write failures and broken streams.
+  auto retryPending = [&](const Status& why) {
+    for (auto& [chunkId, pc] : pending) {
+      redirector_->reportFailure(chunkId, workerId);
+      metrics.replicaExclusions.add();
+      metrics.batchChunkRetries.add();
+      outcome.retries.push_back(
+          RetryItem{pc.spec, {workerId}, /*priorAttempts=*/1, why});
+    }
+    pending.clear();
+  };
+
+  {
+    util::ScopedSpan xrdSpan(
+        trace, "xrd",
+        util::format("write /batch/%s", batchId.substr(0, 8).c_str()));
+    xrdSpan.attr("worker", workerId);
+    Status written = client.writeBatch(workerId, batchId, requestBytes);
+    if (!written.isOk()) {
+      QLOG(kWarn, "dispatch") << "batch " << batchId.substr(0, 8) << " to "
+                              << workerId << " rejected: "
+                              << written.toString();
+      xrdSpan.attr("error", written.toString());
+      span.attr("error", written.toString());
+      retryPending(written.code() == util::ErrorCode::kUnavailable ||
+                           written.code() == util::ErrorCode::kNotFound
+                       ? Status::unavailable(written.message())
+                       : written);
+      return outcome;
+    }
+  }
+  metrics.batches.add();
+  metrics.batchChunks.observe(static_cast<double>(chunks.size()));
+
+  std::size_t framesSeen = 0;
+  std::size_t delivered = 0;
+  std::int64_t streamBytes = 0;
+  const std::size_t expected = chunks.size();
+  while (!pending.empty()) {
+    if (options.cancel.cancelled()) {
+      client.cancelBatch(workerId, batchId);
+      for (auto& [chunkId, pc] : pending) {
+        (void)pc;
+        metrics.chunksCancelled.add();
+        ++outcome.cancelled;
+        if (completed != nullptr) {
+          completed->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      pending.clear();
+      break;
+    }
+    if (framesSeen >= expected) {
+      // The worker produced all its frames but some chunks never got a
+      // readable one (damaged headers): re-fetch them per-chunk.
+      retryPending(Status::dataLoss(util::format(
+          "batch %s: result frame lost or damaged",
+          batchId.substr(0, 8).c_str())));
+      break;
+    }
+    Result<std::string> frameBytes = Status::internal("unreached");
+    {
+      util::ScopedSpan xrdSpan(
+          trace, "xrd",
+          util::format("read /bstream/%s", batchId.substr(0, 8).c_str()));
+      xrdSpan.attr("worker", workerId);
+      frameBytes = client.readBatchFrame(workerId, batchId, options.deadline);
+    }
+    if (!frameBytes.isOk()) {
+      // Worker death / stream timeout / deadline: abandon the stream and
+      // send the survivors through the per-chunk path (which re-checks the
+      // deadline before spending another attempt).
+      QLOG(kWarn, "dispatch")
+          << "batch " << batchId.substr(0, 8) << " stream from " << workerId
+          << " broke: " << frameBytes.status().toString();
+      span.attr("error", frameBytes.status().toString());
+      client.cancelBatch(workerId, batchId);
+      retryPending(frameBytes.status());
+      break;
+    }
+    ++framesSeen;
+    streamBytes += static_cast<std::int64_t>(frameBytes->size());
+    auto frame = decodeResultFrame(*frameBytes);
+    if (!frame.isOk()) {
+      // Unattributable frame: some chunk is now short one frame; it gets
+      // retried when the stream runs dry.
+      metrics.damagedFrames.add();
+      continue;
+    }
+    auto it = pending.find(frame->chunkId);
+    if (it == pending.end()) continue;  // duplicate or stale frame
+    PendingChunk pc = std::move(it->second);
+    std::int32_t chunkId = frame->chunkId;
+
+    if (!frame->status.isOk()) {
+      // The worker executed this chunk and failed.
+      Status why = frame->status;
+      if (isRetryable(why)) {
+        redirector_->reportFailure(chunkId, workerId);
+        metrics.replicaExclusions.add();
+        metrics.batchChunkRetries.add();
+        outcome.retries.push_back(
+            RetryItem{pc.spec, {workerId}, /*priorAttempts=*/1, why});
+      } else {
+        metrics.chunksFailed.add();
+        if (trace) {
+          util::TraceSpan failSpan;
+          failSpan.component = "dispatcher";
+          failSpan.name = util::format("chunk %d", chunkId);
+          failSpan.startUs = batchStartUs;
+          failSpan.endUs = util::Trace::nowUs();
+          failSpan.threadId = util::threadId();
+          failSpan.attrs.emplace_back("worker", workerId);
+          failSpan.attrs.emplace_back("attempts", "1");
+          failSpan.attrs.emplace_back("error", why.toString());
+          trace->addSpan(std::move(failSpan));
+        }
+        outcome.failures.push_back(ChunkFailure{chunkId, 1, why});
+        options.cancel.cancel(why);
+        if (completed != nullptr) {
+          completed->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      pending.erase(it);
+      continue;
+    }
+
+    std::string dump = std::move(frame->body);
+    Status integrity = verifyDumpChecksum(dump);
+    if (integrity.isOk() && config_.requireDumpChecksum &&
+        !hasDumpChecksum(dump)) {
+      integrity = Status::dataLoss(util::format(
+          "chunk %d: dump from %s carries no integrity checksum", chunkId,
+          workerId.c_str()));
+    }
+    if (!integrity.isOk()) {
+      metrics.checksumMismatches.add();
+      redirector_->reportFailure(chunkId, workerId);
+      metrics.replicaExclusions.add();
+      metrics.batchChunkRetries.add();
+      QLOG(kWarn, "dispatch")
+          << "chunk " << chunkId << " in batch " << batchId.substr(0, 8)
+          << " from " << workerId << " damaged: " << integrity.toString();
+      outcome.retries.push_back(
+          RetryItem{pc.spec, {workerId}, /*priorAttempts=*/1, integrity});
+      pending.erase(it);
+      continue;
+    }
+
+    redirector_->reportSuccess(workerId);
+    ChunkResult out;
+    out.chunkId = chunkId;
+    out.workerId = workerId;
+    out.hash = std::move(pc.hash);
+    if (auto obs = decodeObservables(dump)) out.observables = *obs;
+    out.dump = std::move(dump);
+    std::int64_t nowUs = util::Trace::nowUs();
+    if (trace) {
+      // The per-chunk dispatcher span trace consumers key on: one
+      // "chunk <id>" per dispatched chunk, batched or not. It covers batch
+      // write through frame arrival.
+      util::TraceSpan chunkSpan;
+      chunkSpan.component = "dispatcher";
+      chunkSpan.name = util::format("chunk %d", chunkId);
+      chunkSpan.startUs = batchStartUs;
+      chunkSpan.endUs = nowUs;
+      chunkSpan.threadId = util::threadId();
+      chunkSpan.attrs.emplace_back("worker", workerId);
+      chunkSpan.attrs.emplace_back("attempts", "1");
+      chunkSpan.attrs.emplace_back("dumpBytes",
+                                   std::to_string(out.dump.size()));
+      trace->addSpan(std::move(chunkSpan));
+    }
+    metrics.chunksOk.add();
+    metrics.chunkSeconds.observe(
+        static_cast<double>(nowUs - batchStartUs) * 1e-6);
+    ++outcome.ok;
+    ++delivered;
+    pending.erase(it);
+    if (!sink.push(std::move(out))) {
+      options.cancel.cancel(Status::aborted("result sink closed"));
+    }
+    if (completed != nullptr) {
+      completed->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  span.attr("delivered", static_cast<std::int64_t>(delivered))
+      .attr("streamBytes", streamBytes);
+  metrics.batchSeconds.observe(watch.elapsedSeconds());
+  return outcome;
+}
+
+Result<DispatchReport> Dispatcher::runBatched(
+    const std::vector<ChunkQuerySpec>& specs, util::MpmcQueue<ChunkResult>& sink,
+    const util::TracePtr& trace, std::atomic<std::size_t>* completed,
+    const DispatchOptions& options) {
+  auto& metrics = DispatchMetrics::instance();
+  DispatchReport report;
+  report.mode = DispatchMode::kBatched;
+
+  // Plan: one batch per (query, worker) at the redirector's current
+  // placement; chunks without a live replica go straight to the per-chunk
+  // path, which owns the precise error semantics.
+  std::map<std::string, std::vector<const ChunkQuerySpec*>> byWorker;
+  std::vector<RetryItem> spill;
+  for (const auto& spec : specs) {
+    auto server = redirector_->locate(xrd::makeQueryPath(spec.chunkId));
+    if (server.isOk()) {
+      byWorker[(*server)->id()].push_back(&spec);
+    } else {
+      spill.push_back(RetryItem{&spec, {}, 0, server.status()});
+    }
+  }
+  report.batches = byWorker.size();
+  report.fallbackChunks = spill.size();
+  metrics.batchFallbackChunks.add(spill.size());
+
+  // Wave 1: collectors stream each batch concurrently; unplaced chunks run
+  // per-chunk alongside them. All tasks are pool leaves — they never wait on
+  // other pool work — so a shared pool cannot deadlock.
+  struct SoloOutcome {
+    Status status = Status::internal("not dispatched");
+    std::int32_t chunkId = 0;
+    int attempts = 0;
+    bool skipped = false;
+  };
+  auto submitSolo = [&](const RetryItem item) {
+    return pool_.submit([this, item, &trace, &options, &sink, completed] {
+      SoloOutcome outcome;
+      outcome.chunkId = item.spec->chunkId;
+      if (options.cancel.cancelled()) {
+        outcome.skipped = true;
+        outcome.status = Status::aborted(
+            util::format("chunk %d cancelled: %s", item.spec->chunkId,
+                         options.cancel.reason().message().c_str()));
+        DispatchMetrics::instance().chunksCancelled.add();
+      } else {
+        auto result = runOne(*item.spec, trace, options, outcome.attempts,
+                             item.exclude, item.priorAttempts, item.prior);
+        outcome.status = result.status();
+        if (result.isOk()) {
+          if (!sink.push(std::move(result).value())) {
+            outcome.status = Status::aborted("result sink closed");
+          }
+        } else if (result.status().code() != util::ErrorCode::kAborted) {
+          options.cancel.cancel(result.status());
+        }
+      }
+      if (completed != nullptr) {
+        completed->fetch_add(1, std::memory_order_relaxed);
+      }
+      return outcome;
+    });
+  };
+
+  std::vector<std::future<BatchOutcome>> collectors;
+  collectors.reserve(byWorker.size());
+  for (auto& [workerId, chunks] : byWorker) {
+    collectors.push_back(pool_.submit(
+        [this, workerId = workerId, chunks = std::move(chunks), &sink, &trace,
+         &options, completed] {
+          return collectBatch(workerId, chunks, sink, trace, completed,
+                              options);
+        }));
+  }
+  std::vector<std::future<SoloOutcome>> solos;
+  solos.reserve(spill.size());
+  for (const RetryItem& item : spill) solos.push_back(submitSolo(item));
+
+  std::vector<ChunkFailure> failures;
+  std::size_t cancelled = 0;
+  std::vector<RetryItem> retries;
+  for (auto& f : collectors) {
+    BatchOutcome outcome = f.get();
+    report.chunksOk += outcome.ok;
+    cancelled += outcome.cancelled;
+    for (auto& failure : outcome.failures) {
+      failures.push_back(std::move(failure));
+    }
+    for (auto& retry : outcome.retries) retries.push_back(std::move(retry));
+  }
+
+  // Wave 2: per-chunk retries for everything the batches could not deliver.
+  // Submitted only after every collector finished so the caller thread never
+  // waits on pool work that is itself queued behind pool work.
+  std::vector<std::future<SoloOutcome>> retryWave;
+  retryWave.reserve(retries.size());
+  for (const RetryItem& item : retries) retryWave.push_back(submitSolo(item));
+
+  auto drainSolos = [&](std::vector<std::future<SoloOutcome>>& wave) {
+    for (auto& f : wave) {
+      SoloOutcome outcome = f.get();
+      if (outcome.status.isOk()) {
+        ++report.chunksOk;
+      } else if (outcome.skipped ||
+                 outcome.status.code() == util::ErrorCode::kAborted) {
+        ++cancelled;
+      } else {
+        failures.push_back(ChunkFailure{outcome.chunkId, outcome.attempts,
+                                        outcome.status});
+      }
+    }
+  };
+  drainSolos(solos);
+  drainSolos(retryWave);
+
+  std::sort(failures.begin(), failures.end(),
+            [](const ChunkFailure& a, const ChunkFailure& b) {
+              return a.chunkId < b.chunkId;
+            });
+  QSERV_RETURN_IF_ERROR(aggregateFailures(std::move(failures), cancelled,
+                                          report.chunksOk, specs.size(),
+                                          options.cancel.reason()));
+  return report;
 }
 
 }  // namespace qserv::core

@@ -32,6 +32,7 @@
 #include "simio/cost_model.h"
 #include "util/backoff.h"
 #include "util/deadline.h"
+#include "util/mpmc_queue.h"
 #include "util/thread_pool.h"
 #include "util/trace.h"
 #include "xrd/client.h"
@@ -46,6 +47,12 @@ struct ChunkResult {
   simio::WorkObservables observables;
 };
 
+enum class DispatchMode {
+  kPerChunk,  ///< paper behaviour: one write+read transaction pair per chunk
+  kBatched,   ///< UberJob-style: one request per (query, worker), results
+              ///< streamed back incrementally over a shared channel
+};
+
 struct DispatcherConfig {
   int parallelism = 16;  ///< concurrent in-flight chunk queries on the master
   int maxAttempts = 3;   ///< per chunk query, across replicas
@@ -57,6 +64,26 @@ struct DispatcherConfig {
   /// one is treated as damaged (the czar enables this — real workers always
   /// append the trailer — while bare-bones test plugins leave it off).
   bool requireDumpChecksum = false;
+  DispatchMode mode = DispatchMode::kPerChunk;
+  /// Batched mode: max unread result frames per batch stream before the
+  /// worker stops producing (backpressure); 0 = unbounded.
+  int streamWindow = 8;
+};
+
+/// One planned batch: the chunks of one query headed to one worker. An
+/// empty workerId collects chunks with no live placement (they fall back to
+/// per-chunk dispatch, which re-locates and reports precise errors).
+struct BatchPlanEntry {
+  std::string workerId;
+  std::vector<std::int32_t> chunkIds;
+};
+
+/// What a dispatch run did (mode actually used, batching shape).
+struct DispatchReport {
+  DispatchMode mode = DispatchMode::kPerChunk;
+  std::size_t chunksOk = 0;
+  std::size_t batches = 0;         ///< batch requests written
+  std::size_t fallbackChunks = 0;  ///< chunks dispatched per-chunk instead
 };
 
 /// Per-run failure-handling context shared by all chunk queries of one user
@@ -88,18 +115,76 @@ class Dispatcher {
       std::atomic<std::size_t>* completed = nullptr,
       const DispatchOptions& options = {});
 
+  /// Streamed dispatch: each ChunkResult is pushed into \p sink the moment
+  /// it arrives, so the caller can merge while later chunks are still
+  /// executing. The sink's bound is the pipeline's backpressure: a slow
+  /// consumer blocks collection, which (in batched mode) stalls the batch
+  /// streams' windows and throttles the workers. Returns once every chunk
+  /// reached a final state; the sink is NOT closed — the caller owns its
+  /// lifecycle. Error aggregation matches run().
+  util::Result<DispatchReport> runStreamed(
+      const std::vector<ChunkQuerySpec>& specs,
+      util::MpmcQueue<ChunkResult>& sink,
+      const util::TracePtr& trace = nullptr,
+      std::atomic<std::size_t>* completed = nullptr,
+      const DispatchOptions& options = {});
+
+  /// Group \p specs by the worker the redirector would currently place them
+  /// on (EXPLAIN's view of batched dispatch; the run itself re-plans).
+  std::vector<BatchPlanEntry> planBatches(
+      const std::vector<ChunkQuerySpec>& specs);
+
   const DispatcherConfig& config() const { return config_; }
 
  private:
+  struct RetryItem;
+  struct BatchOutcome;
+  struct ChunkFailure;
+
   /// One chunk query end to end: attempts, backoff, replica exclusion,
   /// integrity verification. \p attemptsOut reports attempts actually made.
-  util::Result<ChunkResult> runOne(const ChunkQuerySpec& spec,
-                                   const util::TracePtr& trace,
-                                   const DispatchOptions& options,
-                                   int& attemptsOut);
+  /// A chunk resuming after a failed batch attempt passes the replicas it
+  /// already burned in \p initialExclude, the attempts already spent in
+  /// \p priorAttempts (so the retry budget and backoff schedule carry over),
+  /// and the batch-side failure in \p prior.
+  util::Result<ChunkResult> runOne(
+      const ChunkQuerySpec& spec, const util::TracePtr& trace,
+      const DispatchOptions& options, int& attemptsOut,
+      std::vector<std::string> initialExclude = {}, int priorAttempts = 0,
+      util::Status prior = util::Status::internal("no attempt made"));
+
+  util::Result<DispatchReport> runPerChunk(
+      const std::vector<ChunkQuerySpec>& specs,
+      util::MpmcQueue<ChunkResult>& sink, const util::TracePtr& trace,
+      std::atomic<std::size_t>* completed, const DispatchOptions& options);
+
+  util::Result<DispatchReport> runBatched(
+      const std::vector<ChunkQuerySpec>& specs,
+      util::MpmcQueue<ChunkResult>& sink, const util::TracePtr& trace,
+      std::atomic<std::size_t>* completed, const DispatchOptions& options);
+
+  /// Collect one batch's result stream; failed chunks come back as retry
+  /// items for the per-chunk wave.
+  BatchOutcome collectBatch(const std::string& workerId,
+                            const std::vector<const ChunkQuerySpec*>& chunks,
+                            util::MpmcQueue<ChunkResult>& sink,
+                            const util::TracePtr& trace,
+                            std::atomic<std::size_t>* completed,
+                            const DispatchOptions& options);
+
+  /// Build run()/runStreamed()'s aggregated error from per-chunk outcomes.
+  static util::Status aggregateFailures(std::vector<ChunkFailure> failures,
+                                        std::size_t cancelled, std::size_t ok,
+                                        std::size_t total,
+                                        const util::Status& cancelReason);
 
   xrd::RedirectorPtr redirector_;
   DispatcherConfig config_;
+  /// Persistent dispatch pool, shared by every query this dispatcher runs
+  /// (pool construction per query was a measurable cost on LV point
+  /// queries). All submitted tasks are leaves — they never submit-and-wait
+  /// on the pool themselves — so sharing cannot deadlock.
+  util::ThreadPool pool_;
 };
 
 }  // namespace qserv::core

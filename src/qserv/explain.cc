@@ -281,8 +281,10 @@ void classifyFilter(const AnalyzedQuery& analyzed, ExplainPlan& plan) {
 
 ExplainPlan buildExplainPlan(const AnalyzedQuery& analyzed,
                              std::span<const std::int32_t> chunks,
-                             const RewriteResult* rewrite) {
+                             const RewriteResult* rewrite,
+                             std::string dispatchDesc) {
   ExplainPlan plan;
+  plan.dispatch = std::move(dispatchDesc);
   plan.statement = analyzed.stmt.toSql();
   plan.pruning = classifyPruning(analyzed, chunks);
   plan.chunkCount = static_cast<std::int64_t>(chunks.size());
@@ -318,6 +320,7 @@ sql::TablePtr ExplainPlan::toTable() const {
   add("filter", filter);
   add("zone map", zoneMap);
   add("merge", merge);
+  if (!dispatch.empty()) add("dispatch", dispatch);
   return table;
 }
 

@@ -31,6 +31,7 @@ struct ExplainPlan {
   std::string filter;         ///< vectorized-kernel vs scalar-residual split
   std::string zoneMap;        ///< zone-map pruning eligibility
   std::string merge;          ///< merge/final-aggregation plan
+  std::string dispatch;       ///< batched-vs-per-chunk strategy and shape
 
   /// Two-column (property, value) result table.
   sql::TablePtr toTable() const;
@@ -38,9 +39,12 @@ struct ExplainPlan {
 
 /// Build the plan for \p analyzed. \p chunks is the pruned chunk set and
 /// \p rewrite the rewrite result; pass rewrite == nullptr for frontend-only
-/// queries (no partitioned table).
+/// queries (no partitioned table). \p dispatchDesc describes the dispatch
+/// strategy (mode, batches per worker, chunks per batch); empty when the
+/// query never reaches the dispatcher.
 ExplainPlan buildExplainPlan(const AnalyzedQuery& analyzed,
                              std::span<const std::int32_t> chunks,
-                             const RewriteResult* rewrite);
+                             const RewriteResult* rewrite,
+                             std::string dispatchDesc = {});
 
 }  // namespace qserv::core

@@ -14,6 +14,7 @@ struct MergerMetrics {
   util::Counter& rowsMerged;
   util::Counter& dumpsReplayed;
   util::Counter& checksumRejects;
+  util::Counter& binaryPayloads;
   util::Histogram& dumpReplaySeconds;
 
   static MergerMetrics& instance() {
@@ -22,6 +23,7 @@ struct MergerMetrics {
         reg.counter("merger.rows_merged"),
         reg.counter("merger.dumps_replayed"),
         reg.counter("merger.checksum_rejects"),
+        reg.counter("merger.binary_payloads"),
         reg.histogram("merger.dump_replay_seconds"),
     };
     return *m;
@@ -53,6 +55,7 @@ util::Status ResultMerger::mergeDump(const std::string& dump) {
   // codec; the magic prefix disambiguates.
   sql::TablePtr loaded;
   if (sql::isBinaryTablePayload(dump)) {
+    metrics.binaryPayloads.add();
     QSERV_ASSIGN_OR_RETURN(loaded, sql::loadBinaryTable(db_, dump));
   } else {
     QSERV_ASSIGN_OR_RETURN(loaded, sql::loadDump(db_, dump));
@@ -85,6 +88,14 @@ util::Status ResultMerger::mergeDump(const std::string& dump) {
   metrics.dumpReplaySeconds.observe(watch.elapsedSeconds());
   span.attr("rows", static_cast<std::int64_t>(loaded->numRows()));
   return status;
+}
+
+util::Status ResultMerger::mergeBinary(const std::string& payload) {
+  if (!sql::isBinaryTablePayload(payload)) {
+    return util::Status::invalidArgument(
+        "mergeBinary: payload is not in binary rowcodec format");
+  }
+  return mergeDump(payload);
 }
 
 util::Result<sql::TablePtr> ResultMerger::finalize(

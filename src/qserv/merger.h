@@ -30,8 +30,15 @@ class ResultMerger {
   ResultMerger(const ResultMerger&) = delete;
   ResultMerger& operator=(const ResultMerger&) = delete;
 
-  /// Replay one chunk dump and fold its rows into the merge table.
+  /// Replay one chunk dump and fold its rows into the merge table. Accepts
+  /// both the paper's SQL-dump stream and the §7.1 binary codec (the magic
+  /// prefix disambiguates).
   util::Status mergeDump(const std::string& dump);
+
+  /// Binary-only merge used by the batched streaming path: identical to
+  /// mergeDump but rejects a payload that is not in rowcodec format instead
+  /// of silently replaying SQL text.
+  util::Status mergeBinary(const std::string& payload);
 
   /// Run the final SELECT (plain union passthrough or the aggregation
   /// query) against the merge table.

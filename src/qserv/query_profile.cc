@@ -63,6 +63,7 @@ QueryProfile buildQueryProfile(const util::Trace& trace) {
   std::vector<util::TraceSpan> spans = trace.spans();
   std::vector<const util::TraceSpan*> czarSpans;
   std::vector<double> waitSamples, execSamples, transferSamples;
+  std::vector<double> batchSamples;
   for (const auto& span : spans) {
     if (findAttr(span, "error") != nullptr) ++p.faults;
     if (span.component == "czar") {
@@ -75,7 +76,10 @@ QueryProfile buildQueryProfile(const util::Trace& trace) {
         p.resultRows += intAttr(span, "resultRows");
       }
     } else if (span.component == "xrd") {
-      if (util::startsWith(span.name, "read /result/")) {
+      // Per-chunk result reads and batched stream-frame reads are the same
+      // quantity to the profile: one result transfer from a worker.
+      if (util::startsWith(span.name, "read /result/") ||
+          util::startsWith(span.name, "read /bstream/")) {
         transferSamples.push_back(span.durationSeconds());
       }
     } else if (span.component == "dispatcher") {
@@ -83,6 +87,9 @@ QueryProfile buildQueryProfile(const util::Trace& trace) {
         ++p.chunks;
         p.attempts += intAttr(span, "attempts");
         p.bytesTransferred += intAttr(span, "dumpBytes");
+      } else if (util::startsWith(span.name, "batch ")) {
+        ++p.batches;
+        batchSamples.push_back(span.durationSeconds());
       }
     } else if (span.component == "merger") {
       if (span.name == "replay dump") p.rowsMerged += intAttr(span, "rows");
@@ -92,6 +99,7 @@ QueryProfile buildQueryProfile(const util::Trace& trace) {
   p.queueWait = ProfileDist::of(std::move(waitSamples));
   p.execute = ProfileDist::of(std::move(execSamples));
   p.transfer = ProfileDist::of(std::move(transferSamples));
+  p.batchTransfer = ProfileDist::of(std::move(batchSamples));
 
   // Czar stages in execution (start-time) order.
   std::sort(czarSpans.begin(), czarSpans.end(),
@@ -134,6 +142,13 @@ sql::TablePtr QueryProfile::toTable() const {
     // The per-chunk distributions are children of the dispatch stage: that
     // is the wall interval in which workers queued, executed, and shipped.
     if (s.name == "dispatch") {
+      if (batchTransfer.count > 0) {
+        add("  worker batches", batchTransfer.sum, batchTransfer.count,
+            util::format("min/p50/max = %.4g/%.4g/%.4g s over %lld batches",
+                         batchTransfer.min, batchTransfer.p50,
+                         batchTransfer.max,
+                         static_cast<long long>(batchTransfer.count)));
+      }
       add("  chunk queue-wait", queueWait.sum, queueWait.count,
           distDetail(queueWait));
       add("  chunk execute", execute.sum, execute.count, distDetail(execute));
@@ -167,18 +182,19 @@ std::string QueryProfile::toJson() const {
   return util::format(
       "{\"queryId\":%llu,\"sql\":\"%s\",\"status\":\"%s\","
       "\"wallSeconds\":%.6g,\"stageSeconds\":%.6g,\"chunks\":%lld,"
-      "\"attempts\":%lld,\"retries\":%lld,\"faults\":%lld,"
+      "\"batches\":%lld,\"attempts\":%lld,\"retries\":%lld,\"faults\":%lld,"
       "\"rowsMerged\":%lld,\"resultRows\":%lld,\"bytesTransferred\":%lld,"
-      "\"queueWait\":%s,\"execute\":%s,\"transfer\":%s,\"stages\":%s}",
+      "\"queueWait\":%s,\"execute\":%s,\"transfer\":%s,"
+      "\"batchTransfer\":%s,\"stages\":%s}",
       static_cast<unsigned long long>(queryId),
       util::jsonEscape(sql).c_str(), util::jsonEscape(status).c_str(),
       wallSeconds, stageSeconds(), static_cast<long long>(chunks),
-      static_cast<long long>(attempts), static_cast<long long>(retries),
-      static_cast<long long>(faults), static_cast<long long>(rowsMerged),
-      static_cast<long long>(resultRows),
+      static_cast<long long>(batches), static_cast<long long>(attempts),
+      static_cast<long long>(retries), static_cast<long long>(faults),
+      static_cast<long long>(rowsMerged), static_cast<long long>(resultRows),
       static_cast<long long>(bytesTransferred), jsonDist(queueWait).c_str(),
       jsonDist(execute).c_str(), jsonDist(transfer).c_str(),
-      stagesJson.c_str());
+      jsonDist(batchTransfer).c_str(), stagesJson.c_str());
 }
 
 }  // namespace qserv::core

@@ -50,7 +50,11 @@ struct QueryProfile {
   ProfileDist queueWait;  ///< per-chunk worker queue wait
   ProfileDist execute;    ///< per-chunk worker execution
   ProfileDist transfer;   ///< per-chunk result read (xrd)
+  /// Per-worker batch transfer: wall seconds of each batch's write+stream
+  /// interval (batched dispatch only; zero count on per-chunk queries).
+  ProfileDist batchTransfer;
 
+  std::int64_t batches = 0;   ///< batch requests written (batched dispatch)
   std::int64_t chunks = 0;    ///< chunk queries dispatched
   std::int64_t attempts = 0;  ///< total dispatch attempts across chunks
   std::int64_t retries = 0;   ///< attempts - chunks (0 when clean)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "datagen/partitioner.h"
+#include "qserv/batch_codec.h"
 #include "qserv/dump_integrity.h"
 #include "qserv/observables_codec.h"
 #include "sql/dump.h"
@@ -28,6 +29,8 @@ struct WorkerMetrics {
   util::Counter& tasksEnqueued;
   util::Counter& tasksExecuted;
   util::Counter& taskFailures;
+  util::Counter& batchesReceived;
+  util::Counter& batchChunksSkipped;
   util::Counter& subchunkBuilds;
   util::Counter& subchunkDrops;
   util::Counter& vectorizedScans;
@@ -51,6 +54,8 @@ struct WorkerMetrics {
         reg.counter("worker.tasks_enqueued"),
         reg.counter("worker.tasks_executed"),
         reg.counter("worker.task_failures"),
+        reg.counter("worker.batches_received"),
+        reg.counter("worker.batch_chunks_skipped"),
         reg.counter("worker.subchunk_builds"),
         reg.counter("worker.subchunk_drops"),
         reg.counter("worker.vectorized_scans"),
@@ -114,6 +119,7 @@ void Worker::shutdown() {
     shuttingDown_ = true;
     paused_ = false;
   }
+  stopping_.store(true, std::memory_order_release);
   queueCv_.notify_all();
   for (auto& t : executors_) {
     if (t.joinable()) t.join();
@@ -122,10 +128,17 @@ void Worker::shutdown() {
 }
 
 Status Worker::writeFile(const std::string& path, std::string payload) {
+  if (auto batchId = xrd::parseBatchPath(path)) {
+    return enqueueBatch(*batchId, std::move(payload));
+  }
+  if (auto batchId = xrd::parseBatchCancelPath(path)) {
+    abandonBatch(*batchId);
+    return Status::ok();
+  }
   auto chunkId = xrd::parseQueryPath(path);
   if (!chunkId) {
-    return Status::invalidArgument("worker only accepts /query2 writes: " +
-                                   path);
+    return Status::invalidArgument(
+        "worker only accepts /query2, /batch and /bcancel writes: " + path);
   }
   if (!std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
                           *chunkId)) {
@@ -153,6 +166,109 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
   return Status::ok();
 }
 
+Status Worker::enqueueBatch(const std::string& batchId, std::string payload) {
+  auto request = decodeBatchRequest(payload);
+  if (!request.isOk()) return request.status();
+  for (const BatchChunkRequest& chunk : request->chunks) {
+    if (!std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
+                            chunk.chunkId)) {
+      // Reject the whole batch: the master's placement was stale, and the
+      // per-chunk fallback path re-locates each chunk individually.
+      return Status::notFound(util::format(
+          "worker %s does not export chunk %d (batch %s)", id_.c_str(),
+          chunk.chunkId, batchId.c_str()));
+    }
+  }
+  auto stream = std::make_shared<BatchStream>();
+  stream->id = batchId;
+  stream->streamPath = xrd::makeBatchStreamPath(batchId);
+  stream->window = request->streamWindow;
+  stream->remaining.store(static_cast<int>(request->chunks.size()),
+                          std::memory_order_release);
+  std::int64_t nowUs = util::Trace::nowUs();
+  std::vector<Task> tasks;
+  tasks.reserve(request->chunks.size());
+  for (BatchChunkRequest& chunk : request->chunks) {
+    Task task;
+    task.chunkId = chunk.chunkId;
+    task.hash = util::Md5::hex(chunk.payload);
+    if (auto traceId = util::parseTraceHeader(chunk.payload)) {
+      task.traceId = *traceId;
+    }
+    task.enqueuedUs = nowUs;
+    task.payload = std::move(chunk.payload);
+    task.batch = stream;
+    tasks.push_back(std::move(task));
+  }
+  auto& metrics = WorkerMetrics::instance();
+  {
+    std::lock_guard lock(batchMutex_);
+    batches_[batchId] = stream;
+  }
+  {
+    std::lock_guard lock(queueMutex_);
+    if (shuttingDown_) {
+      std::lock_guard blck(batchMutex_);
+      batches_.erase(batchId);
+      return Status::unavailable("worker " + id_ + " is shutting down");
+    }
+    for (Task& task : tasks) queue_.push_back(std::move(task));
+    metrics.queueDepth.add(static_cast<std::int64_t>(tasks.size()));
+    queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
+  }
+  metrics.tasksEnqueued.add(tasks.size());
+  metrics.batchesReceived.add();
+  queueCv_.notify_all();
+  return Status::ok();
+}
+
+void Worker::abandonBatch(const std::string& batchId) {
+  std::shared_ptr<BatchStream> stream;
+  {
+    std::lock_guard lock(batchMutex_);
+    auto it = batches_.find(batchId);
+    if (it != batches_.end()) stream = it->second;
+  }
+  if (stream) stream->abandoned.store(true, std::memory_order_release);
+  // Drop unread frames even when the batch already finished and
+  // unregistered — the master will not read them.
+  results_.remove(xrd::makeBatchStreamPath(batchId));
+}
+
+void Worker::publishBatchFrame(const Task& task, std::string frame) {
+  BatchStream& stream = *task.batch;
+  if (stream.window > 0) {
+    // Backpressure: keep at most `window` unread frames on the stream. Poll
+    // in short slices so abandonment and shutdown break the wait; after the
+    // result timeout publish anyway — never block an executor slot forever.
+    util::Stopwatch waited;
+    auto timeoutSec =
+        std::chrono::duration<double>(config_.resultTimeout).count();
+    while (!stream.abandoned.load(std::memory_order_acquire) &&
+           !stopping_.load(std::memory_order_acquire) &&
+           waited.elapsedSeconds() < timeoutSec &&
+           !results_.awaitDrain(stream.streamPath,
+                                static_cast<std::size_t>(stream.window),
+                                std::chrono::milliseconds(50))) {
+    }
+  }
+  if (!stream.abandoned.load(std::memory_order_acquire)) {
+    results_.publish(stream.streamPath, std::move(frame));
+  }
+}
+
+void Worker::finishBatchChunk(const std::shared_ptr<BatchStream>& stream) {
+  if (stream->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  {
+    std::lock_guard lock(batchMutex_);
+    auto it = batches_.find(stream->id);
+    if (it != batches_.end() && it->second == stream) batches_.erase(it);
+  }
+  if (stream->abandoned.load(std::memory_order_acquire)) {
+    results_.remove(stream->streamPath);
+  }
+}
+
 Result<std::string> Worker::readFile(const std::string& path) {
   return readFile(path, util::Deadline::unlimited());
 }
@@ -160,9 +276,10 @@ Result<std::string> Worker::readFile(const std::string& path) {
 Result<std::string> Worker::readFile(const std::string& path,
                                      const util::Deadline& deadline) {
   auto hash = xrd::parseResultPath(path);
+  if (!hash) hash = xrd::parseBatchStreamPath(path);
   if (!hash) {
-    return Status::invalidArgument("worker only serves /result reads: " +
-                                   path);
+    return Status::invalidArgument(
+        "worker only serves /result and /bstream reads: " + path);
   }
   // waitFor consumes the payload: results are one-shot, like Qserv's
   // cleanup of delivered result files. The wait is bounded by both the
@@ -410,6 +527,12 @@ void Worker::releaseSubchunks(std::int32_t chunkId,
 
 void Worker::executeTask(const Task& task, bool chargeScanIo) {
   auto& metrics = WorkerMetrics::instance();
+  if (task.batch && task.batch->abandoned.load(std::memory_order_acquire)) {
+    // The master abandoned the batch; don't waste the slot executing.
+    metrics.batchChunksSkipped.add();
+    finishBatchChunk(task.batch);
+    return;
+  }
   util::TracePtr trace = util::TraceRegistry::instance().find(task.traceId);
   util::ScopedSpan execSpan(trace, "worker",
                             util::format("exec %d", task.chunkId));
@@ -433,7 +556,13 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
   }
   if (!buildStats.isOk()) {
     metrics.taskFailures.add();
-    results_.publishError(resultPath, buildStats.status());
+    if (task.batch) {
+      publishBatchFrame(task,
+                        encodeErrorFrame(task.chunkId, buildStats.status()));
+      finishBatchChunk(task.batch);
+    } else {
+      results_.publishError(resultPath, buildStats.status());
+    }
     return;
   }
 
@@ -450,7 +579,12 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
     QLOG(kWarn, "worker") << id_ << " chunk " << task.chunkId
                           << " failed: " << result.status().toString();
     metrics.taskFailures.add();
-    results_.publishError(resultPath, result.status());
+    if (task.batch) {
+      publishBatchFrame(task, encodeErrorFrame(task.chunkId, result.status()));
+      finishBatchChunk(task.batch);
+    } else {
+      results_.publishError(resultPath, result.status());
+    }
     return;
   }
 
@@ -551,7 +685,12 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
   // right after — an exec span recorded by the RAII destructor (after
   // publish) could miss that snapshot.
   execSpan.end();
-  results_.publish(resultPath, std::move(dump));
+  if (task.batch) {
+    publishBatchFrame(task, encodeResultFrame(task.chunkId, dump));
+    finishBatchChunk(task.batch);
+  } else {
+    results_.publish(resultPath, std::move(dump));
+  }
 }
 
 }  // namespace qserv::core

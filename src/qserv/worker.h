@@ -19,6 +19,7 @@
 /// off to match).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <map>
@@ -101,18 +102,43 @@ class Worker : public xrd::OfsPlugin {
   void shutdown();
 
  private:
+  /// Shared state of one batched dispatch (/batch/<id>): its chunk tasks
+  /// stream result frames over one /bstream/<id> path, bounded by a window
+  /// of unread frames, until the master abandons the batch or the last
+  /// chunk finishes.
+  struct BatchStream {
+    std::string id;          ///< batchId (md5 of the request payload)
+    std::string streamPath;  ///< /bstream/<batchId>
+    int window = 0;          ///< max unread frames (0 = unbounded)
+    std::atomic<bool> abandoned{false};
+    std::atomic<int> remaining{0};  ///< chunks not yet finished/skipped
+  };
+
   struct Task {
     std::int32_t chunkId = 0;
     std::string payload;
     std::string hash;
     std::uint64_t traceId = 0;     ///< from the -- QSERV-TRACE header; 0 = none
     std::int64_t enqueuedUs = 0;   ///< trace-clock time of arrival
+    std::shared_ptr<BatchStream> batch;  ///< null on per-chunk dispatch
   };
 
   void executorLoop();
   /// Claim the next task (FIFO) or task group (shared scan) to run.
   std::vector<Task> claimTasks();
   void executeTask(const Task& task, bool chargeScanIo);
+
+  /// Decode a /batch write and enqueue one Task per chunk.
+  util::Status enqueueBatch(const std::string& batchId, std::string payload);
+  /// Mark a batch abandoned (/bcancel write): queued tasks are skipped and
+  /// unread frames dropped.
+  void abandonBatch(const std::string& batchId);
+  /// Publish one chunk's result frame on the batch stream, honoring the
+  /// unread-frame window.
+  void publishBatchFrame(const Task& task, std::string frame);
+  /// Account one finished/skipped batch chunk; the last one unregisters the
+  /// batch and, when abandoned, drops its unread frames.
+  void finishBatchChunk(const std::shared_ptr<BatchStream>& stream);
 
   /// Parse the `-- SUBCHUNKS:` header from the payload's leading comment
   /// lines; empty when absent.
@@ -159,8 +185,12 @@ class Worker : public xrd::OfsPlugin {
   std::deque<Task> queue_;
   bool shuttingDown_ = false;
   bool paused_ = false;
+  std::atomic<bool> stopping_{false};  ///< lock-free shutdown flag for waits
   std::vector<std::thread> executors_;
   std::atomic<std::uint64_t> tasksExecuted_{0};
+
+  mutable std::mutex batchMutex_;
+  std::map<std::string, std::shared_ptr<BatchStream>> batches_;
 
   mutable std::mutex obsMutex_;
   std::map<std::string, simio::WorkObservables> observables_;

@@ -40,4 +40,13 @@ double masterCollectSeconds(const WorkObservables& w, const CostParams& p) {
   return seconds;
 }
 
+double amortizedBatchDispatchSec(std::size_t chunks, std::size_t batches,
+                                 const CostParams& p) {
+  if (chunks == 0) return 0.0;
+  if (batches == 0) return p.masterPerChunkOverheadSec;
+  return p.masterPerBatchOverheadSec * static_cast<double>(batches) /
+             static_cast<double>(chunks) +
+         p.masterBatchedPerChunkOverheadSec;
+}
+
 }  // namespace qserv::simio

@@ -49,6 +49,14 @@ struct CostParams {
   double resultTransferBytesPerSec = 20e6;  ///< mysqldump stream + reload
   double resultPerRowOverheadSec = 2e-6;    ///< INSERT replay on frontend
 
+  // Batched (UberJob-style) dispatch: one request per (query, worker) pays
+  // the full per-request master cost once; each chunk inside the batch only
+  // costs its serialization slice. The §7.6 2.8 ms/chunk anchor becomes the
+  // per-batch term; the residual per-chunk term is the measured cost of
+  // framing one more chunk into an already-open request.
+  double masterPerBatchOverheadSec = 0.0028;
+  double masterBatchedPerChunkOverheadSec = 0.0002;
+
   // Worker CPU.
   double cpuPerRowSec = 1.0e-6;        ///< per row examined by a filter scan
   double cpuPerPairSec = 2.5e-6;       ///< per nested-loop pair (SHV1 anchor)
@@ -96,5 +104,11 @@ double workerServiceSeconds(const WorkObservables& w, const CostParams& p);
 
 /// Master-side virtual seconds to collect and load one chunk result.
 double masterCollectSeconds(const WorkObservables& w, const CostParams& p);
+
+/// Per-chunk master dispatch seconds under batched dispatch: \p batches
+/// requests amortized over \p chunks chunk queries plus the per-chunk
+/// framing slice. Falls back to the per-chunk cost when nothing was batched.
+double amortizedBatchDispatchSec(std::size_t chunks, std::size_t batches,
+                                 const CostParams& p);
 
 }  // namespace qserv::simio

@@ -35,7 +35,8 @@ std::vector<SimQueryResult> simulateQueries(const std::vector<SimQuery>& queries
     double dispatchStart = query.submitSec + preDispatch;
     double t = dispatchStart;
     for (const SimChunkTask& task : query.tasks) {
-      t += params.masterPerChunkOverheadSec;
+      t += task.dispatchSec >= 0 ? task.dispatchSec
+                                 : params.masterPerChunkOverheadSec;
       PendingTask p;
       p.arrivalSec = t;
       p.serviceSec = task.serviceSec;

@@ -24,6 +24,10 @@ struct SimChunkTask {
   int worker = 0;           ///< node that owns the chunk
   double serviceSec = 0.0;  ///< worker execution time (workerServiceSeconds)
   double collectSec = 0.0;  ///< master load time (masterCollectSeconds)
+  /// Master dispatch cost of this task; < 0 means "use the default
+  /// masterPerChunkOverheadSec". Batched dispatch sets the amortized
+  /// per-chunk cost here (amortizedBatchDispatchSec).
+  double dispatchSec = -1.0;
 };
 
 /// One user query: submitted at \p submitSec, fanning out \p tasks.

@@ -47,6 +47,25 @@ class XrdClient {
       const std::string& serverId, const std::string& md5Hex,
       const util::Deadline& deadline = util::Deadline::unlimited());
 
+  /// Batched dispatch: write one batch request (a whole chunk list for one
+  /// worker) to /batch/<batchId> on \p serverId. Unlike writeQuery the
+  /// target server is already known — batches are planned against the
+  /// redirector's placement before any write happens.
+  util::Status writeBatch(const std::string& serverId,
+                          const std::string& batchId, std::string payload);
+
+  /// Read the next result frame from /bstream/<batchId> on \p serverId.
+  /// Each read consumes exactly one per-chunk frame.
+  util::Result<std::string> readBatchFrame(
+      const std::string& serverId, const std::string& batchId,
+      const util::Deadline& deadline = util::Deadline::unlimited());
+
+  /// Tell \p serverId the master has abandoned batch \p batchId so its
+  /// executors stop producing (and stop waiting on) result frames.
+  /// Best-effort: failures are swallowed — the worker's stream timeout is
+  /// the fallback.
+  void cancelBatch(const std::string& serverId, const std::string& batchId);
+
   Redirector& redirector() { return *redirector_; }
 
  private:

@@ -1,6 +1,8 @@
 #include "xrd/data_server.h"
 
 #include "util/metrics.h"
+#include "util/strings.h"
+#include "xrd/paths.h"
 
 namespace qserv::xrd {
 
@@ -14,6 +16,8 @@ struct XrdMetrics {
   util::Counter& bytesRead;
   util::Counter& refusedDown;
   util::Counter& failures;
+  util::Counter& batchWrites;
+  util::Counter& streamReads;
 
   static XrdMetrics& instance() {
     auto& reg = util::MetricsRegistry::instance();
@@ -24,6 +28,8 @@ struct XrdMetrics {
         reg.counter("xrd.bytes_read"),
         reg.counter("xrd.refused_down"),
         reg.counter("xrd.failed_transactions"),
+        reg.counter("xrd.batch_writes"),
+        reg.counter("xrd.stream_reads"),
     };
     return *m;
   }
@@ -36,6 +42,7 @@ DataServer::DataServer(std::string id, std::shared_ptr<OfsPlugin> plugin)
 util::Status DataServer::write(const std::string& path, std::string payload) {
   auto& metrics = XrdMetrics::instance();
   metrics.writeTransactions.add();
+  if (util::startsWith(path, kBatchPrefix)) metrics.batchWrites.add();
   if (!isUp()) {
     metrics.refusedDown.add();
     return util::Status::unavailable("data server " + id_ + " is down");
@@ -55,6 +62,7 @@ util::Result<std::string> DataServer::read(const std::string& path,
                                            const util::Deadline& deadline) {
   auto& metrics = XrdMetrics::instance();
   metrics.readTransactions.add();
+  if (util::startsWith(path, kBatchStreamPrefix)) metrics.streamReads.add();
   if (!isUp()) {
     metrics.refusedDown.add();
     return util::Status::unavailable("data server " + id_ + " is down");

@@ -35,8 +35,21 @@ util::Result<std::string> FileStore::waitFor(const std::string& path,
   Entry entry = std::move(it->second.front());
   it->second.pop_front();
   if (it->second.empty()) files_.erase(it);
+  lock.unlock();
+  // Consumption opens window slots for awaitDrain publishers.
+  cv_.notify_all();
   if (entry.failed) return entry.error;
   return std::move(entry.bytes);
+}
+
+bool FileStore::awaitDrain(const std::string& path, std::size_t maxQueued,
+                           std::chrono::milliseconds timeout) {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, timeout, [&] {
+    if (aborted_) return true;
+    auto it = files_.find(path);
+    return it == files_.end() || it->second.size() < maxQueued;
+  }) && !aborted_;
 }
 
 std::optional<std::string> FileStore::tryGet(const std::string& path) const {
@@ -49,8 +62,11 @@ std::optional<std::string> FileStore::tryGet(const std::string& path) const {
 }
 
 void FileStore::remove(const std::string& path) {
-  std::lock_guard lock(mutex_);
-  files_.erase(path);
+  {
+    std::lock_guard lock(mutex_);
+    files_.erase(path);
+  }
+  cv_.notify_all();
 }
 
 std::size_t FileStore::size() const {

@@ -36,6 +36,12 @@ class FileStore {
       const std::string& path,
       std::chrono::milliseconds timeout = std::chrono::milliseconds(30000));
 
+  /// Block until fewer than \p maxQueued payloads sit unconsumed at \p path
+  /// (publisher-side backpressure for streamed batch results). Returns true
+  /// when the queue drained below the bound, false on timeout or abort.
+  bool awaitDrain(const std::string& path, std::size_t maxQueued,
+                  std::chrono::milliseconds timeout);
+
   /// Non-blocking peek (does not consume).
   std::optional<std::string> tryGet(const std::string& path) const;
 

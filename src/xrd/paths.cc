@@ -27,15 +27,49 @@ std::optional<std::int32_t> parseQueryPath(std::string_view path) {
   return static_cast<std::int32_t>(value);
 }
 
-std::optional<std::string> parseResultPath(std::string_view path) {
-  if (!util::startsWith(path, kResultPrefix)) return std::nullopt;
-  std::string_view rest = path.substr(kResultPrefix.size());
+namespace {
+
+/// Shared shape of every hash-addressed path kind: prefix + 32 hex digits.
+std::optional<std::string> parseHashPath(std::string_view path,
+                                         std::string_view prefix) {
+  if (!util::startsWith(path, prefix)) return std::nullopt;
+  std::string_view rest = path.substr(prefix.size());
   if (rest.size() != 32) return std::nullopt;
   for (char c : rest) {
     bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
     if (!hex) return std::nullopt;
   }
   return std::string(rest);
+}
+
+}  // namespace
+
+std::string makeBatchPath(std::string_view batchId) {
+  return std::string(kBatchPrefix) + std::string(batchId);
+}
+
+std::string makeBatchStreamPath(std::string_view batchId) {
+  return std::string(kBatchStreamPrefix) + std::string(batchId);
+}
+
+std::string makeBatchCancelPath(std::string_view batchId) {
+  return std::string(kBatchCancelPrefix) + std::string(batchId);
+}
+
+std::optional<std::string> parseResultPath(std::string_view path) {
+  return parseHashPath(path, kResultPrefix);
+}
+
+std::optional<std::string> parseBatchPath(std::string_view path) {
+  return parseHashPath(path, kBatchPrefix);
+}
+
+std::optional<std::string> parseBatchStreamPath(std::string_view path) {
+  return parseHashPath(path, kBatchStreamPrefix);
+}
+
+std::optional<std::string> parseBatchCancelPath(std::string_view path) {
+  return parseHashPath(path, kBatchCancelPrefix);
 }
 
 }  // namespace qserv::xrd

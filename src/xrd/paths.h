@@ -5,6 +5,12 @@
 ///   /query2/<chunkId>
 /// and results are read from hash-addressed paths
 ///   /result/<32-hex-digit MD5 of the chunk query text>.
+///
+/// Batched dispatch (the §7.6 remedy) adds three hash-addressed path kinds,
+/// all keyed by the MD5 of the batch request payload:
+///   /batch/<batchId>    one write carries a whole chunk list for one worker
+///   /bstream/<batchId>  per-chunk result frames stream back over this path
+///   /bcancel/<batchId>  the master abandons the batch (stops the stream)
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,9 @@ namespace qserv::xrd {
 
 inline constexpr std::string_view kQueryPrefix = "/query2/";
 inline constexpr std::string_view kResultPrefix = "/result/";
+inline constexpr std::string_view kBatchPrefix = "/batch/";
+inline constexpr std::string_view kBatchStreamPrefix = "/bstream/";
+inline constexpr std::string_view kBatchCancelPrefix = "/bcancel/";
 
 /// "/query2/<chunkId>".
 std::string makeQueryPath(std::int32_t chunkId);
@@ -23,10 +32,28 @@ std::string makeQueryPath(std::int32_t chunkId);
 /// "/result/<hash>"; \p md5Hex must be 32 lowercase hex digits.
 std::string makeResultPath(std::string_view md5Hex);
 
+/// "/batch/<batchId>"; \p batchId must be 32 lowercase hex digits.
+std::string makeBatchPath(std::string_view batchId);
+
+/// "/bstream/<batchId>" — the shared result-frame stream of one batch.
+std::string makeBatchStreamPath(std::string_view batchId);
+
+/// "/bcancel/<batchId>" — master-side abandonment of one batch.
+std::string makeBatchCancelPath(std::string_view batchId);
+
 /// Chunk id from a query path, or nullopt if \p path is not one.
 std::optional<std::int32_t> parseQueryPath(std::string_view path);
 
 /// Hash from a result path, or nullopt if \p path is not one.
 std::optional<std::string> parseResultPath(std::string_view path);
+
+/// Batch id from a batch path, or nullopt if \p path is not one.
+std::optional<std::string> parseBatchPath(std::string_view path);
+
+/// Batch id from a batch-stream path, or nullopt if \p path is not one.
+std::optional<std::string> parseBatchStreamPath(std::string_view path);
+
+/// Batch id from a batch-cancel path, or nullopt if \p path is not one.
+std::optional<std::string> parseBatchCancelPath(std::string_view path);
 
 }  // namespace qserv::xrd

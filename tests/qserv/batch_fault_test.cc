@@ -1,0 +1,214 @@
+/// \file batch_fault_test.cc
+/// \brief Fault injection against the batched dispatch path (§7.6 remedy):
+/// a rejected batch write must fall back to per-chunk dispatch, a worker
+/// dying mid-stream must cost only its undelivered chunks (retried on a
+/// replica), and corrupted stream frames must be caught by the per-chunk
+/// MD5 trailer — never merged. Runs under `ctest -L faults`.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "qserv/cluster.h"
+#include "util/metrics.h"
+
+namespace qserv::core {
+namespace {
+
+class BatchFaultTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new CatalogConfig(CatalogConfig::lsst(18, 6, 0.05));
+    SkyDataOptions data;
+    data.basePatchObjects = 400;
+    data.withSources = false;
+    data.region = sphgeom::SphericalBox(0, -7, 14, 7);
+    auto sky = buildSkyCatalog(*catalog_, data);
+    ASSERT_TRUE(sky.isOk()) << sky.status().toString();
+    sky_ = new datagen::PartitionedCatalog(std::move(sky).value());
+
+    // Fault-free answers from a clean batched cluster.
+    ClusterOptions clean;
+    clean.frontend.catalog = *catalog_;
+    clean.numWorkers = 3;
+    auto cluster = MiniCluster::create(clean, *sky_);
+    ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+    oracle_ = new std::vector<sql::TablePtr>();
+    for (const auto& q : queries()) {
+      auto r = (*cluster)->frontend().query(q);
+      ASSERT_TRUE(r.isOk()) << q << ": " << r.status().toString();
+      oracle_->push_back(r->result);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete oracle_;
+    oracle_ = nullptr;
+    delete sky_;
+    sky_ = nullptr;
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+
+  static const std::vector<std::string>& queries() {
+    static const std::vector<std::string> kQueries = {
+        "SELECT COUNT(*) FROM Object",
+        "SELECT COUNT(*), AVG(ra_PS) FROM Object WHERE decl_PS > 0",
+        "SELECT MIN(objectId), MAX(objectId) FROM Object",
+    };
+    return kQueries;
+  }
+
+  /// Faulty-cluster base options: replicated chunks, fast retries, a hang
+  /// backstop. Batched dispatch is the frontend default.
+  static ClusterOptions faultyOptions() {
+    ClusterOptions opts;
+    opts.frontend.catalog = *catalog_;
+    opts.numWorkers = 3;
+    opts.replication = 2;
+    opts.frontend.dispatchMaxAttempts = 6;
+    opts.frontend.dispatchBackoff.base = std::chrono::microseconds(500);
+    opts.frontend.dispatchBackoff.cap = std::chrono::microseconds(5'000);
+    opts.frontend.queryDeadlineSeconds = 30.0;
+    return opts;
+  }
+
+  /// Run every query on \p cluster; each must succeed with the fault-free
+  /// answer, cell for cell (silent corruption is the one unforgivable
+  /// outcome). Returns the executions for accounting checks.
+  static std::vector<QservFrontend::Execution> runAllAgainstOracle(
+      MiniCluster& cluster) {
+    std::vector<QservFrontend::Execution> execs;
+    for (std::size_t qi = 0; qi < queries().size(); ++qi) {
+      const auto& sql = queries()[qi];
+      auto r = cluster.frontend().query(sql);
+      EXPECT_TRUE(r.isOk()) << sql << ": " << r.status().toString();
+      if (!r.isOk()) continue;
+      EXPECT_EQ(r->dispatchMode, DispatchMode::kBatched) << sql;
+      const auto& want = (*oracle_)[qi];
+      EXPECT_EQ(r->result->numRows(), want->numRows()) << sql;
+      EXPECT_EQ(r->result->numColumns(), want->numColumns()) << sql;
+      if (r->result->numRows() != want->numRows() ||
+          r->result->numColumns() != want->numColumns()) {
+        continue;
+      }
+      for (std::size_t row = 0; row < want->numRows(); ++row) {
+        for (std::size_t col = 0; col < want->numColumns(); ++col) {
+          EXPECT_EQ(r->result->cell(row, col).compare(want->cell(row, col)),
+                    0)
+              << sql << " row " << row << " col " << col;
+        }
+      }
+      execs.push_back(std::move(r).value());
+    }
+    return execs;
+  }
+
+  static CatalogConfig* catalog_;
+  static datagen::PartitionedCatalog* sky_;
+  static std::vector<sql::TablePtr>* oracle_;
+};
+
+CatalogConfig* BatchFaultTest::catalog_ = nullptr;
+datagen::PartitionedCatalog* BatchFaultTest::sky_ = nullptr;
+std::vector<sql::TablePtr>* BatchFaultTest::oracle_ = nullptr;
+
+/// Helper: metrics-counter delta around a block.
+class CounterDelta {
+ public:
+  CounterDelta() : before_(util::MetricsRegistry::instance().snapshot()) {}
+  void stop() { after_ = util::MetricsRegistry::instance().snapshot(); }
+  std::uint64_t operator()(const char* name) const {
+    auto b = before_.counters.count(name) ? before_.counters.at(name) : 0;
+    auto a = after_.counters.count(name) ? after_.counters.at(name) : 0;
+    return a - b;
+  }
+
+ private:
+  util::MetricsSnapshot before_;
+  util::MetricsSnapshot after_;
+};
+
+TEST_F(BatchFaultTest, BatchWritesRejectedFallBackToPerChunk) {
+  // Every write to a /batch/ path fails; the per-chunk paths are untouched.
+  // The dispatcher must route every chunk through the per-chunk retry path
+  // and still answer correctly — batching is an optimization, never a new
+  // failure mode.
+  ClusterOptions opts = faultyOptions();
+  auto plan = xrd::FaultPlan::parse("write:path=/batch/,fail");
+  ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+  opts.faults = *plan;
+  auto cluster = MiniCluster::create(opts, *sky_);
+  ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+
+  CounterDelta delta;
+  auto execs = runAllAgainstOracle(**cluster);
+  delta.stop();
+
+  ASSERT_EQ(execs.size(), queries().size());
+  std::size_t totalChunks = 0;
+  for (const auto& e : execs) totalChunks += e.chunksDispatched;
+  EXPECT_GT(delta("faultinj.write_faults"), 0u);
+  // Every chunk of every query was recovered through the per-chunk path.
+  EXPECT_GE(delta("dispatch.batch_chunk_retries"), totalChunks);
+  // Batch writes were attempted (the counter ticks before the injector
+  // rejects them) but no batch ever established a result stream.
+  EXPECT_GT(delta("xrd.batch_writes"), 0u);
+  EXPECT_EQ(delta("xrd.stream_reads"), 0u);
+  EXPECT_GE(delta("dispatch.chunks_ok"), totalChunks);
+}
+
+TEST_F(BatchFaultTest, WorkerDiesMidStreamOnlyItsChunksRetry) {
+  // Worker 0 serves one stream read then latches down. Chunks already
+  // delivered stay merged; undelivered chunks of its batch are retried on
+  // the replica worker — chunk-level failure handling, not query-level.
+  ClusterOptions opts = faultyOptions();
+  auto plan = xrd::FaultPlan::parse("read:after=1,down");
+  ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+  opts.workerFaults[0] = *plan;
+  auto cluster = MiniCluster::create(opts, *sky_);
+  ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+
+  CounterDelta delta;
+  auto execs = runAllAgainstOracle(**cluster);
+  delta.stop();
+
+  ASSERT_EQ(execs.size(), queries().size());
+  EXPECT_TRUE((*cluster)->injector(0)->isDown());
+  // The dead worker cost chunk retries with replica exclusion, and the
+  // retried chunks came back from elsewhere.
+  EXPECT_GT(delta("dispatch.batch_chunk_retries"), 0u);
+  EXPECT_GT(delta("dispatch.replica_exclusions"), 0u);
+  std::size_t totalChunks = 0;
+  for (const auto& e : execs) totalChunks += e.chunksDispatched;
+  EXPECT_GE(delta("dispatch.chunks_ok"), totalChunks);
+}
+
+TEST_F(BatchFaultTest, CorruptStreamFramesCaughtByChecksumNeverMerged) {
+  // Worker 0 corrupts most of its stream reads. Corruption lands either in
+  // a frame header (counted as a damaged frame, chunk re-fetched) or in a
+  // frame body (caught by the per-chunk MD5 trailer). Both end in a clean
+  // per-chunk retry on the replica; the merger must never see corrupt data.
+  ClusterOptions opts = faultyOptions();
+  auto plan = xrd::FaultPlan::parse("seed=20260808; read:p=0.6,corrupt");
+  ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+  opts.workerFaults[0] = *plan;
+  auto cluster = MiniCluster::create(opts, *sky_);
+  ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+
+  CounterDelta delta;
+  auto execs = runAllAgainstOracle(**cluster);
+  delta.stop();
+
+  ASSERT_EQ(execs.size(), queries().size());
+  EXPECT_GT(delta("faultinj.corruptions"), 0u);
+  EXPECT_GT(delta("dispatch.checksum_mismatches") +
+                delta("dispatch.damaged_frames"),
+            0u);
+  EXPECT_GT(delta("dispatch.batch_chunk_retries"), 0u);
+  // The integrity gate: nothing corrupt ever reached the merger.
+  EXPECT_EQ(delta("merger.checksum_rejects"), 0u);
+}
+
+}  // namespace
+}  // namespace qserv::core

@@ -78,8 +78,11 @@ std::int64_t FailoverTest::oracleCount_ = 0;
 TEST_F(FailoverTest, ReplicaKilledMidQueryFailsOver) {
   auto opts = baseOptions();
   opts.replication = 2;
-  // Worker 0 serves a handful of transactions, then drops dead.
-  auto plan = xrd::FaultPlan::parse("write:after=2,down");
+  // Worker 0 serves one result read, then drops dead mid-stream: with
+  // batched dispatch (the default) the worker sees a single batch write, so
+  // the death has to land on the result-stream reads to hit the query
+  // mid-flight.
+  auto plan = xrd::FaultPlan::parse("read:after=1,down");
   ASSERT_TRUE(plan.isOk());
   opts.workerFaults[0] = *plan;
   auto cluster = MiniCluster::create(opts, *sky_);
@@ -150,6 +153,11 @@ TEST_F(FailoverTest, AllReplicasDownFailsFastAndCancelsSiblings) {
 TEST_F(FailoverTest, TransientFaultsRetryWithBackoffThenSucceed) {
   auto opts = baseOptions();
   opts.replication = 1;
+  // Per-chunk mode: this test pins the exact one-backoff-per-retry
+  // accounting of the per-chunk path (batched mode writes once per worker,
+  // so a p=0.3 write fault rarely fires; batch_fault_test covers the
+  // batched path's transient faults).
+  opts.frontend.dispatchMode = DispatchMode::kPerChunk;
   opts.frontend.dispatchMaxAttempts = 10;
   // Every worker fails ~30% of query writes (seeded, so reproducible).
   auto plan = xrd::FaultPlan::parse("seed=1234; write:p=0.3,fail");

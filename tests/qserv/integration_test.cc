@@ -397,9 +397,10 @@ TEST_F(IntegrationTest, QueryTraceSpansEveryLayer) {
   EXPECT_EQ(dispatchChunkSpans, exec.chunksDispatched);
   EXPECT_EQ(workerExecSpans, exec.chunksDispatched);
   EXPECT_EQ(workerQueueWaitSpans, exec.chunksDispatched);
-  // The czar phases of §4's pipeline all appear.
+  // The czar phases of §4's pipeline all appear (merging is pipelined
+  // inside the dispatch phase, so it has no standalone czar span).
   for (const char* phase : {"parse", "analyze", "chunk-prune", "rewrite",
-                            "dispatch", "merge", "final-aggregation"}) {
+                            "dispatch", "final-aggregation"}) {
     EXPECT_NE(std::find(czarPhases.begin(), czarPhases.end(), phase),
               czarPhases.end())
         << "missing czar phase: " << phase;
@@ -461,10 +462,16 @@ TEST_F(IntegrationTest, WorkerQueueMetricsPopulated) {
   EXPECT_EQ(after.gauges.at("worker.queue_depth"), 0);
   EXPECT_EQ(after.gauges.at("worker.busy_slots"), 0);
 
-  // The dispatch and merge layers kept pace with the chunk count.
+  // The dispatch and merge layers kept pace with the chunk count. Batched
+  // dispatch (the default) writes once per (query, worker) instead of once
+  // per chunk — that is the point — but every chunk still comes back as its
+  // own result-stream read.
   EXPECT_GE(delta("dispatch.chunks_ok"), exec.chunksDispatched);
   EXPECT_GE(delta("merger.dumps_replayed"), exec.chunksDispatched);
-  EXPECT_GE(delta("xrd.write_transactions"), exec.chunksDispatched);
+  EXPECT_GT(exec.dispatchBatches, 0u);
+  EXPECT_GE(delta("xrd.batch_writes"), exec.dispatchBatches);
+  EXPECT_GE(delta("xrd.write_transactions"), exec.dispatchBatches);
+  EXPECT_GE(delta("xrd.stream_reads"), exec.chunksDispatched);
 }
 
 TEST_F(IntegrationTest, ProcessListShowsFinishedQuery) {
