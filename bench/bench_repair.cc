@@ -1,0 +1,194 @@
+/// \file bench_repair.cc
+/// \brief Repair-under-traffic perf smoke: a worker dies, the control plane
+/// re-replicates every under-replicated chunk back to target redundancy
+/// while low-volume point queries keep flying. Measures repair throughput
+/// and the latency tax repair traffic puts on concurrent queries.
+///
+/// The transfer budget is deliberately small (1 concurrent copy): repair is
+/// background work and must not starve the query path. Gates (abort with
+/// nonzero exit on violation):
+///   - repair completes: zero under-replicated chunks at the end
+///   - every concurrent query returns the correct row
+///   - concurrent LV p50 during repair <= 1.5x the quiescent p50
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/metrics.h"
+
+namespace {
+
+using namespace qserv;
+using namespace qserv::bench;
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  auto idx = static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+}  // namespace
+
+int main() {
+  emitMetricsSnapshotAtExit();
+  printBanner("Repair under traffic — re-replication throughput + latency tax",
+              "ROADMAP item 4: self-healing replication control plane",
+              "throttled repair (budget 1) restores 2x redundancy with "
+              "concurrent point-query p50 <= 1.5x quiescent");
+
+  core::CatalogConfig catalog = core::CatalogConfig::lsst(18, 6, 0.05);
+  core::SkyDataOptions skyOpts;
+  skyOpts.basePatchObjects = 2000;
+  skyOpts.withSources = false;
+  skyOpts.region = sphgeom::SphericalBox(0, -30, 90, 30);
+  auto sky = core::buildSkyCatalog(catalog, skyOpts);
+  if (!sky.isOk()) {
+    std::fprintf(stderr, "bench setup: %s\n", sky.status().toString().c_str());
+    return 1;
+  }
+
+  core::ClusterOptions opts;
+  opts.frontend.catalog = catalog;
+  opts.numWorkers = 4;
+  opts.replication = 2;
+  opts.repair.transferBudget = 1;  // the throttle under test
+  opts.repair.copyBackoff.base = std::chrono::microseconds(500);
+  opts.repair.copyBackoff.cap = std::chrono::microseconds(5'000);
+  util::Stopwatch setupWatch;
+  auto cluster = core::MiniCluster::create(opts, *sky);
+  if (!cluster.isOk()) {
+    std::fprintf(stderr, "bench cluster: %s\n",
+                 cluster.status().toString().c_str());
+    return 1;
+  }
+  auto& frontend = (*cluster)->frontend();
+  auto& repair = (*cluster)->repairController();
+  printKeyValue("setup",
+                util::format("%.1f s, %zu chunks on 4 workers at 2x",
+                             setupWatch.elapsedSeconds(),
+                             (*cluster)->chunkIds().size()));
+
+  // The LV workload: point lookups through the secondary index, sampled
+  // across the catalog.
+  std::vector<std::int64_t> ids;
+  for (std::size_t i = 0; i < sky->index.size();
+       i += std::max<std::size_t>(1, sky->index.size() / 512)) {
+    ids.push_back(sky->index[i].objectId);
+  }
+  auto pointQuery = [&](std::size_t i) {
+    return util::format("SELECT objectId, ra_PS FROM Object WHERE "
+                        "objectId = %lld",
+                        static_cast<long long>(ids[i % ids.size()]));
+  };
+
+  int badQueries = 0;
+  auto measure = [&](std::size_t i) {
+    util::Stopwatch watch;
+    auto r = frontend.query(pointQuery(i));
+    double us = watch.elapsedSeconds() * 1e6;
+    if (!r.isOk() || r->result->numRows() != 1) ++badQueries;
+    return us;
+  };
+
+  // Phase 1: quiescent latency baseline.
+  for (std::size_t i = 0; i < 32; ++i) measure(i);  // warmup
+  std::vector<double> quiescentUs;
+  constexpr std::size_t kQuiescent = 400;
+  for (std::size_t i = 0; i < kQuiescent; ++i) quiescentUs.push_back(measure(i));
+
+  // Phase 2: kill a worker, declare it down, then repair with budget 1
+  // while the same workload keeps running.
+  (*cluster)->server(0).setUp(false);
+  for (int i = 0; i < repair.config().downAfter; ++i) repair.probeOnce();
+  std::size_t deficit = repair.underReplicatedChunks().size();
+
+  // Degraded baseline: worker down, repair not yet running. Separates the
+  // cost of serving with one replica set lost from the cost of the repair
+  // traffic itself.
+  std::vector<double> degradedUs;
+  for (std::size_t i = 0; i < kQuiescent; ++i)
+    degradedUs.push_back(measure(i));
+
+  std::atomic<bool> repairDone{false};
+  int copied = 0;
+  util::Stopwatch repairWatch;
+  double repairSeconds = 0.0;
+  std::thread repairThread([&] {
+    auto r = repair.repairOnce();
+    repairSeconds = repairWatch.elapsedSeconds();
+    copied = r.isOk() ? *r : -1;
+    repairDone.store(true, std::memory_order_release);
+  });
+  std::vector<double> duringUs;
+  std::size_t qi = 0;
+  while (!repairDone.load(std::memory_order_acquire) ||
+         duringUs.size() < 100) {
+    duringUs.push_back(measure(qi++));
+    if (duringUs.size() > 100'000) break;  // runaway backstop
+  }
+  repairThread.join();
+
+  double qP50 = percentile(quiescentUs, 0.5);
+  double qP99 = percentile(quiescentUs, 0.99);
+  double dP50 = percentile(degradedUs, 0.5);
+  double dP99 = percentile(degradedUs, 0.99);
+  double rP50 = percentile(duringUs, 0.5);
+  double rP99 = percentile(duringUs, 0.99);
+  double ratio = qP50 > 0 ? rP50 / qP50 : 0.0;
+  double chunksPerSec =
+      repairSeconds > 0 ? static_cast<double>(copied) / repairSeconds : 0.0;
+
+  std::printf("\n  %-28s %10s %10s\n", "", "p50 us", "p99 us");
+  std::printf("  %-28s %10.0f %10.0f  (%zu queries)\n", "quiescent", qP50,
+              qP99, quiescentUs.size());
+  std::printf("  %-28s %10.0f %10.0f  (%zu queries)\n", "degraded, no repair",
+              dP50, dP99, degradedUs.size());
+  std::printf("  %-28s %10.0f %10.0f  (%zu queries)\n", "during repair", rP50,
+              rP99, duringUs.size());
+  std::printf("\n");
+  printKeyValue("repair", util::format("%d/%zu chunk replicas in %.2f s "
+                                       "(%.0f chunks/s, budget 1)",
+                                       copied, deficit, repairSeconds,
+                                       chunksPerSec));
+  printKeyValue("latency tax",
+                util::format("p50 %.2fx, p99 %.2fx", ratio,
+                             qP99 > 0 ? rP99 / qP99 : 0.0));
+
+  auto& reg = util::MetricsRegistry::instance();
+  reg.gauge("bench.repair.quiescent_p50_us")
+      .set(static_cast<std::int64_t>(qP50));
+  reg.gauge("bench.repair.quiescent_p99_us")
+      .set(static_cast<std::int64_t>(qP99));
+  reg.gauge("bench.repair.during_p50_us").set(static_cast<std::int64_t>(rP50));
+  reg.gauge("bench.repair.during_p99_us").set(static_cast<std::int64_t>(rP99));
+  reg.gauge("bench.repair.chunks_repaired").set(copied);
+  reg.gauge("bench.repair.chunks_per_sec")
+      .set(static_cast<std::int64_t>(chunksPerSec));
+  reg.gauge("bench.repair.p50_ratio_x100")
+      .set(static_cast<std::int64_t>(ratio * 100));
+
+  int violations = 0;
+  if (copied < 0 || static_cast<std::size_t>(copied) != deficit ||
+      !repair.underReplicatedChunks().empty()) {
+    std::fprintf(stderr, "GATE: repair incomplete (%d of %zu copies)\n",
+                 copied, deficit);
+    ++violations;
+  }
+  if (badQueries > 0) {
+    std::fprintf(stderr, "GATE: %d queries failed or returned wrong rows\n",
+                 badQueries);
+    ++violations;
+  }
+  if (ratio > 1.5) {
+    std::fprintf(stderr,
+                 "GATE: concurrent p50 %.0f us is %.2fx quiescent %.0f us "
+                 "(limit 1.5x)\n",
+                 rP50, ratio, qP50);
+    ++violations;
+  }
+  return violations == 0 ? 0 : 1;
+}

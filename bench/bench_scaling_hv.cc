@@ -7,6 +7,7 @@
 /// execution became more dominated by overhead"; HV2 is approximately flat
 /// (scan-bound weak scaling).
 #include <cstdio>
+#include <cstdlib>
 #include <set>
 
 #include "bench_util.h"
@@ -85,5 +86,42 @@ int main() {
   printKeyValue("batched HV1",
                 "the linear dispatch term collapses to the amortized "
                 "per-batch cost (~0.25 ms/chunk)");
+
+  // DR-scale extrapolation: the same HV1 on an LSST data-release-scale
+  // partitioning (~11x the paper's chunk count). Per-chunk dispatch would
+  // put the master term alone near 2.8 ms x ~100k = ~275 s; batched
+  // dispatch keeps the whole query in the tens of seconds. Override the
+  // geometry with QSERV_HV_DR_STRIPES (0 skips the section).
+  int drStripes = 286;
+  if (const char* env = std::getenv("QSERV_HV_DR_STRIPES")) {
+    drStripes = std::atoi(env);
+  }
+  if (drStripes > 0) {
+    PaperSetupOptions drOpts;
+    drOpts.basePatchObjects = 900;
+    drOpts.numStripes = drStripes;
+    drOpts.numSubStripes = 3;
+    drOpts.dispatchMode = core::DispatchMode::kBatched;
+    PaperSetup dr = makePaperSetup(drOpts);
+    printKeyValue("DR-scale setup",
+                  util::format("%.1f s, %zu chunks (%d stripes)",
+                               dr.setupSeconds, dr.sortedChunks.size(),
+                               drStripes));
+    simio::CostParams params = simio::CostParams::paper150();
+    auto e = runQuery(dr, hv1);
+    auto tasks = virtualTasks(dr, e, params, 150);
+    double v = simio::simulateQuery(tasks, params).elapsedSec();
+    double perChunkMasterSec =
+        params.masterPerChunkOverheadSec *
+        static_cast<double>(dr.sortedChunks.size());
+    printKeyValue(
+        "DR-scale HV1",
+        util::format("batched %.1f virtual s (wall %.0f ms, %.3f ms/chunk "
+                     "amortized); per-chunk master term alone would be "
+                     "%.0f s",
+                     v, e.wallSeconds * 1e3,
+                     (tasks.empty() ? 0.0 : tasks.front().dispatchSec) * 1e3,
+                     perChunkMasterSec));
+  }
   return 0;
 }

@@ -29,6 +29,7 @@ qserv_add_bench(bench_overlap)
 qserv_add_bench(bench_index)
 qserv_add_bench(bench_htm)
 qserv_add_bench(bench_dispatch)
+qserv_add_bench(bench_repair)
 qserv_add_bench(bench_transfer)
 qserv_add_bench(bench_micro)
 qserv_add_bench(bench_filter)
@@ -85,12 +86,21 @@ add_test(NAME perf_smoke_transfer
 set_tests_properties(perf_smoke_transfer PROPERTIES
   LABELS "perf"
   ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_transfer.json")
+# bench_repair gates the self-healing control plane: throttled repair
+# (transfer budget 1) must restore 2x redundancy with concurrent point-query
+# p50 <= 1.5x quiescent, every query correct. Aborts nonzero on violation.
+add_test(NAME perf_smoke_repair
+  CONFIGURATIONS perf
+  COMMAND bench_repair)
+set_tests_properties(perf_smoke_repair PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_repair.json")
 add_custom_target(perf-smoke
   COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
           --output-on-failure
   DEPENDS bench_micro bench_filter bench_spatial_join bench_observability
-          bench_dispatch bench_transfer
+          bench_dispatch bench_transfer bench_repair
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
   COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join + "
-          "bench_observability + bench_dispatch + bench_transfer with "
-          "metrics snapshots")
+          "bench_observability + bench_dispatch + bench_transfer + "
+          "bench_repair with metrics snapshots")

@@ -81,11 +81,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", cluster.status().toString().c_str());
     return 1;
   }
+  if (const char* monitor = std::getenv("QSERV_REPAIR")) {
+    if (std::atoi(monitor) != 0) {
+      (*cluster)->repairController().start();
+      std::printf("repair monitor started: probe every %lld ms, "
+                  "auto-repair %s\n",
+                  static_cast<long long>((*cluster)
+                                             ->repairController()
+                                             .config()
+                                             .probeInterval.count()),
+                  (*cluster)->repairController().config().autoRepair
+                      ? "on"
+                      : "off");
+    }
+  }
   std::printf("qserv ready: %d workers, %zu chunks. Tables: Object, Source. "
               "UDFs: qserv_areaspec_box, qserv_angSep, fluxToAbMag, ...\n"
               "commands: \\chunks \\workers \\metrics \\processlist "
               "\\explain <sql> \\profile <id> \\slowlog [sec] "
-              "\\trace <file> \\quit\n",
+              "\\repair [run|rebalance] \\trace <file> \\quit\n",
               numWorkers, (*cluster)->chunkIds().size());
 
   util::TracePtr lastTrace;
@@ -175,6 +189,34 @@ int main(int argc, char** argv) {
         continue;
       }
       printTable(*rows->result, 50);
+      continue;
+    }
+    if (util::startsWith(trimmed, "\\repair")) {
+      auto& repair = (*cluster)->repairController();
+      std::string arg(util::trim(trimmed.substr(7)));
+      if (arg == "run") {
+        auto copied = repair.repairOnce();
+        if (!copied.isOk()) {
+          std::printf("ERROR: %s\n", copied.status().toString().c_str());
+        } else {
+          std::printf("repair pass: %d chunk replicas created\n", *copied);
+        }
+        continue;
+      }
+      if (arg == "rebalance") {
+        auto moves = repair.rebalanceOnce();
+        if (!moves.isOk()) {
+          std::printf("ERROR: %s\n", moves.status().toString().c_str());
+        } else {
+          std::printf("rebalance pass: %d replicas moved\n", *moves);
+        }
+        continue;
+      }
+      if (!arg.empty()) {
+        std::printf("usage: \\repair [run|rebalance]\n");
+        continue;
+      }
+      std::printf("%s", repair.statusText().c_str());
       continue;
     }
     if (util::startsWith(trimmed, "\\trace")) {

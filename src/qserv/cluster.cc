@@ -96,6 +96,9 @@ std::vector<std::uint64_t> FrontendPool::routedCounts() const {
 }
 
 MiniCluster::~MiniCluster() {
+  // Stop the control plane before tearing workers down: a monitor or repair
+  // thread must not probe/copy against half-destroyed workers.
+  if (repair_) repair_->stop();
   for (auto& w : workers_) {
     if (w) w->shutdown();
   }
@@ -171,6 +174,10 @@ Result<std::unique_ptr<MiniCluster>> MiniCluster::create(
       cluster->options_.frontend, cluster->redirector_, cluster->chunkIds_);
   QSERV_RETURN_IF_ERROR(
       cluster->frontend_->secondaryIndex().load(catalog.index));
+  cluster->repair_ = std::make_unique<RepairController>(
+      cluster->options_.repair, cluster->redirector_,
+      cluster->options_.frontend.catalog);
+  cluster->repair_->attachFrontend(cluster->frontend_.get());
   return cluster;
 }
 

@@ -14,6 +14,7 @@
 #include "datagen/catalog_gen.h"
 #include "datagen/partitioner.h"
 #include "qserv/czar.h"
+#include "qserv/repair_controller.h"
 #include "qserv/worker.h"
 #include "xrd/data_server.h"
 #include "xrd/fault_injector.h"
@@ -53,6 +54,10 @@ struct ClusterOptions {
   std::map<int, xrd::FaultPlan> workerFaults;
   /// Circuit-breaker tuning for the redirector's per-server breakers.
   util::CircuitBreakerPolicy breaker;
+  /// Self-healing control-plane tuning. The controller is always
+  /// constructed (repairController()); its monitor thread only runs after
+  /// an explicit start() — tests drive probeOnce()/repairOnce() directly.
+  RepairConfig repair;
 };
 
 /// §7.6 "Distributed management": "One way to distribute the management
@@ -97,6 +102,9 @@ class MiniCluster {
 
   QservFrontend& frontend() { return *frontend_; }
   xrd::RedirectorPtr redirector() { return redirector_; }
+  /// The self-healing control plane, wired to this cluster's redirector and
+  /// frontend. Not monitoring until start() is called.
+  RepairController& repairController() { return *repair_; }
 
   std::size_t numWorkers() const { return workers_.size(); }
   Worker& worker(std::size_t i) { return *workers_[i]; }
@@ -129,6 +137,7 @@ class MiniCluster {
   std::vector<xrd::DataServerPtr> servers_;
   xrd::RedirectorPtr redirector_;
   std::unique_ptr<QservFrontend> frontend_;
+  std::unique_ptr<RepairController> repair_;
   std::vector<std::int32_t> chunkIds_;
   std::vector<std::vector<std::int32_t>> primaryChunks_;
 };

@@ -69,7 +69,6 @@ QservFrontend::QservFrontend(FrontendConfig config,
                              std::vector<std::int32_t> availableChunks)
     : config_(std::move(config)),
       redirector_(std::move(redirector)),
-      availableChunks_(std::move(availableChunks)),
       metadata_("qservMeta"),
       index_(metadata_),
       chunker_(config_.catalog.makeChunker()),
@@ -84,18 +83,55 @@ QservFrontend::QservFrontend(FrontendConfig config,
                                    config_.dispatchMode,
                                    config_.dispatchStreamWindow}),
       profilingEnabled_(config_.enableProfiling) {
-  std::sort(availableChunks_.begin(), availableChunks_.end());
+  std::sort(availableChunks.begin(), availableChunks.end());
+  availableChunks.erase(
+      std::unique(availableChunks.begin(), availableChunks.end()),
+      availableChunks.end());
+  availableChunks_ =
+      std::make_shared<const std::vector<std::int32_t>>(
+          std::move(availableChunks));
   (void)metadata_.registerTable(
       std::make_shared<sql::Table>("QueryStats", queryStatsSchema()));
 }
 
 void QservFrontend::setAvailableChunks(std::vector<std::int32_t> chunks) {
   std::sort(chunks.begin(), chunks.end());
-  availableChunks_ = std::move(chunks);
+  chunks.erase(std::unique(chunks.begin(), chunks.end()), chunks.end());
+  auto snapshot =
+      std::make_shared<const std::vector<std::int32_t>>(std::move(chunks));
+  std::lock_guard lock(availableMutex_);
+  availableChunks_ = std::move(snapshot);
+}
+
+void QservFrontend::addAvailableChunks(std::span<const std::int32_t> chunks) {
+  if (chunks.empty()) return;
+  std::lock_guard lock(availableMutex_);
+  std::vector<std::int32_t> merged = *availableChunks_;
+  merged.insert(merged.end(), chunks.begin(), chunks.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  availableChunks_ =
+      std::make_shared<const std::vector<std::int32_t>>(std::move(merged));
+}
+
+std::shared_ptr<const std::vector<std::int32_t>>
+QservFrontend::availableChunksSnapshot() const {
+  std::lock_guard lock(availableMutex_);
+  return availableChunks_;
+}
+
+std::vector<std::int32_t> QservFrontend::availableChunks() const {
+  return *availableChunksSnapshot();
 }
 
 std::vector<std::int32_t> QservFrontend::resolveChunks(
     const AnalyzedQuery& analyzed) {
+  // One placement snapshot per query: live-placement publishes (ingest,
+  // repair) swap the snapshot pointer atomically, so a query planned before
+  // the publish keeps the old chunk set end to end and the next query sees
+  // the new one.
+  std::shared_ptr<const std::vector<std::int32_t>> available =
+      availableChunksSnapshot();
   // Index opportunity first: a pinned objectId set touches only the chunks
   // the secondary index names (§5.5).
   if (!analyzed.restrictedObjectIds.empty()) {
@@ -103,8 +139,7 @@ std::vector<std::int32_t> QservFrontend::resolveChunks(
     if (chunks.isOk()) {
       std::vector<std::int32_t> out;
       for (std::int32_t c : *chunks) {
-        if (std::binary_search(availableChunks_.begin(),
-                               availableChunks_.end(), c)) {
+        if (std::binary_search(available->begin(), available->end(), c)) {
           out.push_back(c);
         }
       }
@@ -116,15 +151,14 @@ std::vector<std::int32_t> QservFrontend::resolveChunks(
     std::vector<std::int32_t> out;
     for (std::int32_t c :
          chunker_.chunksIntersecting(*analyzed.areaRestriction)) {
-      if (std::binary_search(availableChunks_.begin(), availableChunks_.end(),
-                             c)) {
+      if (std::binary_search(available->begin(), available->end(), c)) {
         out.push_back(c);
       }
     }
     return out;
   }
   // Otherwise: the full (available) sky.
-  return availableChunks_;
+  return *available;
 }
 
 int QservFrontend::workerIndexOf(const std::string& workerId) {
@@ -353,19 +387,28 @@ void QservFrontend::recordProfile(
           statsRows_.end() - static_cast<std::ptrdiff_t>(
                                  config_.queryStatsHistory));
     }
-    // The registered table may be mid-scan by a concurrent frontend SELECT,
-    // and registered table contents are never mutated (database.h). Publish
-    // the new row by rebuilding a fresh snapshot and atomically swapping it
-    // in; in-flight readers keep their old TablePtr.
-    auto table =
-        std::make_shared<sql::Table>("QueryStats", queryStatsSchema());
-    (void)table->appendRows(statsRows_);
-    (void)metadata_.replaceTable(std::move(table));
+    // Rebuilding the registered snapshot here would copy the whole history
+    // (18 columns x queryStatsHistory rows, SQL text included) on every
+    // query; defer it to flushQueryStats() on the metadata read path.
+    statsDirty_ = true;
   }
   if (config_.slowQuerySeconds > 0.0 &&
       profile->wallSeconds >= config_.slowQuerySeconds) {
     QLOG(kWarn, "slowquery") << profile->toJson();
   }
+}
+
+void QservFrontend::flushQueryStats() {
+  std::lock_guard lock(statsMutex_);
+  if (!statsDirty_) return;
+  // The registered table may be mid-scan by a concurrent frontend SELECT,
+  // and registered table contents are never mutated (database.h). Publish
+  // pending rows by rebuilding a fresh snapshot and atomically swapping it
+  // in; in-flight readers keep their old TablePtr.
+  auto table = std::make_shared<sql::Table>("QueryStats", queryStatsSchema());
+  (void)table->appendRows(statsRows_);
+  (void)metadata_.replaceTable(std::move(table));
+  statsDirty_ = false;
 }
 
 std::shared_ptr<const QueryProfile> QservFrontend::profileFor(
@@ -397,6 +440,7 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
   if (!analyzed.touchesPartitioned()) {
     live.setState("executing on frontend");
     util::ScopedSpan span(trace, "czar", "frontend-execute");
+    flushQueryStats();  // metadata read: publish pending QueryStats rows
     sql::ExecStats stats;
     QSERV_ASSIGN_OR_RETURN(
         exec.result, sql::executeSelect(metadata_, analyzed.stmt, stats));

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -158,17 +159,26 @@ class QservFrontend {
   util::Result<std::vector<std::int32_t>> chunksFor(const std::string& sql);
 
   SecondaryIndex& secondaryIndex() { return index_; }
-  sql::Database& metadata() { return metadata_; }
+  sql::Database& metadata() {
+    flushQueryStats();  // direct readers see current QueryStats rows
+    return metadata_;
+  }
   const CatalogConfig& catalog() const { return config_.catalog; }
   const simio::CostParams& costParams() const { return config_.cost; }
 
   /// Restrict dispatch to \p chunks (the paper's §6.3 cluster-size
   /// emulation: "the frontend was configured to only dispatch queries for
-  /// partitions belonging to the desired set of cluster nodes").
+  /// partitions belonging to the desired set of cluster nodes"). Thread-safe
+  /// against concurrent query(): the chunk set is an immutable snapshot
+  /// swapped atomically, so each query resolves against exactly one
+  /// placement version.
   void setAvailableChunks(std::vector<std::int32_t> chunks);
-  const std::vector<std::int32_t>& availableChunks() const {
-    return availableChunks_;
-  }
+
+  /// Merge newly ingested chunks into the dispatchable set (live placement:
+  /// in-flight queries keep the snapshot they already resolved).
+  void addAvailableChunks(std::span<const std::int32_t> chunks);
+
+  std::vector<std::int32_t> availableChunks() const;
 
  private:
   /// Live bookkeeping for one executing query (backs processList()).
@@ -188,6 +198,8 @@ class QservFrontend {
   };
 
   std::vector<std::int32_t> resolveChunks(const AnalyzedQuery& analyzed);
+  std::shared_ptr<const std::vector<std::int32_t>> availableChunksSnapshot()
+      const;
   int workerIndexOf(const std::string& workerId);
 
   /// EXPLAIN's one-line description of how \p specs would be dispatched
@@ -200,10 +212,16 @@ class QservFrontend {
                                        bool forceProfile);
   /// Plan-only EXPLAIN: analyze, prune, rewrite — never dispatch.
   util::Result<Execution> explainOnly(const sql::SelectStmt& stmt);
-  /// Retain \p profile, publish a fresh QueryStats snapshot table holding
-  /// its summary row (bounded by queryStatsHistory), and emit the
-  /// slow-query log line when over threshold.
+  /// Retain \p profile, append its summary row to the QueryStats buffer
+  /// (bounded by queryStatsHistory), and emit the slow-query log line when
+  /// over threshold. The registered table snapshot is rebuilt lazily by
+  /// flushQueryStats() — a per-query rebuild would cost O(history) on the
+  /// hot path.
   void recordProfile(const std::shared_ptr<const QueryProfile>& profile);
+  /// Publish pending statsRows_ as a fresh QueryStats snapshot table (no-op
+  /// when nothing changed since the last flush). Called before any frontend
+  /// read of the metadata DB so readers always see current rows.
+  void flushQueryStats();
 
   /// The body of query(); \p live and \p trace are registered by query().
   util::Result<Execution> runQuery(const std::string& sql, LiveQuery& live,
@@ -215,7 +233,10 @@ class QservFrontend {
 
   FrontendConfig config_;
   xrd::RedirectorPtr redirector_;
-  std::vector<std::int32_t> availableChunks_;
+  /// Immutable dispatchable-chunk snapshot; the pointer (not the vector) is
+  /// swapped under availableMutex_ on placement changes.
+  mutable std::mutex availableMutex_;
+  std::shared_ptr<const std::vector<std::int32_t>> availableChunks_;
   sql::Database metadata_;
   SecondaryIndex index_;
   sphgeom::Chunker chunker_;
@@ -236,10 +257,13 @@ class QservFrontend {
   /// QueryStats rows, oldest first (bounded by queryStatsHistory). The
   /// registered "QueryStats" table is never mutated in place — database.h's
   /// contents-are-append-only invariant — so concurrent frontend SELECTs
-  /// can scan it freely; recordProfile() rebuilds a fresh snapshot from
-  /// these rows and atomically swaps it in (Database::replaceTable).
+  /// can scan it freely; flushQueryStats() rebuilds a fresh snapshot from
+  /// these rows and atomically swaps it in (Database::replaceTable), but
+  /// only when a metadata read needs it (statsDirty_), keeping the
+  /// per-query cost of recordProfile() O(1).
   std::mutex statsMutex_;
   std::vector<std::vector<sql::Value>> statsRows_;
+  bool statsDirty_ = false;
 };
 
 }  // namespace qserv::core

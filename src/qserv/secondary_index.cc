@@ -20,12 +20,21 @@ util::Status SecondaryIndex::load(
     std::span<const datagen::SecondaryIndexEntry> entries) {
   sql::TablePtr table = metadata_.findTable(kTableName);
   if (!table) return util::Status::internal("ObjectIndex table missing");
+  // Incremental loads happen while the frontend serves queries (the ingest
+  // path), and concurrent lookups scan the registered table — so never
+  // mutate it in place. Build a fresh snapshot (old rows + new entries) and
+  // swap it in atomically; replaceTable rebuilds the objectId index over
+  // the new contents.
+  auto next = std::make_shared<sql::Table>(kTableName, table->schema());
+  QSERV_RETURN_IF_ERROR(next->appendFrom(*table));
   for (const auto& e : entries) {
-    QSERV_RETURN_IF_ERROR(table->appendRow(std::vector<sql::Value>{
+    QSERV_RETURN_IF_ERROR(next->appendRow(std::vector<sql::Value>{
         sql::Value(e.objectId), sql::Value(static_cast<std::int64_t>(e.chunkId)),
         sql::Value(static_cast<std::int64_t>(e.subChunkId))}));
   }
-  // (Re)build the index so lookups are probes, not scans.
+  QSERV_RETURN_IF_ERROR(metadata_.replaceTable(std::move(next)));
+  // (Re)build the index so lookups are probes, not scans (the first load
+  // creates it; replaceTable keeps it fresh on later loads).
   QSERV_RETURN_IF_ERROR(metadata_.createIndex(kTableName, "objectId"));
   return util::Status::ok();
 }

@@ -31,6 +31,9 @@ struct WorkerMetrics {
   util::Counter& taskFailures;
   util::Counter& batchesReceived;
   util::Counter& batchChunksSkipped;
+  util::Counter& chunksInstalled;
+  util::Counter& chunksDropped;
+  util::Counter& snapshotsServed;
   util::Counter& subchunkBuilds;
   util::Counter& subchunkDrops;
   util::Counter& vectorizedScans;
@@ -56,6 +59,9 @@ struct WorkerMetrics {
         reg.counter("worker.task_failures"),
         reg.counter("worker.batches_received"),
         reg.counter("worker.batch_chunks_skipped"),
+        reg.counter("worker.chunks_installed"),
+        reg.counter("worker.chunks_dropped"),
+        reg.counter("worker.snapshots_served"),
         reg.counter("worker.subchunk_builds"),
         reg.counter("worker.subchunk_drops"),
         reg.counter("worker.vectorized_scans"),
@@ -127,6 +133,35 @@ void Worker::shutdown() {
   results_.abortAll();
 }
 
+std::vector<std::int32_t> Worker::exportedChunks() const {
+  std::lock_guard lock(exportsMutex_);
+  return exportedChunks_;
+}
+
+bool Worker::exportsChunk(std::int32_t chunkId) const {
+  std::lock_guard lock(exportsMutex_);
+  return std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
+                            chunkId);
+}
+
+void Worker::addExport(std::int32_t chunkId) {
+  std::lock_guard lock(exportsMutex_);
+  auto it = std::lower_bound(exportedChunks_.begin(), exportedChunks_.end(),
+                             chunkId);
+  if (it == exportedChunks_.end() || *it != chunkId) {
+    exportedChunks_.insert(it, chunkId);
+  }
+}
+
+void Worker::removeExport(std::int32_t chunkId) {
+  std::lock_guard lock(exportsMutex_);
+  auto it = std::lower_bound(exportedChunks_.begin(), exportedChunks_.end(),
+                             chunkId);
+  if (it != exportedChunks_.end() && *it == chunkId) {
+    exportedChunks_.erase(it);
+  }
+}
+
 Status Worker::writeFile(const std::string& path, std::string payload) {
   if (auto batchId = xrd::parseBatchPath(path)) {
     return enqueueBatch(*batchId, std::move(payload));
@@ -135,13 +170,20 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
     abandonBatch(*batchId);
     return Status::ok();
   }
+  if (auto loadId = xrd::parseChunkLoadPath(path)) {
+    return installChunk(*loadId, payload);
+  }
+  if (auto dropId = xrd::parseChunkDropPath(path)) {
+    return dropChunk(*dropId);
+  }
   auto chunkId = xrd::parseQueryPath(path);
   if (!chunkId) {
     return Status::invalidArgument(
-        "worker only accepts /query2, /batch and /bcancel writes: " + path);
+        "worker only accepts /query2, /batch, /bcancel, /chunkload and "
+        "/chunkdrop writes: " +
+        path);
   }
-  if (!std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
-                          *chunkId)) {
+  if (!exportsChunk(*chunkId)) {
     return Status::notFound(util::format("worker %s does not export chunk %d",
                                          id_.c_str(), *chunkId));
   }
@@ -170,8 +212,7 @@ Status Worker::enqueueBatch(const std::string& batchId, std::string payload) {
   auto request = decodeBatchRequest(payload);
   if (!request.isOk()) return request.status();
   for (const BatchChunkRequest& chunk : request->chunks) {
-    if (!std::binary_search(exportedChunks_.begin(), exportedChunks_.end(),
-                            chunk.chunkId)) {
+    if (!exportsChunk(chunk.chunkId)) {
       // Reject the whole batch: the master's placement was stale, and the
       // per-chunk fallback path re-locates each chunk individually.
       return Status::notFound(util::format(
@@ -275,6 +316,10 @@ Result<std::string> Worker::readFile(const std::string& path) {
 
 Result<std::string> Worker::readFile(const std::string& path,
                                      const util::Deadline& deadline) {
+  if (path == xrd::kPingPath) return pingPayload();
+  if (auto chunkId = xrd::parseChunkPath(path)) {
+    return snapshotChunk(*chunkId);
+  }
   auto hash = xrd::parseResultPath(path);
   if (!hash) hash = xrd::parseBatchStreamPath(path);
   if (!hash) {
@@ -292,6 +337,110 @@ Result<std::string> Worker::readFile(const std::string& path,
                                          std::chrono::milliseconds(1)));
   }
   return results_.waitFor(path, timeout);
+}
+
+std::string Worker::pingPayload() const {
+  std::size_t chunks;
+  {
+    std::lock_guard lock(exportsMutex_);
+    chunks = exportedChunks_.size();
+  }
+  return util::format("pong id=%s queue=%zu chunks=%zu\n", id_.c_str(),
+                      queuedTasks(), chunks);
+}
+
+Result<std::string> Worker::snapshotChunk(std::int32_t chunkId) const {
+  if (!exportsChunk(chunkId)) {
+    return Status::notFound(util::format("worker %s does not export chunk %d",
+                                         id_.c_str(), chunkId));
+  }
+  // One replayable script covering every table of the chunk (chunk table +
+  // overlap companion per catalog table), sealed with the same -- QSERV-MD5
+  // trailer result dumps carry so the copy destination verifies integrity
+  // before replaying a single statement.
+  std::string script = util::format("-- qserv-chunk v1 %d\n", chunkId);
+  bool any = false;
+  for (const auto& table : catalog_.tables) {
+    std::string chunkTable = datagen::chunkTableName(table.name, chunkId);
+    if (sql::TablePtr t = db_->findTable(chunkTable)) {
+      script += sql::dumpTable(*t, chunkTable);
+      any = true;
+    }
+    std::string overlapTable = datagen::overlapTableName(table.name, chunkId);
+    if (sql::TablePtr t = db_->findTable(overlapTable)) {
+      script += sql::dumpTable(*t, overlapTable);
+    }
+  }
+  if (!any) {
+    return Status::internal(util::format(
+        "worker %s exports chunk %d but holds none of its tables",
+        id_.c_str(), chunkId));
+  }
+  appendDumpChecksum(script);
+  WorkerMetrics::instance().snapshotsServed.add();
+  return script;
+}
+
+Status Worker::installChunk(std::int32_t chunkId,
+                            const std::string& snapshot) {
+  QSERV_RETURN_IF_ERROR(verifyDumpChecksum(snapshot));
+  {
+    std::lock_guard lock(queueMutex_);
+    if (shuttingDown_) {
+      return Status::unavailable("worker " + id_ + " is shutting down");
+    }
+  }
+  // Replay the dump into a staging database: parsing and loading a
+  // multi-thousand-row script under db_'s exclusive lock would stall every
+  // concurrent chunk query on this worker for the whole replay. Staging
+  // keeps db_'s lock hold to the per-table snapshot swaps below.
+  sql::Database staging(id_ + "-chunkload");
+  auto replayed = staging.executeScript(snapshot);
+  if (!replayed.isOk()) return replayed.status();
+  for (const auto& name : staging.tableNames()) {
+    QSERV_RETURN_IF_ERROR(db_->replaceTable(staging.findTable(name)));
+  }
+  // Index the loaded tables exactly as initial placement does: the chunk
+  // table by its id column (paper §5.5) and by subChunkId (on-the-fly
+  // subchunk builds probe it instead of scanning the chunk).
+  for (const auto& table : catalog_.tables) {
+    std::string chunkTable = datagen::chunkTableName(table.name, chunkId);
+    sql::TablePtr t = db_->findTable(chunkTable);
+    if (!t) continue;
+    std::string idColumn =
+        table.idColumn.empty() ? "objectId" : table.idColumn;
+    if (t->schema().indexOf(idColumn)) {
+      QSERV_RETURN_IF_ERROR(db_->createIndex(chunkTable, idColumn));
+    }
+    if (t->schema().indexOf("subChunkId")) {
+      QSERV_RETURN_IF_ERROR(db_->createIndex(chunkTable, "subChunkId"));
+    }
+  }
+  addExport(chunkId);
+  WorkerMetrics::instance().chunksInstalled.add();
+  QLOG(kInfo, "worker") << id_ << " installed chunk " << chunkId;
+  return Status::ok();
+}
+
+Status Worker::dropChunk(std::int32_t chunkId) {
+  // Stop exporting first: new chunk queries for this chunk are refused
+  // (and re-located by the dispatcher) before any table disappears.
+  removeExport(chunkId);
+  bool dropped = false;
+  for (const auto& table : catalog_.tables) {
+    std::string chunkTable = datagen::chunkTableName(table.name, chunkId);
+    if (db_->hasTable(chunkTable)) {
+      QSERV_RETURN_IF_ERROR(db_->dropTable(chunkTable, /*ifExists=*/true));
+      dropped = true;
+    }
+    std::string overlapTable = datagen::overlapTableName(table.name, chunkId);
+    QSERV_RETURN_IF_ERROR(db_->dropTable(overlapTable, /*ifExists=*/true));
+  }
+  if (dropped) {
+    WorkerMetrics::instance().chunksDropped.add();
+    QLOG(kInfo, "worker") << id_ << " dropped chunk " << chunkId;
+  }
+  return Status::ok();
 }
 
 std::optional<simio::WorkObservables> Worker::observablesFor(

@@ -77,15 +77,21 @@ class Worker : public xrd::OfsPlugin {
   sql::Database& database() { return *db_; }
 
   // --- OfsPlugin -----------------------------------------------------------
+  /// Accepts /query2 and /batch chunk-query writes plus the control-plane
+  /// writes /chunkload/<id> (install a self-verifying chunk snapshot as a
+  /// new replica) and /chunkdrop/<id> (retire this worker's replica).
   util::Status writeFile(const std::string& path, std::string payload) override;
   util::Result<std::string> readFile(const std::string& path) override;
   /// Deadline-bounded result read: the blocking wait for the dump gives up
-  /// at min(configured result timeout, caller's deadline).
+  /// at min(configured result timeout, caller's deadline). /ping reads
+  /// answer immediately with a liveness/load line; /chunk/<id> reads return
+  /// a checksummed snapshot of the chunk's tables for worker-to-worker copy.
   util::Result<std::string> readFile(const std::string& path,
                                      const util::Deadline& deadline) override;
-  std::vector<std::int32_t> exportedChunks() const override {
-    return exportedChunks_;
-  }
+  std::vector<std::int32_t> exportedChunks() const override;
+
+  /// Does this worker currently export \p chunkId?
+  bool exportsChunk(std::int32_t chunkId) const;
 
   /// Work observables recorded for a finished chunk query (by result hash),
   /// at paper scale. Used by benches feeding the queue simulation.
@@ -140,6 +146,20 @@ class Worker : public xrd::OfsPlugin {
   /// batch and, when abandoned, drops its unread frames.
   void finishBatchChunk(const std::shared_ptr<BatchStream>& stream);
 
+  /// Serve a /ping read: "pong id=<id> queue=<depth> chunks=<count>\n".
+  std::string pingPayload() const;
+  /// Serialize chunk \p chunkId's tables (chunk, overlap, sources) as one
+  /// replayable SQL script ending in a -- QSERV-MD5 trailer.
+  util::Result<std::string> snapshotChunk(std::int32_t chunkId) const;
+  /// Verify and replay a chunk snapshot, index the loaded tables exactly as
+  /// initial placement does, then start exporting the chunk.
+  util::Status installChunk(std::int32_t chunkId, const std::string& snapshot);
+  /// Stop exporting \p chunkId, then drop its tables.
+  util::Status dropChunk(std::int32_t chunkId);
+
+  void addExport(std::int32_t chunkId);
+  void removeExport(std::int32_t chunkId);
+
   /// Parse the `-- SUBCHUNKS:` header from the payload's leading comment
   /// lines; empty when absent.
   static std::vector<std::int32_t> parseSubchunksHeader(
@@ -175,6 +195,9 @@ class Worker : public xrd::OfsPlugin {
 
   const CatalogConfig& catalog_;
   sphgeom::Chunker chunker_;
+  /// Sorted; guarded by exportsMutex_ now that the control plane installs
+  /// and drops replicas while chunk queries keep arriving.
+  mutable std::mutex exportsMutex_;
   std::vector<std::int32_t> exportedChunks_;
   WorkerConfig config_;
 

@@ -6,6 +6,25 @@
 
 namespace qserv::xrd {
 
+namespace {
+
+/// Shared shape of every chunk-addressed path kind: prefix + decimal id.
+std::optional<std::int32_t> parseIdPath(std::string_view path,
+                                        std::string_view prefix) {
+  if (!util::startsWith(path, prefix)) return std::nullopt;
+  std::string_view rest = path.substr(prefix.size());
+  if (rest.empty() || rest.size() > 10) return std::nullopt;
+  std::int64_t value = 0;
+  for (char c : rest) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
+    value = value * 10 + (c - '0');
+  }
+  if (value > INT32_MAX) return std::nullopt;
+  return static_cast<std::int32_t>(value);
+}
+
+}  // namespace
+
 std::string makeQueryPath(std::int32_t chunkId) {
   return std::string(kQueryPrefix) + std::to_string(chunkId);
 }
@@ -15,16 +34,31 @@ std::string makeResultPath(std::string_view md5Hex) {
 }
 
 std::optional<std::int32_t> parseQueryPath(std::string_view path) {
-  if (!util::startsWith(path, kQueryPrefix)) return std::nullopt;
-  std::string_view rest = path.substr(kQueryPrefix.size());
-  if (rest.empty() || rest.size() > 10) return std::nullopt;
-  std::int64_t value = 0;
-  for (char c : rest) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return std::nullopt;
-    value = value * 10 + (c - '0');
-  }
-  if (value > INT32_MAX) return std::nullopt;
-  return static_cast<std::int32_t>(value);
+  return parseIdPath(path, kQueryPrefix);
+}
+
+std::string makeChunkPath(std::int32_t chunkId) {
+  return std::string(kChunkPrefix) + std::to_string(chunkId);
+}
+
+std::string makeChunkLoadPath(std::int32_t chunkId) {
+  return std::string(kChunkLoadPrefix) + std::to_string(chunkId);
+}
+
+std::string makeChunkDropPath(std::int32_t chunkId) {
+  return std::string(kChunkDropPrefix) + std::to_string(chunkId);
+}
+
+std::optional<std::int32_t> parseChunkPath(std::string_view path) {
+  return parseIdPath(path, kChunkPrefix);
+}
+
+std::optional<std::int32_t> parseChunkLoadPath(std::string_view path) {
+  return parseIdPath(path, kChunkLoadPrefix);
+}
+
+std::optional<std::int32_t> parseChunkDropPath(std::string_view path) {
+  return parseIdPath(path, kChunkDropPrefix);
 }
 
 namespace {

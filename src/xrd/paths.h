@@ -11,6 +11,14 @@
 ///   /batch/<batchId>    one write carries a whole chunk list for one worker
 ///   /bstream/<batchId>  per-chunk result frames stream back over this path
 ///   /bcancel/<batchId>  the master abandons the batch (stops the stream)
+///
+/// The replication control plane adds four administrative path kinds, served
+/// by the same data servers so fault injection and liveness apply to repair
+/// traffic exactly as to query traffic:
+///   /ping                health probe; read returns a liveness/load line
+///   /chunk/<chunkId>     read a self-verifying snapshot of one chunk's tables
+///   /chunkload/<chunkId> write a snapshot to install the chunk (new replica)
+///   /chunkdrop/<chunkId> write to drop the chunk's replica (rebalance source)
 #pragma once
 
 #include <cstdint>
@@ -25,6 +33,10 @@ inline constexpr std::string_view kResultPrefix = "/result/";
 inline constexpr std::string_view kBatchPrefix = "/batch/";
 inline constexpr std::string_view kBatchStreamPrefix = "/bstream/";
 inline constexpr std::string_view kBatchCancelPrefix = "/bcancel/";
+inline constexpr std::string_view kPingPath = "/ping";
+inline constexpr std::string_view kChunkPrefix = "/chunk/";
+inline constexpr std::string_view kChunkLoadPrefix = "/chunkload/";
+inline constexpr std::string_view kChunkDropPrefix = "/chunkdrop/";
 
 /// "/query2/<chunkId>".
 std::string makeQueryPath(std::int32_t chunkId);
@@ -55,5 +67,23 @@ std::optional<std::string> parseBatchStreamPath(std::string_view path);
 
 /// Batch id from a batch-cancel path, or nullopt if \p path is not one.
 std::optional<std::string> parseBatchCancelPath(std::string_view path);
+
+/// "/chunk/<chunkId>" — chunk-snapshot read (replica copy source).
+std::string makeChunkPath(std::int32_t chunkId);
+
+/// "/chunkload/<chunkId>" — chunk-snapshot install write (new replica).
+std::string makeChunkLoadPath(std::int32_t chunkId);
+
+/// "/chunkdrop/<chunkId>" — replica drop write (rebalance source side).
+std::string makeChunkDropPath(std::int32_t chunkId);
+
+/// Chunk id from a chunk-snapshot path, or nullopt if \p path is not one.
+std::optional<std::int32_t> parseChunkPath(std::string_view path);
+
+/// Chunk id from a chunk-load path, or nullopt if \p path is not one.
+std::optional<std::int32_t> parseChunkLoadPath(std::string_view path);
+
+/// Chunk id from a chunk-drop path, or nullopt if \p path is not one.
+std::optional<std::int32_t> parseChunkDropPath(std::string_view path);
 
 }  // namespace qserv::xrd

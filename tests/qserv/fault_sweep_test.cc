@@ -7,12 +7,15 @@
 /// failure here replays exactly.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qserv/cluster.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/strings.h"
 
 namespace qserv::core {
 namespace {
@@ -126,6 +129,103 @@ TEST(FaultSweep, EveryQueryCorrectOrCleanlyErrored) {
   // Corruption was caught at the checksum, and nothing corrupt was merged.
   EXPECT_GT(delta("dispatch.checksum_mismatches"), 0u);
   EXPECT_EQ(delta("merger.checksum_rejects"), 0u);
+}
+
+// Down/revive churn with the self-healing controller in charge: workers die
+// and come back round after round (on top of a transient-fault background)
+// while the monitor thread detects, quarantines, re-replicates, and
+// re-admits. The invariant is unchanged: every query returns the fault-free
+// answer or a clean aggregated error — and the controller must keep the
+// cluster at full redundancy whenever the dust settles.
+TEST(FaultSweep, DownReviveChurnWithControllerRunning) {
+  CatalogConfig catalog = CatalogConfig::lsst(18, 6, 0.05);
+  SkyDataOptions skyOpts;
+  skyOpts.basePatchObjects = 400;
+  skyOpts.withSources = false;
+  skyOpts.region = sphgeom::SphericalBox(0, -7, 14, 7);
+  auto sky = buildSkyCatalog(catalog, skyOpts);
+  ASSERT_TRUE(sky.isOk()) << sky.status().toString();
+
+  std::int64_t oracle = 0;
+  {
+    ClusterOptions clean;
+    clean.frontend.catalog = catalog;
+    clean.numWorkers = 3;
+    auto cluster = MiniCluster::create(clean, *sky);
+    ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+    auto r = (*cluster)->frontend().query("SELECT COUNT(*) FROM Object");
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    oracle = r->result->cell(0, 0).asInt();
+  }
+
+  ClusterOptions opts;
+  opts.frontend.catalog = catalog;
+  opts.numWorkers = 3;
+  opts.replication = 2;
+  opts.frontend.dispatchMaxAttempts = 6;
+  opts.frontend.dispatchBackoff.base = std::chrono::microseconds(500);
+  opts.frontend.dispatchBackoff.cap = std::chrono::microseconds(5'000);
+  opts.frontend.queryDeadlineSeconds = 30.0;
+  opts.repair.probeInterval = std::chrono::milliseconds(5);
+  opts.repair.copyBackoff.base = std::chrono::microseconds(500);
+  opts.repair.copyBackoff.cap = std::chrono::microseconds(5'000);
+  auto plan = xrd::FaultPlan::parse("seed=20260808; write:p=0.02,fail");
+  ASSERT_TRUE(plan.isOk()) << plan.status().toString();
+  opts.faults = *plan;
+  auto cluster = MiniCluster::create(opts, *sky);
+  ASSERT_TRUE(cluster.isOk()) << cluster.status().toString();
+  auto& repair = (*cluster)->repairController();
+  repair.start();
+
+  int okCount = 0, errCount = 0;
+  constexpr int kRounds = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    // Kill a rotating victim, query through the outage, then revive it.
+    std::size_t victim = static_cast<std::size_t>(round) % 3;
+    (*cluster)->server(victim).setUp(false);
+    for (int q = 0; q < 3; ++q) {
+      util::Stopwatch watch;
+      auto r = (*cluster)->frontend().query("SELECT COUNT(*) FROM Object");
+      EXPECT_LT(watch.elapsedSeconds(), 30.0);
+      if (!r.isOk()) {
+        ++errCount;
+        auto code = r.status().code();
+        EXPECT_TRUE(code == util::ErrorCode::kUnavailable ||
+                    code == util::ErrorCode::kDataLoss ||
+                    code == util::ErrorCode::kInternal ||
+                    code == util::ErrorCode::kDeadlineExceeded)
+            << r.status().toString();
+        continue;
+      }
+      ++okCount;
+      EXPECT_EQ(r->result->cell(0, 0).asInt(), oracle);
+    }
+    (*cluster)->server(victim).setUp(true);
+    // Let the monitor observe the revival before the next round claims a
+    // different victim (two dead workers would drop chunks to 0 replicas).
+    std::string id = util::format("w%zu", victim);
+    util::Stopwatch watch;
+    while (repair.health(id) != RepairController::WorkerHealth::kUp &&
+           watch.elapsedSeconds() < 10.0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(repair.health(id), RepairController::WorkerHealth::kUp);
+  }
+
+  // Give auto-repair a bounded window to finish any in-flight healing.
+  util::Stopwatch settle;
+  while (!repair.underReplicatedChunks().empty() &&
+         settle.elapsedSeconds() < 20.0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  repair.stop();
+  EXPECT_TRUE(repair.underReplicatedChunks().empty()) << repair.statusText();
+  EXPECT_GT(okCount, errCount);
+  EXPECT_EQ(okCount + errCount, kRounds * 3);
+
+  auto r = (*cluster)->frontend().query("SELECT COUNT(*) FROM Object");
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  EXPECT_EQ(r->result->cell(0, 0).asInt(), oracle);
 }
 
 }  // namespace
