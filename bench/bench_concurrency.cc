@@ -8,9 +8,12 @@
 /// We reproduce the four streams through the real system and feed all
 /// queries into ONE joint queue simulation so they interact exactly as the
 /// paper describes (FIFO, no concept of query cost).
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
+#include "util/metrics.h"
 
 int main() {
   using namespace qserv;
@@ -102,5 +105,55 @@ int main() {
                 util::format("%.1f s -> %.1f s (paper: early queries stuck "
                              "in queues, later ones faster)",
                              firstLv, lastLv));
+
+  // ---- §4.3 scheduler ablation: the same joint workload with the worker
+  // priority lane on. Interactive (LV) tasks claim freed slots ahead of
+  // queued scan tasks, so the Fig 14 convoy disappears; the HV2 scans keep
+  // their FIFO-era times (the lane must not starve them).
+  double soloLv = simio::simulateQueries({queries[2]}, params)[0].elapsedSec();
+  auto lvP50 = [](const std::vector<simio::SimQueryResult>& rs) {
+    std::vector<double> lv;
+    for (std::size_t i = 2; i < rs.size(); ++i) {
+      lv.push_back(rs[i].elapsedSec());
+    }
+    std::sort(lv.begin(), lv.end());
+    return lv[lv.size() / 2];
+  };
+  double fifoP50 = lvP50(results);
+  simio::CostParams laneParams = params;
+  laneParams.workerPriorityLane = true;
+  auto laneResults = simio::simulateQueries(queries, laneParams);
+  double laneP50 = lvP50(laneResults);
+
+  std::printf("\n");
+  printKeyValue("LV p50 solo", util::format("%.1f s", soloLv));
+  printKeyValue("LV p50 FIFO",
+                util::format("%.1f s (%.2fx solo)", fifoP50, fifoP50 / soloLv));
+  printKeyValue("LV p50 priority lane",
+                util::format("%.1f s (%.2fx solo)", laneP50, laneP50 / soloLv));
+  printKeyValue("HV2 under lane",
+                util::format("%.0f s / %.0f s (%.2fx / %.2fx solo)",
+                             laneResults[0].elapsedSec(),
+                             laneResults[1].elapsedSec(),
+                             laneResults[0].elapsedSec() / hv2Solo,
+                             laneResults[1].elapsedSec() / hv2Solo));
+
+  auto& reg = util::MetricsRegistry::instance();
+  reg.gauge("bench.concurrency.lv_p50_solo_ms")
+      .set(static_cast<std::int64_t>(soloLv * 1e3));
+  reg.gauge("bench.concurrency.lv_p50_fifo_ms")
+      .set(static_cast<std::int64_t>(fifoP50 * 1e3));
+  reg.gauge("bench.concurrency.lv_p50_lane_ms")
+      .set(static_cast<std::int64_t>(laneP50 * 1e3));
+
+  // Perf gate: with the priority lane, interactive latency under two
+  // concurrent full scans stays within 1.5x of its solo latency.
+  if (laneP50 > 1.5 * soloLv) {
+    std::fprintf(stderr,
+                 "GATE FAILED: priority-lane LV p50 %.1f s > 1.5x solo "
+                 "%.1f s\n",
+                 laneP50, soloLv);
+    return 1;
+  }
   return 0;
 }

@@ -9,10 +9,12 @@
 /// times. With sharing, co-queued tasks on the same chunk ride one disk
 /// pass, so "results from many full-scan queries can be returned in little
 /// more than the time for a single full-scan query".
+#include <algorithm>
 #include <cstdio>
 #include <thread>
 
 #include "bench_util.h"
+#include "util/metrics.h"
 
 namespace {
 
@@ -22,6 +24,7 @@ using namespace qserv::bench;
 struct ScenarioResult {
   double q1Sec = 0, q2Sec = 0;
   double sharedFraction = 0;  // tasks that paid no scan I/O
+  double bytesScanned = 0;    // paper-scale bytes both scans paid together
 };
 
 ScenarioResult runScenario(core::SchedulerMode mode) {
@@ -32,9 +35,16 @@ ScenarioResult runScenario(core::SchedulerMode mode) {
   // scheduler's grouping opportunity (real shared scanning holds scan
   // queries for the duration of a table pass).
   opts.objectRegion = sphgeom::SphericalBox(0, -16, 30, 12);
-  opts.dispatchParallelism = 256;
+  // Batched dispatch stages every chunk task at batch-write time; per-chunk
+  // dispatch would cap staged tasks at the dispatcher's in-flight slots and
+  // the two scans could never fully co-queue.
+  opts.dispatchMode = core::DispatchMode::kBatched;
   opts.workerConfig.scheduler = mode;
   opts.workerConfig.slots = 2;
+  // This ablation measures pure same-chunk sharing; keep the slow-scan
+  // eviction out of it (tier splits would break grouping on timing noise —
+  // the eviction path has its own unit tests).
+  opts.workerConfig.slowScanFactor = 0.0;
   // Stage both scans' chunk tasks in the worker queues before any executes
   // (real shared scanning likewise batches scan queries against the next
   // pass over the table).
@@ -45,12 +55,17 @@ ScenarioResult runScenario(core::SchedulerMode mode) {
       "SELECT objectId, ra_PS, decl_PS FROM Object "
       "WHERE fluxToAbMag(iFlux_PS) - fluxToAbMag(zFlux_PS) > 4";
 
-  // Submit both scans concurrently so their chunk tasks co-queue.
+  // Submit both scans concurrently so their chunk tasks co-queue. Both
+  // predicates are flux expressions: zone maps cannot prune them, so each
+  // is a genuine full pass over every chunk (a plain range predicate like
+  // `uRadius_PS > 0.2` is zone-pruned to zero I/O and would measure
+  // nothing).
   core::QservFrontend::Execution e1, e2;
   std::thread t1([&] { e1 = runQuery(setup, hv2); });
   std::thread t2([&] {
     e2 = runQuery(setup, "SELECT objectId, ra_PS, decl_PS FROM Object "
-                         "WHERE uRadius_PS > 0.2");
+                         "WHERE fluxToAbMag(gFlux_PS) - "
+                         "fluxToAbMag(rFlux_PS) > 0.8");
   });
   // Let both dispatchers enqueue everything, then open the floodgates.
   std::this_thread::sleep_for(std::chrono::milliseconds(1500));
@@ -76,6 +91,7 @@ ScenarioResult runScenario(core::SchedulerMode mode) {
     for (const auto& a : e->accounting) {
       ++total;
       if (a.observables.bytesScanned == 0) ++freeRides;
+      out.bytesScanned += a.observables.bytesScanned;
     }
   }
   out.sharedFraction = total ? static_cast<double>(freeRides) / total : 0;
@@ -104,7 +120,45 @@ int main() {
                              shared.q1Sec, shared.q2Sec,
                              shared.sharedFraction * 100));
 
-  double gain = (fifo.q1Sec + fifo.q2Sec) / (shared.q1Sec + shared.q2Sec);
-  printKeyValue("combined speedup", util::format("%.2fx", gain));
+  // Makespan: when do BOTH scans have their answers? (§4.3: "results from
+  // many full-scan queries can be returned in little more than the time for
+  // a single full-scan query" — the per-query sum is the wrong statistic,
+  // since FIFO drains one staged scan before the other even starts.)
+  double gain = std::max(fifo.q1Sec, fifo.q2Sec) /
+                std::max(shared.q1Sec, shared.q2Sec);
+  printKeyValue("both-scans makespan",
+                util::format("FIFO %.0f s, shared %.0f s: %.2fx faster",
+                             std::max(fifo.q1Sec, fifo.q2Sec),
+                             std::max(shared.q1Sec, shared.q2Sec), gain));
+
+  // Under FIFO both scans pay the full table, so half the FIFO total is the
+  // single-scan byte baseline; shared scanning must bring BOTH scans in
+  // near that one pass.
+  double singlePass = fifo.bytesScanned / 2.0;
+  printKeyValue("bytes scanned",
+                util::format("FIFO %.1f GB, shared %.1f GB (1 pass = %.1f "
+                             "GB): %.2fx of a single pass",
+                             fifo.bytesScanned / 1e9,
+                             shared.bytesScanned / 1e9, singlePass / 1e9,
+                             shared.bytesScanned / singlePass));
+
+  auto& reg = util::MetricsRegistry::instance();
+  reg.gauge("bench.shared_scan.fifo_bytes_mb")
+      .set(static_cast<std::int64_t>(fifo.bytesScanned / 1e6));
+  reg.gauge("bench.shared_scan.shared_bytes_mb")
+      .set(static_cast<std::int64_t>(shared.bytesScanned / 1e6));
+  reg.gauge("bench.shared_scan.speedup_x100")
+      .set(static_cast<std::int64_t>(gain * 100));
+
+  // Perf gate: N concurrent scans in ~1 physical pass (paper §4.3: "results
+  // from many full-scan queries ... in little more than the time for a
+  // single full-scan query").
+  if (shared.bytesScanned > 1.25 * singlePass) {
+    std::fprintf(stderr,
+                 "GATE FAILED: shared-scan bytes %.2f GB > 1.25x single-pass "
+                 "baseline %.2f GB\n",
+                 shared.bytesScanned / 1e9, singlePass / 1e9);
+    return 1;
+  }
   return 0;
 }

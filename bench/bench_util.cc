@@ -111,6 +111,7 @@ std::vector<simio::SimChunkTask> virtualTasks(
     t.worker = setup.chunkPosition(a.chunkId) % mod;
     t.serviceSec = simio::workerServiceSeconds(a.observables, params);
     t.collectSec = simio::masterCollectSeconds(a.observables, params);
+    t.interactive = exec.queryClass == core::QueryClass::kInteractive;
     tasks.push_back(t);
   }
   // A batched execution dispatches one request per (query, worker): on the

@@ -95,12 +95,31 @@ add_test(NAME perf_smoke_repair
 set_tests_properties(perf_smoke_repair PROPERTIES
   LABELS "perf"
   ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_repair.json")
+# Shared-scan scheduler gates (paper §4.3 vs the §6.4/Fig 14 skew):
+# bench_concurrency gates interactive latency under scan load (priority-lane
+# LV p50 <= 1.5x solo while 2 HV2 scans run); bench_shared_scan gates the
+# N-scans-one-pass byte bound (shared total <= 1.25x a single scan's bytes).
+# Both abort nonzero on violation.
+add_test(NAME perf_smoke_concurrency
+  CONFIGURATIONS perf
+  COMMAND bench_concurrency)
+set_tests_properties(perf_smoke_concurrency PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_concurrency.json")
+add_test(NAME perf_smoke_shared_scan
+  CONFIGURATIONS perf
+  COMMAND bench_shared_scan)
+set_tests_properties(perf_smoke_shared_scan PROPERTIES
+  LABELS "perf"
+  ENVIRONMENT "QSERV_METRICS_JSON=${CMAKE_BINARY_DIR}/BENCH_shared_scan.json")
 add_custom_target(perf-smoke
   COMMAND ${CMAKE_CTEST_COMMAND} -C perf -R "^perf_smoke_"
           --output-on-failure
   DEPENDS bench_micro bench_filter bench_spatial_join bench_observability
-          bench_dispatch bench_transfer bench_repair
+          bench_dispatch bench_transfer bench_repair bench_concurrency
+          bench_shared_scan
   WORKING_DIRECTORY ${CMAKE_BINARY_DIR}
   COMMENT "perf-smoke: bench_micro + bench_filter + bench_spatial_join + "
           "bench_observability + bench_dispatch + bench_transfer + "
-          "bench_repair with metrics snapshots")
+          "bench_repair + bench_concurrency + bench_shared_scan with "
+          "metrics snapshots")

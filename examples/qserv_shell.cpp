@@ -12,6 +12,12 @@
 /// query slower than the threshold (the same summary `\slowlog` queries out
 /// of the QueryStats table).
 ///
+/// Set QSERV_SCHEDULER=shared to run workers under the §4.3 shared-scan
+/// scheduler (interactive priority lane, same-chunk scan passes, slow-scan
+/// eviction), and QSERV_SCAN_BUDGET_GB to cap concurrently locked chunk
+/// memory (DESIGN.md §12). EXPLAIN's `scheduler` row shows each query's
+/// class; per-class queue waits land under `worker.*` in \metrics.
+///
 /// Fault injection: set QSERV_FAULTS to a fault-plan spec (see
 /// xrd/fault_injector.h) to wrap every worker in an injector, e.g.
 ///   QSERV_FAULTS='seed=7; read:p=0.05,fail' qserv_shell 4
@@ -58,6 +64,16 @@ int main(int argc, char** argv) {
   }
   if (const char* deadline = std::getenv("QSERV_DEADLINE_SECONDS")) {
     opts.frontend.queryDeadlineSeconds = std::atof(deadline);
+  }
+  if (const char* sched = std::getenv("QSERV_SCHEDULER")) {
+    if (std::string(sched) == "shared") {
+      opts.worker.scheduler = core::SchedulerMode::kSharedScan;
+      std::printf("shared-scan scheduler on: interactive priority lane, "
+                  "same-chunk scan passes, memory budget\n");
+    }
+  }
+  if (const char* budget = std::getenv("QSERV_SCAN_BUDGET_GB")) {
+    opts.worker.scanMemoryBudgetBytes = std::atof(budget) * 1e9;
   }
   if (const char* slow = std::getenv("QSERV_SLOW_QUERY_SECONDS")) {
     opts.frontend.slowQuerySeconds = std::atof(slow);

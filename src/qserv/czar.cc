@@ -46,6 +46,7 @@ sql::Schema queryStatsSchema() {
   return sql::Schema({{"queryId", ColumnType::kInt},
                       {"sql", ColumnType::kString},
                       {"status", ColumnType::kString},
+                      {"class", ColumnType::kString},
                       {"wallSeconds", ColumnType::kDouble},
                       {"stageSeconds", ColumnType::kDouble},
                       {"chunks", ColumnType::kInt},
@@ -329,6 +330,7 @@ Result<QservFrontend::Execution> QservFrontend::runUserQuery(
     auto profile = std::make_shared<QueryProfile>(buildQueryProfile(*trace));
     profile->wallSeconds = wallSeconds;
     if (result.isOk()) {
+      profile->queryClass = queryClassName(result->queryClass);
       // The merge/result tallies the czar knows directly win over the
       // span-derived ones.
       profile->rowsMerged = static_cast<std::int64_t>(result->rowsMerged);
@@ -364,6 +366,7 @@ void QservFrontend::recordProfile(
     std::vector<sql::Value> row = {static_cast<std::int64_t>(p.queryId),
                                    p.sql,
                                    p.status,
+                                   p.queryClass,
                                    p.wallSeconds,
                                    p.stageSeconds(),
                                    p.chunks,
@@ -388,7 +391,7 @@ void QservFrontend::recordProfile(
                                  config_.queryStatsHistory));
     }
     // Rebuilding the registered snapshot here would copy the whole history
-    // (18 columns x queryStatsHistory rows, SQL text included) on every
+    // (19 columns x queryStatsHistory rows, SQL text included) on every
     // query; defer it to flushQueryStats() on the metadata read path.
     statsDirty_ = true;
   }
@@ -466,6 +469,14 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
                            rewriter.rewrite(analyzed, chunks, mergeTable));
     span.attr("chunkQueries",
               static_cast<std::int64_t>(rewrite.chunkQueries.size()));
+    // Scheduler class, shipped to every worker in the -- QSERV-CLASS
+    // payload header (scan_scheduler.h): point/secondary-index lookups ride
+    // the interactive priority lane, multi-chunk scans the shared-scan lane.
+    exec.queryClass = deriveQueryClass(analyzed, chunks.size());
+    for (auto& spec : rewrite.chunkQueries) {
+      spec.queryClass = exec.queryClass;
+    }
+    span.attr("class", queryClassName(exec.queryClass));
   }
 
   live.chunksTotal.store(rewrite.chunkQueries.size(),
@@ -541,6 +552,7 @@ Result<QservFrontend::Execution> QservFrontend::runQuery(
     task.serviceSec = simio::workerServiceSeconds(r.observables, config_.cost);
     task.collectSec = simio::masterCollectSeconds(r.observables, config_.cost);
     task.dispatchSec = dispatchSec;
+    task.interactive = exec.queryClass == QueryClass::kInteractive;
     exec.simTasks.push_back(task);
     exec.accounting.push_back(
         ChunkAccounting{r.chunkId, r.workerId, r.observables});

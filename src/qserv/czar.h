@@ -98,6 +98,9 @@ class QservFrontend {
     DispatchMode dispatchMode = DispatchMode::kPerChunk;
     std::size_t dispatchBatches = 0;
     std::vector<ChunkAccounting> accounting;
+    /// Scheduler class the czar derived and shipped to workers (frontend-only
+    /// queries are interactive: they never touch a worker queue).
+    QueryClass queryClass = QueryClass::kInteractive;
     /// Virtual-time tasks (worker index, service seconds, collect seconds)
     /// for the cluster queue simulation.
     std::vector<simio::SimChunkTask> simTasks;

@@ -66,6 +66,21 @@ bool isRetryable(const Status& s) {
   return s.code() == util::ErrorCode::kUnavailable ||
          s.code() == util::ErrorCode::kDataLoss;
 }
+
+/// The payload a worker receives for \p spec. Header comments carry the
+/// trace id (so the worker can attach its spans to this query) and the
+/// scheduler class. Per-chunk and batched dispatch MUST build payloads
+/// identically: the result hash — md5 of the payload — is how both paths
+/// find the dump, and a batch chunk falling back to the per-chunk path
+/// re-derives the same hash.
+std::string buildChunkPayload(const ChunkQuerySpec& spec,
+                              const util::TracePtr& trace) {
+  std::string payload;
+  if (trace) payload += util::traceHeaderLine(trace->id());
+  payload += classHeaderLine(spec.queryClass);
+  payload += spec.text;
+  return payload;
+}
 }  // namespace
 
 struct Dispatcher::ChunkFailure {
@@ -114,10 +129,7 @@ Result<ChunkResult> Dispatcher::runOne(const ChunkQuerySpec& spec,
   util::ScopedSpan span(trace, "dispatcher",
                         util::format("chunk %d", spec.chunkId));
   xrd::XrdClient client(redirector_);
-  // The payload carries the trace id as a header comment so the worker —
-  // which only ever sees the payload — can attach its spans to this query.
-  std::string payload = trace ? util::traceHeaderLine(trace->id()) + spec.text
-                              : spec.text;
+  std::string payload = buildChunkPayload(spec, trace);
   std::string hash = util::Md5::hex(payload);
   // Deterministic, per-chunk-decorrelated backoff stream.
   std::uint64_t backoffSeed =
@@ -420,9 +432,7 @@ Dispatcher::BatchOutcome Dispatcher::collectBatch(
   std::unordered_map<std::int32_t, PendingChunk> pending;
   pending.reserve(chunks.size());
   for (const ChunkQuerySpec* spec : chunks) {
-    std::string payload = trace
-                              ? util::traceHeaderLine(trace->id()) + spec->text
-                              : spec->text;
+    std::string payload = buildChunkPayload(*spec, trace);
     pending.emplace(spec->chunkId, PendingChunk{spec, util::Md5::hex(payload)});
     request.push_back(BatchChunkRequest{spec->chunkId, std::move(payload)});
   }

@@ -293,6 +293,11 @@ ExplainPlan buildExplainPlan(const AnalyzedQuery& analyzed,
   }
   plan.joinStrategy = classifyJoin(analyzed);
   classifyFilter(analyzed, plan);
+  QueryClass cls = deriveQueryClass(analyzed, chunks.size());
+  plan.scheduler =
+      cls == QueryClass::kInteractive
+          ? "interactive (priority lane, bypasses scan groups)"
+          : "scan (shared-scan lane: same-chunk passes, memory budget)";
   if (!analyzed.touchesPartitioned()) {
     plan.merge = "none (executes on the frontend metadata DB)";
   } else if (rewrite) {
@@ -321,6 +326,7 @@ sql::TablePtr ExplainPlan::toTable() const {
   add("zone map", zoneMap);
   add("merge", merge);
   if (!dispatch.empty()) add("dispatch", dispatch);
+  add("scheduler", scheduler);
   return table;
 }
 

@@ -32,6 +32,7 @@ struct ExplainPlan {
   std::string zoneMap;        ///< zone-map pruning eligibility
   std::string merge;          ///< merge/final-aggregation plan
   std::string dispatch;       ///< batched-vs-per-chunk strategy and shape
+  std::string scheduler;      ///< worker scheduler class (interactive/scan)
 
   /// Two-column (property, value) result table.
   sql::TablePtr toTable() const;

@@ -355,4 +355,14 @@ Result<AnalyzedQuery> analyzeQuery(std::string_view sql,
   return analyzeQuery(stmt, config);
 }
 
+QueryClass deriveQueryClass(const AnalyzedQuery& analyzed,
+                            std::size_t chunkCount) {
+  // Frontend-only queries never reach a worker queue; classify them (and
+  // anything else the pruning narrowed to a single chunk) as interactive.
+  if (!analyzed.touchesPartitioned()) return QueryClass::kInteractive;
+  if (!analyzed.restrictedObjectIds.empty()) return QueryClass::kInteractive;
+  if (chunkCount <= 1) return QueryClass::kInteractive;
+  return QueryClass::kScan;
+}
+
 }  // namespace qserv::core

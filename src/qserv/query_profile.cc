@@ -158,6 +158,7 @@ sql::TablePtr QueryProfile::toTable() const {
   }
   add("total (stages)", stageSeconds(), 0, "");
   add("wall", wallSeconds, 0, util::format("status: %s", status.c_str()));
+  if (!queryClass.empty()) add("class", 0.0, 0, queryClass);
   add("chunks", 0.0, chunks,
       util::format("%lld attempts, %lld retries, %lld faults",
                    static_cast<long long>(attempts),
@@ -181,6 +182,7 @@ std::string QueryProfile::toJson() const {
   stagesJson += "]";
   return util::format(
       "{\"queryId\":%llu,\"sql\":\"%s\",\"status\":\"%s\","
+      "\"class\":\"%s\","
       "\"wallSeconds\":%.6g,\"stageSeconds\":%.6g,\"chunks\":%lld,"
       "\"batches\":%lld,\"attempts\":%lld,\"retries\":%lld,\"faults\":%lld,"
       "\"rowsMerged\":%lld,\"resultRows\":%lld,\"bytesTransferred\":%lld,"
@@ -188,6 +190,7 @@ std::string QueryProfile::toJson() const {
       "\"batchTransfer\":%s,\"stages\":%s}",
       static_cast<unsigned long long>(queryId),
       util::jsonEscape(sql).c_str(), util::jsonEscape(status).c_str(),
+      util::jsonEscape(queryClass).c_str(),
       wallSeconds, stageSeconds(), static_cast<long long>(chunks),
       static_cast<long long>(batches), static_cast<long long>(attempts),
       static_cast<long long>(retries), static_cast<long long>(faults),

@@ -43,6 +43,9 @@ struct QueryProfile {
   std::uint64_t queryId = 0;
   std::string sql;
   std::string status = "ok";  ///< "ok" or the failure Status string
+  /// Scheduler class ("interactive"/"scan"; the caller sets it — empty when
+  /// the query failed before classification).
+  std::string queryClass;
   double wallSeconds = 0.0;
 
   std::vector<ProfileStage> stages;  ///< czar stages, execution order

@@ -47,6 +47,8 @@ struct WorkerMetrics {
   util::Gauge& queueDepth;
   util::Gauge& busySlots;
   util::Histogram& queueWaitSeconds;
+  util::Histogram& interactiveQueueWaitSeconds;
+  util::Histogram& scanQueueWaitSeconds;
   util::Histogram& executeSeconds;
   util::Histogram& subchunkBuildSeconds;
   util::Histogram& subchunkDropSeconds;
@@ -75,6 +77,8 @@ struct WorkerMetrics {
         reg.gauge("worker.queue_depth"),
         reg.gauge("worker.busy_slots"),
         reg.histogram("worker.queue_wait_seconds"),
+        reg.histogram("worker.interactive_queue_wait_seconds"),
+        reg.histogram("worker.scan_queue_wait_seconds"),
         reg.histogram("worker.execute_seconds"),
         reg.histogram("worker.subchunk_build_seconds"),
         reg.histogram("worker.subchunk_drop_seconds"),
@@ -98,8 +102,11 @@ Worker::Worker(std::string id, std::shared_ptr<sql::Database> database,
       catalog_(catalog),
       chunker_(catalog.makeChunker()),
       exportedChunks_(std::move(exportedChunks)),
-      config_(config) {
-  paused_ = config_.startPaused;
+      config_(config),
+      sched_(id_, ScanSchedulerConfig{config.scheduler,
+                                      config.scanMemoryBudgetBytes,
+                                      config.slowScanFactor,
+                                      config.startPaused}) {
   std::sort(exportedChunks_.begin(), exportedChunks_.end());
   int slots = std::max(1, config_.slots);
   executors_.reserve(static_cast<std::size_t>(slots));
@@ -110,23 +117,11 @@ Worker::Worker(std::string id, std::shared_ptr<sql::Database> database,
 
 Worker::~Worker() { shutdown(); }
 
-void Worker::resume() {
-  {
-    std::lock_guard lock(queueMutex_);
-    paused_ = false;
-  }
-  queueCv_.notify_all();
-}
+void Worker::resume() { sched_.resume(); }
 
 void Worker::shutdown() {
-  {
-    std::lock_guard lock(queueMutex_);
-    if (shuttingDown_) return;
-    shuttingDown_ = true;
-    paused_ = false;
-  }
-  stopping_.store(true, std::memory_order_release);
-  queueCv_.notify_all();
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  sched_.shutdown();
   for (auto& t : executors_) {
     if (t.joinable()) t.join();
   }
@@ -187,25 +182,49 @@ Status Worker::writeFile(const std::string& path, std::string payload) {
     return Status::notFound(util::format("worker %s does not export chunk %d",
                                          id_.c_str(), *chunkId));
   }
-  Task task;
-  task.chunkId = *chunkId;
+  ScanTask task = makeTask(*chunkId, std::move(payload), util::Trace::nowUs());
+  auto& metrics = WorkerMetrics::instance();
+  if (!sched_.enqueue(std::move(task))) {
+    return Status::unavailable("worker " + id_ + " is shutting down");
+  }
+  metrics.queueDepth.add(1);
+  queueDepthGauge_.set(static_cast<std::int64_t>(sched_.depth()));
+  metrics.tasksEnqueued.add();
+  return Status::ok();
+}
+
+ScanTask Worker::makeTask(std::int32_t chunkId, std::string payload,
+                          std::int64_t enqueuedUs) const {
+  ScanTask task;
+  task.chunkId = chunkId;
   task.hash = util::Md5::hex(payload);
   if (auto traceId = util::parseTraceHeader(payload)) task.traceId = *traceId;
-  task.enqueuedUs = util::Trace::nowUs();
-  task.payload = std::move(payload);
-  auto& metrics = WorkerMetrics::instance();
-  {
-    std::lock_guard lock(queueMutex_);
-    if (shuttingDown_) {
-      return Status::unavailable("worker " + id_ + " is shutting down");
-    }
-    queue_.push_back(std::move(task));
-    metrics.queueDepth.add(1);
-    queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
+  task.queryId = task.traceId;
+  task.enqueuedUs = enqueuedUs;
+  // Header-less payloads (raw test traffic) default to scan class — the
+  // conservative choice, and the one that preserves same-chunk grouping.
+  task.cls = parseClassHeader(payload).value_or(QueryClass::kScan);
+  if (config_.scheduler == SchedulerMode::kSharedScan &&
+      task.cls == QueryClass::kScan) {
+    task.memoryBytes = chunkMemoryBytes(chunkId);
   }
-  metrics.tasksEnqueued.add();
-  queueCv_.notify_one();
-  return Status::ok();
+  task.payload = std::move(payload);
+  return task;
+}
+
+double Worker::chunkMemoryBytes(std::int32_t chunkId) const {
+  double bytes = 0.0;
+  for (const auto& table : catalog_.tables) {
+    for (const std::string& name :
+         {datagen::chunkTableName(table.name, chunkId),
+          datagen::overlapTableName(table.name, chunkId)}) {
+      if (sql::TablePtr t = db_->findTable(name)) {
+        bytes += static_cast<double>(t->numRows()) * table.paperRowBytes *
+                 config_.rowScale;
+      }
+    }
+  }
+  return bytes;
 }
 
 Status Worker::enqueueBatch(const std::string& batchId, std::string payload) {
@@ -227,39 +246,28 @@ Status Worker::enqueueBatch(const std::string& batchId, std::string payload) {
   stream->remaining.store(static_cast<int>(request->chunks.size()),
                           std::memory_order_release);
   std::int64_t nowUs = util::Trace::nowUs();
-  std::vector<Task> tasks;
+  std::vector<ScanTask> tasks;
   tasks.reserve(request->chunks.size());
   for (BatchChunkRequest& chunk : request->chunks) {
-    Task task;
-    task.chunkId = chunk.chunkId;
-    task.hash = util::Md5::hex(chunk.payload);
-    if (auto traceId = util::parseTraceHeader(chunk.payload)) {
-      task.traceId = *traceId;
-    }
-    task.enqueuedUs = nowUs;
-    task.payload = std::move(chunk.payload);
+    ScanTask task = makeTask(chunk.chunkId, std::move(chunk.payload), nowUs);
     task.batch = stream;
     tasks.push_back(std::move(task));
   }
+  const std::size_t count = tasks.size();
   auto& metrics = WorkerMetrics::instance();
   {
     std::lock_guard lock(batchMutex_);
     batches_[batchId] = stream;
   }
-  {
-    std::lock_guard lock(queueMutex_);
-    if (shuttingDown_) {
-      std::lock_guard blck(batchMutex_);
-      batches_.erase(batchId);
-      return Status::unavailable("worker " + id_ + " is shutting down");
-    }
-    for (Task& task : tasks) queue_.push_back(std::move(task));
-    metrics.queueDepth.add(static_cast<std::int64_t>(tasks.size()));
-    queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
+  if (!sched_.enqueueAll(std::move(tasks))) {
+    std::lock_guard lock(batchMutex_);
+    batches_.erase(batchId);
+    return Status::unavailable("worker " + id_ + " is shutting down");
   }
-  metrics.tasksEnqueued.add(tasks.size());
+  metrics.queueDepth.add(static_cast<std::int64_t>(count));
+  queueDepthGauge_.set(static_cast<std::int64_t>(sched_.depth()));
+  metrics.tasksEnqueued.add(count);
   metrics.batchesReceived.add();
-  queueCv_.notify_all();
   return Status::ok();
 }
 
@@ -276,7 +284,7 @@ void Worker::abandonBatch(const std::string& batchId) {
   results_.remove(xrd::makeBatchStreamPath(batchId));
 }
 
-void Worker::publishBatchFrame(const Task& task, std::string frame) {
+void Worker::publishBatchFrame(const ScanTask& task, std::string frame) {
   BatchStream& stream = *task.batch;
   if (stream.window > 0) {
     // Backpressure: keep at most `window` unread frames on the stream. Poll
@@ -384,11 +392,8 @@ Result<std::string> Worker::snapshotChunk(std::int32_t chunkId) const {
 Status Worker::installChunk(std::int32_t chunkId,
                             const std::string& snapshot) {
   QSERV_RETURN_IF_ERROR(verifyDumpChecksum(snapshot));
-  {
-    std::lock_guard lock(queueMutex_);
-    if (shuttingDown_) {
-      return Status::unavailable("worker " + id_ + " is shutting down");
-    }
+  if (sched_.isShuttingDown()) {
+    return Status::unavailable("worker " + id_ + " is shutting down");
   }
   // Replay the dump into a staging database: parsing and loading a
   // multi-thousand-row script under db_'s exclusive lock would stall every
@@ -451,41 +456,36 @@ std::optional<simio::WorkObservables> Worker::observablesFor(
   return it->second;
 }
 
-std::size_t Worker::queuedTasks() const {
-  std::lock_guard lock(queueMutex_);
-  return queue_.size();
-}
+std::size_t Worker::queuedTasks() const { return sched_.depth(); }
 
 void Worker::executorLoop() {
   auto& metrics = WorkerMetrics::instance();
   while (true) {
-    std::vector<Task> tasks = claimTasks();
-    if (tasks.empty()) return;  // shutdown and drained
-    std::int64_t claimedUs = util::Trace::nowUs();
+    ScanScheduler::Claim claim = sched_.claim();
+    if (claim.tasks.empty()) return;  // shutdown and drained
     metrics.busySlots.add(1);
     double maxWaitSec = 0.0;
+    // In a shared-scan group only the first task that actually reads chunk
+    // bytes pays the read; the others ride along on the same in-memory pass
+    // (§4.3). Charging "the first task" by index would lose the charge
+    // whenever the group leader is skipped as abandoned or zone-pruned.
+    bool ioCharged = false;
     util::Stopwatch serviceWatch;
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      const Task& task = tasks[i];
-      double waitSec =
-          static_cast<double>(claimedUs - task.enqueuedUs) * 1e-6;
-      metrics.queueWaitSeconds.observe(waitSec);
-      queueWaitHist_.observe(waitSec);
-      maxWaitSec = std::max(maxWaitSec, waitSec);
-      if (util::TracePtr trace =
-              util::TraceRegistry::instance().find(task.traceId)) {
-        util::TraceSpan wait;
-        wait.component = "worker";
-        wait.name = util::format("queue-wait %d", task.chunkId);
-        wait.startUs = task.enqueuedUs;
-        wait.endUs = claimedUs;
-        wait.threadId = util::threadId();
-        wait.attrs.emplace_back("worker", id_);
-        trace->addSpan(std::move(wait));
+    std::int64_t claimedUs = util::Trace::nowUs();
+    for (const ScanTask& task : claim.tasks) {
+      runClaimedTask(task, claimedUs, ioCharged, maxWaitSec);
+    }
+    if (claim.passId != 0) {
+      // Scans that arrived while this pass was in flight joined the group;
+      // drain them until the pass closes (an empty drain closes it).
+      for (;;) {
+        std::vector<ScanTask> joined = sched_.takeJoined(claim.passId);
+        if (joined.empty()) break;
+        std::int64_t joinClaimUs = util::Trace::nowUs();
+        for (const ScanTask& task : joined) {
+          runClaimedTask(task, joinClaimUs, ioCharged, maxWaitSec);
+        }
       }
-      // In a shared-scan group only the first task pays the chunk read; the
-      // others ride along on the same in-memory pass (§4.3).
-      executeTask(task, /*chargeScanIo=*/i == 0);
     }
     // Convoy indicator: how long the batch's unluckiest task waited relative
     // to the service time it then received.
@@ -495,31 +495,40 @@ void Worker::executorLoop() {
   }
 }
 
-std::vector<Worker::Task> Worker::claimTasks() {
-  std::unique_lock lock(queueMutex_);
-  queueCv_.wait(lock, [&] {
-    return shuttingDown_ || (!paused_ && !queue_.empty());
-  });
-  if (queue_.empty()) return {};
-  std::vector<Task> out;
-  out.push_back(std::move(queue_.front()));
-  queue_.pop_front();
-  if (config_.scheduler == SchedulerMode::kSharedScan) {
-    // Claim every queued task on the same chunk: they will share the scan.
-    std::int32_t chunk = out.front().chunkId;
-    for (auto it = queue_.begin(); it != queue_.end();) {
-      if (it->chunkId == chunk) {
-        out.push_back(std::move(*it));
-        it = queue_.erase(it);
-      } else {
-        ++it;
-      }
-    }
+void Worker::runClaimedTask(const ScanTask& task, std::int64_t claimedUs,
+                            bool& ioCharged, double& maxWaitSec) {
+  auto& metrics = WorkerMetrics::instance();
+  double waitSec = static_cast<double>(claimedUs - task.enqueuedUs) * 1e-6;
+  metrics.queueWaitSeconds.observe(waitSec);
+  (task.cls == QueryClass::kInteractive ? metrics.interactiveQueueWaitSeconds
+                                        : metrics.scanQueueWaitSeconds)
+      .observe(waitSec);
+  queueWaitHist_.observe(waitSec);
+  maxWaitSec = std::max(maxWaitSec, waitSec);
+  if (util::TracePtr trace =
+          util::TraceRegistry::instance().find(task.traceId)) {
+    util::TraceSpan wait;
+    wait.component = "worker";
+    wait.name = util::format("queue-wait %d", task.chunkId);
+    wait.startUs = task.enqueuedUs;
+    wait.endUs = claimedUs;
+    wait.threadId = util::threadId();
+    wait.attrs.emplace_back("worker", id_);
+    wait.attrs.emplace_back("class", queryClassName(task.cls));
+    trace->addSpan(std::move(wait));
   }
-  WorkerMetrics::instance().queueDepth.add(
-      -static_cast<std::int64_t>(out.size()));
-  queueDepthGauge_.set(static_cast<std::int64_t>(queue_.size()));
-  return out;
+  util::Stopwatch taskWatch;
+  bool executed = executeTask(task, /*chargeScanIo=*/!ioCharged);
+  if (executed && !ioCharged) {
+    // The charge sticks only when the task actually read chunk bytes: a
+    // zone-map-pruned task touches no table data, so the pass's physical
+    // read is still unpaid and falls to the next task that really scans.
+    auto obs = observablesFor(task.hash);
+    if (obs && obs->bytesScanned > 0) ioCharged = true;
+  }
+  sched_.finishTask(task, taskWatch.elapsedSeconds(), executed);
+  metrics.queueDepth.add(-1);
+  queueDepthGauge_.set(static_cast<std::int64_t>(sched_.depth()));
 }
 
 std::vector<std::int32_t> Worker::parseSubchunksHeader(
@@ -674,13 +683,13 @@ void Worker::releaseSubchunks(std::int32_t chunkId,
   }
 }
 
-void Worker::executeTask(const Task& task, bool chargeScanIo) {
+bool Worker::executeTask(const ScanTask& task, bool chargeScanIo) {
   auto& metrics = WorkerMetrics::instance();
   if (task.batch && task.batch->abandoned.load(std::memory_order_acquire)) {
     // The master abandoned the batch; don't waste the slot executing.
     metrics.batchChunksSkipped.add();
     finishBatchChunk(task.batch);
-    return;
+    return false;
   }
   util::TracePtr trace = util::TraceRegistry::instance().find(task.traceId);
   util::ScopedSpan execSpan(trace, "worker",
@@ -712,7 +721,7 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
     } else {
       results_.publishError(resultPath, buildStats.status());
     }
-    return;
+    return false;
   }
 
   sql::ExecStats stats;
@@ -734,7 +743,7 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
     } else {
       results_.publishError(resultPath, result.status());
     }
-    return;
+    return false;
   }
 
   std::string dump =
@@ -840,6 +849,7 @@ void Worker::executeTask(const Task& task, bool chargeScanIo) {
   } else {
     results_.publish(resultPath, std::move(dump));
   }
+  return true;
 }
 
 }  // namespace qserv::core

@@ -4,12 +4,13 @@
 /// A worker is an Xrootd data server with Qserv's ofs plugin: chunk queries
 /// arrive as writes to /query2/<CC>, execute on the worker's local SQL
 /// database against its chunk tables, and results are published as dumps at
-/// /result/<md5 of the chunk query>. Workers keep FIFO task queues drained
-/// by a fixed number of executor slots (the paper's clusters ran 4), "do not
-/// implement any concept of query cost" (§6.4) — unless the shared-scan
-/// scheduler (§4.3, implemented here though only planned in the paper) is
-/// selected, which groups queued tasks touching the same chunk so concurrent
-/// scans share one read of the data.
+/// /result/<md5 of the chunk query>. A fixed number of executor slots (the
+/// paper's clusters ran 4) drain a ScanScheduler: in kFifo mode that is the
+/// paper's plain queue ("do not implement any concept of query cost", §6.4);
+/// in kSharedScan mode (§4.3) interactive tasks ride a priority lane ahead
+/// of scans, same-chunk scans share one physical pass (including arrivals
+/// that join a pass already in flight), and scan claims reserve chunk-table
+/// bytes against a memory budget. See scan_scheduler.h.
 ///
 /// Subchunk tables (Object_CC_SS) and their overlap companions
 /// (ObjectFullOverlap_CC_SS) are built on the fly when a chunk query's
@@ -21,7 +22,6 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "qserv/catalog_config.h"
+#include "qserv/scan_scheduler.h"
 #include "simio/cost_model.h"
 #include "sql/database.h"
 #include "util/metrics.h"
@@ -37,14 +38,21 @@
 
 namespace qserv::core {
 
-enum class SchedulerMode {
-  kFifo,        ///< paper behaviour: first-in-first-out, no cost concept
-  kSharedScan,  ///< §4.3: co-schedule same-chunk tasks, share the scan I/O
-};
-
 enum class TransferFormat {
   kSqlDump,  ///< paper behaviour: mysqldump-style SQL statements (§5.4)
   kBinary,   ///< the §7.1 "more efficient method": compact row codec
+};
+
+/// Shared state of one batched dispatch (/batch/<id>): its chunk tasks
+/// stream result frames over one /bstream/<id> path, bounded by a window
+/// of unread frames, until the master abandons the batch or the last
+/// chunk finishes.
+struct BatchStream {
+  std::string id;          ///< batchId (md5 of the request payload)
+  std::string streamPath;  ///< /bstream/<batchId>
+  int window = 0;          ///< max unread frames (0 = unbounded)
+  std::atomic<bool> abandoned{false};
+  std::atomic<int> remaining{0};  ///< chunks not yet finished/skipped
 };
 
 struct WorkerConfig {
@@ -59,6 +67,11 @@ struct WorkerConfig {
   /// Start with executor slots paused (tests use this to stage the queue
   /// deterministically before any task is claimed).
   bool startPaused = false;
+  /// kSharedScan: paper-scale byte budget for concurrently locked chunk
+  /// sets (MemMan-style reservations); <= 0 = unlimited.
+  double scanMemoryBudgetBytes = 0.0;
+  /// kSharedScan: slow-scan eviction threshold (see ScanSchedulerConfig).
+  double slowScanFactor = 4.0;
 };
 
 class Worker : public xrd::OfsPlugin {
@@ -98,8 +111,15 @@ class Worker : public xrd::OfsPlugin {
   std::optional<simio::WorkObservables> observablesFor(
       const std::string& md5Hex) const;
 
+  /// Queued plus claimed-but-unfinished tasks. Counting in-flight work
+  /// matters: queue length alone drops to zero the moment a slot claims a
+  /// large scan group, hiding the worker's load from the repair control
+  /// plane's rebalance signal and the queue_depth gauge.
   std::size_t queuedTasks() const;
   std::uint64_t tasksExecuted() const { return tasksExecuted_; }
+
+  /// This worker's task scheduler (tests inspect budget/slow-query state).
+  ScanScheduler& scheduler() { return sched_; }
 
   /// Resume paused executor slots (see WorkerConfig::startPaused).
   void resume();
@@ -108,40 +128,30 @@ class Worker : public xrd::OfsPlugin {
   void shutdown();
 
  private:
-  /// Shared state of one batched dispatch (/batch/<id>): its chunk tasks
-  /// stream result frames over one /bstream/<id> path, bounded by a window
-  /// of unread frames, until the master abandons the batch or the last
-  /// chunk finishes.
-  struct BatchStream {
-    std::string id;          ///< batchId (md5 of the request payload)
-    std::string streamPath;  ///< /bstream/<batchId>
-    int window = 0;          ///< max unread frames (0 = unbounded)
-    std::atomic<bool> abandoned{false};
-    std::atomic<int> remaining{0};  ///< chunks not yet finished/skipped
-  };
-
-  struct Task {
-    std::int32_t chunkId = 0;
-    std::string payload;
-    std::string hash;
-    std::uint64_t traceId = 0;     ///< from the -- QSERV-TRACE header; 0 = none
-    std::int64_t enqueuedUs = 0;   ///< trace-clock time of arrival
-    std::shared_ptr<BatchStream> batch;  ///< null on per-chunk dispatch
-  };
-
   void executorLoop();
-  /// Claim the next task (FIFO) or task group (shared scan) to run.
-  std::vector<Task> claimTasks();
-  void executeTask(const Task& task, bool chargeScanIo);
+  /// Run one claimed task: queue-wait accounting, execution, scheduler
+  /// finish bookkeeping. Sets \p ioCharged once a task actually pays the
+  /// chunk read (scanned bytes > 0), so a group leader skipped as abandoned
+  /// or zone-pruned never eats the charge (the bytesScanned-undercount bug).
+  void runClaimedTask(const ScanTask& task, std::int64_t claimedUs,
+                      bool& ioCharged, double& maxWaitSec);
+  /// Execute a chunk query end to end. Returns true only when the task ran
+  /// and published a successful result (its observables were recorded) —
+  /// false for abandoned-batch skips and failures.
+  bool executeTask(const ScanTask& task, bool chargeScanIo);
 
-  /// Decode a /batch write and enqueue one Task per chunk.
+  /// Paper-scale bytes chunk \p chunkId's locally held tables occupy — the
+  /// scan scheduler's memory-budget charge for one chunk pass.
+  double chunkMemoryBytes(std::int32_t chunkId) const;
+
+  /// Decode a /batch write and enqueue one ScanTask per chunk.
   util::Status enqueueBatch(const std::string& batchId, std::string payload);
   /// Mark a batch abandoned (/bcancel write): queued tasks are skipped and
   /// unread frames dropped.
   void abandonBatch(const std::string& batchId);
   /// Publish one chunk's result frame on the batch stream, honoring the
   /// unread-frame window.
-  void publishBatchFrame(const Task& task, std::string frame);
+  void publishBatchFrame(const ScanTask& task, std::string frame);
   /// Account one finished/skipped batch chunk; the last one unregisters the
   /// batch and, when abandoned, drops its unread frames.
   void finishBatchChunk(const std::shared_ptr<BatchStream>& stream);
@@ -168,6 +178,12 @@ class Worker : public xrd::OfsPlugin {
   /// True when the chunk query carries the `-- QSERV-AGG` marker: its
   /// result is a scale-independent partial aggregate.
   static bool isAggregateQuery(const std::string& payload);
+
+  /// Build a ScanTask from an arriving chunk-query payload: hash, trace id,
+  /// query class (`-- QSERV-CLASS` header; header-less payloads default to
+  /// scan class), and the scan memory charge.
+  ScanTask makeTask(std::int32_t chunkId, std::string payload,
+                    std::int64_t enqueuedUs) const;
 
   /// Build (or reuse) the subchunk + overlap tables needed by \p task;
   /// returns build-side execution stats.
@@ -203,11 +219,7 @@ class Worker : public xrd::OfsPlugin {
 
   xrd::FileStore results_;
 
-  mutable std::mutex queueMutex_;
-  std::condition_variable queueCv_;
-  std::deque<Task> queue_;
-  bool shuttingDown_ = false;
-  bool paused_ = false;
+  ScanScheduler sched_;
   std::atomic<bool> stopping_{false};  ///< lock-free shutdown flag for waits
   std::vector<std::thread> executors_;
   std::atomic<std::uint64_t> tasksExecuted_{0};

@@ -70,6 +70,11 @@ struct CostParams {
   /// Fraction of scanned bytes served from the page cache (0 = cold).
   double cacheFraction = 0.0;
 
+  /// Scheduler policy, not hardware: when on, simulated workers run the
+  /// shared-scan scheduler's priority lane (interactive SimChunkTasks claim
+  /// free slots ahead of queued scans) instead of the paper's pure FIFO.
+  bool workerPriorityLane = false;
+
   /// The paper's 150-node configuration (cold cache).
   static CostParams paper150() { return CostParams{}; }
 

@@ -1,6 +1,7 @@
 #include "simio/queue_sim.h"
 
 #include <algorithm>
+#include <deque>
 #include <queue>
 
 namespace qserv::simio {
@@ -13,6 +14,7 @@ struct PendingTask {
   double collectSec = 0.0;
   std::size_t queryIdx = 0;
   std::size_t seq = 0;  // global tie-break for deterministic FIFO order
+  bool interactive = false;
 };
 
 }  // namespace
@@ -43,6 +45,7 @@ std::vector<SimQueryResult> simulateQueries(const std::vector<SimQuery>& queries
       p.collectSec = task.collectSec;
       p.queryIdx = q;
       p.seq = seq++;
+      p.interactive = task.interactive;
       std::size_t w = static_cast<std::size_t>(task.worker) %
                       perWorker.size();
       perWorker[w].push_back(p);
@@ -71,13 +74,49 @@ std::vector<SimQueryResult> simulateQueries(const std::vector<SimQuery>& queries
     // Min-heap of slot free times.
     std::priority_queue<double, std::vector<double>, std::greater<>> slots;
     for (int s = 0; s < std::max(1, params.slotsPerNode); ++s) slots.push(0.0);
-    for (const PendingTask& p : tasks) {
-      double free = slots.top();
+    if (!params.workerPriorityLane) {
+      for (const PendingTask& p : tasks) {
+        double free = slots.top();
+        slots.pop();
+        double start = std::max(free, p.arrivalSec);
+        double end = start + p.serviceSec;
+        slots.push(end);
+        finished.push_back({end, p.collectSec, p.queryIdx, p.seq});
+      }
+      continue;
+    }
+    // Priority lane (the §4.3 scheduler): event-driven — each time a slot
+    // frees, every task that has arrived by then is admitted into its class
+    // queue, and the slot takes the earliest interactive task if any is
+    // waiting, else the earliest scan. Identical to FIFO when no task is
+    // marked interactive and arrivals never queue.
+    std::deque<const PendingTask*> lanes[2];  // [0]=interactive, [1]=scan
+    std::size_t cursor = 0;
+    std::size_t remaining = tasks.size();
+    while (remaining > 0) {
+      double now = slots.top();
+      auto admitUpTo = [&](double t) {
+        while (cursor < tasks.size() && tasks[cursor].arrivalSec <= t) {
+          const PendingTask& p = tasks[cursor++];
+          lanes[p.interactive ? 0 : 1].push_back(&p);
+        }
+      };
+      admitUpTo(now);
+      if (lanes[0].empty() && lanes[1].empty()) {
+        // Slot idle until the next arrival.
+        now = tasks[cursor].arrivalSec;
+        admitUpTo(now);
+      }
+      std::deque<const PendingTask*>& lane =
+          lanes[0].empty() ? lanes[1] : lanes[0];
+      const PendingTask* p = lane.front();
+      lane.pop_front();
       slots.pop();
-      double start = std::max(free, p.arrivalSec);
-      double end = start + p.serviceSec;
+      double start = std::max(now, p->arrivalSec);
+      double end = start + p->serviceSec;
       slots.push(end);
-      finished.push_back({end, p.collectSec, p.queryIdx, p.seq});
+      finished.push_back({end, p->collectSec, p->queryIdx, p->seq});
+      --remaining;
     }
   }
 

@@ -28,6 +28,11 @@ struct SimChunkTask {
   /// masterPerChunkOverheadSec". Batched dispatch sets the amortized
   /// per-chunk cost here (amortizedBatchDispatchSec).
   double dispatchSec = -1.0;
+  /// Interactive-class task (point/secondary-index lookup). Only consulted
+  /// when CostParams::workerPriorityLane is on: interactive tasks then claim
+  /// a free slot ahead of any queued scan task (the §4.3 scheduler fix);
+  /// otherwise the queue is the paper's pure FIFO.
+  bool interactive = false;
 };
 
 /// One user query: submitted at \p submitSec, fanning out \p tasks.

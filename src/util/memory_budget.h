@@ -1,0 +1,87 @@
+/// \file memory_budget.h
+/// \brief MemMan-style chunk-memory accounting for shared scans.
+///
+/// The production Qserv worker reserves the memory a scan group's chunk
+/// tables occupy before letting the group run (memman::MemMan /
+/// MemFileSet): co-scheduled scans on *different* chunks must not reserve
+/// more than the configured budget, while scans sharing one chunk pass
+/// share one reservation. This is the same idea at `util` level: a keyed,
+/// refcounted lock table. `tryLock(key, bytes)` charges `bytes` the first
+/// time a key is locked and is free for every additional lock of the same
+/// key (the co-scheduled scans riding one pass); `unlock` releases the
+/// charge when the last holder lets go.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace qserv::util {
+
+/// Thread-safe keyed byte budget. Capacity <= 0 means unlimited (every
+/// tryLock succeeds). Callers decide what a key means — the worker
+/// scheduler uses "chunk:<id>" so all tables of one chunk pass count once.
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(double capacityBytes = 0.0)
+      : capacity_(capacityBytes) {}
+
+  /// Reserve \p bytes under \p key. Re-locking an already-locked key always
+  /// succeeds and charges nothing (the bytes are already resident).
+  /// Anti-starvation rule: when nothing else is locked, a single
+  /// over-budget set still proceeds — a scan larger than the whole budget
+  /// must not wedge the worker forever.
+  bool tryLock(const std::string& key, double bytes) {
+    std::lock_guard lock(mu_);
+    auto it = sets_.find(key);
+    if (it != sets_.end()) {
+      ++it->second.refs;
+      return true;
+    }
+    if (capacity_ > 0.0 && lockedBytes_ + bytes > capacity_ &&
+        !sets_.empty()) {
+      return false;
+    }
+    sets_[key] = Set{bytes, 1};
+    lockedBytes_ += bytes;
+    return true;
+  }
+
+  /// Drop one reference on \p key; the byte charge is released when the
+  /// last reference goes. Unknown keys are ignored (idempotent unlock).
+  void unlock(const std::string& key) {
+    std::lock_guard lock(mu_);
+    auto it = sets_.find(key);
+    if (it == sets_.end()) return;
+    if (--it->second.refs > 0) return;
+    lockedBytes_ -= it->second.bytes;
+    if (lockedBytes_ < 0.0) lockedBytes_ = 0.0;
+    sets_.erase(it);
+  }
+
+  double capacityBytes() const { return capacity_; }
+
+  double lockedBytes() const {
+    std::lock_guard lock(mu_);
+    return lockedBytes_;
+  }
+
+  std::size_t lockedSets() const {
+    std::lock_guard lock(mu_);
+    return sets_.size();
+  }
+
+ private:
+  struct Set {
+    double bytes = 0.0;
+    int refs = 0;
+  };
+
+  const double capacity_;
+  mutable std::mutex mu_;
+  std::map<std::string, Set> sets_;
+  double lockedBytes_ = 0.0;
+};
+
+}  // namespace qserv::util

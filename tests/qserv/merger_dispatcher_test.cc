@@ -151,7 +151,10 @@ TEST(Dispatcher, CollectsAllChunkResults) {
   for (const auto& r : *results) {
     EXPECT_EQ(r.workerId, "w0");
     EXPECT_FALSE(r.dump.empty());
-    EXPECT_EQ(r.hash, util::Md5::hex("SELECT " + std::to_string(r.chunkId)));
+    // The dispatcher hashes the full payload: class header + query text.
+    EXPECT_EQ(r.hash,
+              util::Md5::hex(classHeaderLine(QueryClass::kScan) + "SELECT " +
+                             std::to_string(r.chunkId)));
   }
 }
 

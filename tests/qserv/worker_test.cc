@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "datagen/partitioner.h"
 #include "datagen/schemas.h"
+#include "qserv/batch_codec.h"
 #include "qserv/cluster.h"
 #include "util/md5.h"
 #include "util/strings.h"
@@ -281,6 +285,106 @@ TEST_F(WorkerTest, FifoChargesEveryScan) {
     if (obs->bytesScanned > 0) ++charged;
   }
   EXPECT_EQ(charged, 3);
+}
+
+TEST_F(WorkerTest, InteractiveClassBypassesScanGroup) {
+  WorkerConfig wc;
+  wc.slots = 1;
+  wc.scheduler = SchedulerMode::kSharedScan;
+  wc.startPaused = true;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  // Two header-less scans plus one interactive-classed query, all on the
+  // same chunk. The interactive task rides the priority lane: it must not
+  // join the scan group, so it pays its own read while the group shares one.
+  std::vector<std::string> queries = {
+      "SELECT COUNT(*) AS c FROM Object_" + std::to_string(chunk) +
+          " WHERE decl_PS > -100;",
+      "SELECT COUNT(*) AS c FROM Object_" + std::to_string(chunk) +
+          " WHERE decl_PS > -200;",
+      classHeaderLine(QueryClass::kInteractive) +
+          "SELECT COUNT(*) AS c FROM Object_" + std::to_string(chunk) +
+          " WHERE decl_PS > -300;",
+  };
+  for (const auto& q : queries) {
+    ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), q).isOk());
+  }
+  w->resume();
+  int charged = 0;
+  for (const auto& q : queries) {
+    auto r = w->readFile(xrd::makeResultPath(util::Md5::hex(q)));
+    ASSERT_TRUE(r.isOk()) << r.status().toString();
+    auto obs = w->observablesFor(util::Md5::hex(q));
+    ASSERT_TRUE(obs.has_value());
+    if (obs->bytesScanned > 0) ++charged;
+  }
+  EXPECT_EQ(charged, 2);  // one for the scan group, one for the interactive
+}
+
+TEST_F(WorkerTest, AbandonedGroupLeaderDoesNotEatIoCharge) {
+  // Regression: the scan-I/O charge used to be hardwired to the group's
+  // first task. When that leader belongs to an abandoned batch it is
+  // skipped without executing — the charge must fall to the first task
+  // that actually runs, or the group's bytesScanned is silently zero.
+  WorkerConfig wc;
+  wc.slots = 1;
+  wc.scheduler = SchedulerMode::kSharedScan;
+  wc.startPaused = true;
+  auto w = makeWorker(wc);
+  std::int32_t chunk = populatedChunk_;
+  std::string batchQuery = "SELECT COUNT(*) AS c FROM Object_" +
+                           std::to_string(chunk) + " WHERE decl_PS > -500;";
+  std::string wire = encodeBatchRequest({{chunk, batchQuery}}, 4);
+  std::string batchId = util::Md5::hex(wire);
+  ASSERT_TRUE(w->writeFile(xrd::makeBatchPath(batchId), wire).isOk());
+  // A second scan of the same chunk queues behind it, into the same group.
+  std::string survivor = "SELECT COUNT(*) AS c FROM Object_" +
+                         std::to_string(chunk) + " WHERE decl_PS > -600;";
+  ASSERT_TRUE(w->writeFile(xrd::makeQueryPath(chunk), survivor).isOk());
+  // Abandon the batch before any task is claimed: the leader is skipped.
+  ASSERT_TRUE(w->writeFile(xrd::makeBatchCancelPath(batchId), "").isOk());
+  w->resume();
+  auto r = w->readFile(xrd::makeResultPath(util::Md5::hex(survivor)));
+  ASSERT_TRUE(r.isOk()) << r.status().toString();
+  auto obs = w->observablesFor(util::Md5::hex(survivor));
+  ASSERT_TRUE(obs.has_value());
+  EXPECT_GT(obs->bytesScanned, 0.0);
+}
+
+TEST_F(WorkerTest, QueuedTasksIncludesClaimedUnfinishedWork) {
+  // Regression: queuedTasks()/ping used to report only the queue, so a
+  // worker grinding through claimed work looked idle to the control plane.
+  WorkerConfig wc;
+  wc.slots = 1;
+  auto w = makeWorker(wc);
+  ASSERT_GE(chunks_.size(), 2u);
+  std::int32_t a = chunks_[0], b = chunks_[1];
+  auto query = [](std::int32_t c) {
+    return "SELECT COUNT(*) AS c FROM Object_" + std::to_string(c) + ";";
+  };
+  // Stream window 1: the second chunk's publish blocks until the first
+  // frame is read, pinning one claimed-but-unfinished task in the slot.
+  std::string wire =
+      encodeBatchRequest({{a, query(a)}, {b, query(b)}}, /*window=*/1);
+  std::string batchId = util::Md5::hex(wire);
+  ASSERT_TRUE(w->writeFile(xrd::makeBatchPath(batchId), wire).isOk());
+  // Both tasks have executed once tasksExecuted()==2, but the second is
+  // stuck publishing (window full): it is in-flight, not finished.
+  while (w->tasksExecuted() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(w->queuedTasks(), 1u);
+  auto ping = w->readFile(std::string(xrd::kPingPath));
+  ASSERT_TRUE(ping.isOk());
+  EXPECT_NE(ping->find(" queue=1 "), std::string::npos) << *ping;
+  // Drain the stream; the in-flight task finishes and the depth drops.
+  std::string streamPath = xrd::makeBatchStreamPath(batchId);
+  ASSERT_TRUE(w->readFile(streamPath).isOk());
+  ASSERT_TRUE(w->readFile(streamPath).isOk());
+  while (w->queuedTasks() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(w->queuedTasks(), 0u);
 }
 
 TEST_F(WorkerTest, ShutdownRejectsNewWork) {

@@ -1,0 +1,67 @@
+#include "util/memory_budget.h"
+
+#include <gtest/gtest.h>
+
+namespace qserv::util {
+namespace {
+
+TEST(MemoryBudget, UnlimitedCapacityAlwaysLocks) {
+  MemoryBudget budget;  // capacity 0 = unlimited
+  EXPECT_TRUE(budget.tryLock("a", 1e12));
+  EXPECT_TRUE(budget.tryLock("b", 1e12));
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 2e12);
+}
+
+TEST(MemoryBudget, CapacityBlocksSecondSet) {
+  MemoryBudget budget(100.0);
+  EXPECT_TRUE(budget.tryLock("a", 80.0));
+  EXPECT_FALSE(budget.tryLock("b", 30.0));
+  // A set that still fits is admitted alongside.
+  EXPECT_TRUE(budget.tryLock("c", 20.0));
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 100.0);
+  budget.unlock("a");
+  EXPECT_TRUE(budget.tryLock("b", 30.0));
+}
+
+TEST(MemoryBudget, RelockingSameKeyIsFree) {
+  MemoryBudget budget(100.0);
+  EXPECT_TRUE(budget.tryLock("chunk:7", 90.0));
+  // The bytes are already resident: co-scheduled scans of the same chunk
+  // share one charge, regardless of capacity headroom.
+  EXPECT_TRUE(budget.tryLock("chunk:7", 90.0));
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 90.0);
+  EXPECT_EQ(budget.lockedSets(), 1u);
+}
+
+TEST(MemoryBudget, UnlockIsRefcounted) {
+  MemoryBudget budget(100.0);
+  ASSERT_TRUE(budget.tryLock("a", 60.0));
+  ASSERT_TRUE(budget.tryLock("a", 60.0));
+  budget.unlock("a");
+  // One holder remains: the charge stays and blocks a conflicting set.
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 60.0);
+  EXPECT_FALSE(budget.tryLock("b", 60.0));
+  budget.unlock("a");
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 0.0);
+  EXPECT_TRUE(budget.tryLock("b", 60.0));
+}
+
+TEST(MemoryBudget, SingleOversizeSetProceeds) {
+  MemoryBudget budget(100.0);
+  // Anti-starvation: a scan bigger than the whole budget must not wedge the
+  // worker when nothing else holds memory.
+  EXPECT_TRUE(budget.tryLock("huge", 500.0));
+  EXPECT_FALSE(budget.tryLock("b", 1.0));
+  budget.unlock("huge");
+  EXPECT_TRUE(budget.tryLock("b", 1.0));
+}
+
+TEST(MemoryBudget, UnlockUnknownKeyIsNoop) {
+  MemoryBudget budget(100.0);
+  budget.unlock("never-locked");
+  EXPECT_DOUBLE_EQ(budget.lockedBytes(), 0.0);
+  EXPECT_EQ(budget.lockedSets(), 0u);
+}
+
+}  // namespace
+}  // namespace qserv::util
